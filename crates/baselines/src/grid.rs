@@ -1,0 +1,340 @@
+//! Grid-ε: attribute-space grid partitioning (Soloviev's truncating-hash band-join
+//! algorithm, generalized to `d` dimensions).
+//!
+//! The attribute space is divided into axis-aligned cells whose side length in dimension
+//! `i` is `scale · ε_i` (the paper's default Grid-ε uses `scale = 1`). Every S-tuple is
+//! sent to the single cell containing it; every T-tuple is copied to each cell its
+//! ε-range intersects — with cell side `ε_i` that is up to 3 cells per dimension, i.e.
+//! `O(3^d)` duplication. Cells are materialized lazily from the actual data (only cells
+//! that receive at least one tuple become partitions), which is what a truncating-hash
+//! implementation on MapReduce effectively does.
+//!
+//! Grid-ε is not defined for band width zero (the paper notes the same); construction
+//! fails if any `ε_i` is zero.
+
+use recpart::{BandCondition, PartitionId, Partitioner, Relation};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The Grid-ε / Grid-(j·ε) partitioner.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GridPartitioner {
+    band: BandCondition,
+    /// Cell side length per dimension.
+    cell: Vec<f64>,
+    /// Origin of the grid (minimum corner of the data's bounding box).
+    origin: Vec<f64>,
+    /// Map from cell coordinates to partition id.
+    cells: HashMap<Vec<i64>, PartitionId>,
+    /// Input-tuple count per partition (used as the load estimate).
+    cell_input: Vec<f64>,
+    name: String,
+}
+
+impl GridPartitioner {
+    /// Build a grid with cell side `scale · ε_i` from the actual inputs.
+    ///
+    /// # Panics
+    /// Panics if any band width is zero (Grid-ε is undefined for equi-dimensions) or if
+    /// `scale <= 0`.
+    pub fn build(
+        s: &Relation,
+        t: &Relation,
+        band: &BandCondition,
+        scale: f64,
+    ) -> GridPartitioner {
+        assert!(scale > 0.0, "grid scale must be positive");
+        let dims = band.dims();
+        for d in 0..dims {
+            assert!(
+                band.eps(d) > 0.0,
+                "Grid-eps is not defined for band width 0 (dimension {d})"
+            );
+        }
+        let cell: Vec<f64> = (0..dims).map(|d| band.eps(d) * scale).collect();
+
+        // Grid origin: minimum corner over both inputs (any fixed origin works; using the
+        // data minimum keeps cell coordinates small).
+        let mut origin = vec![f64::INFINITY; dims];
+        for r in [s, t] {
+            if let Some(mins) = r.min_per_dim() {
+                for (o, m) in origin.iter_mut().zip(mins) {
+                    *o = o.min(m);
+                }
+            }
+        }
+        for o in origin.iter_mut() {
+            if !o.is_finite() {
+                *o = 0.0;
+            }
+        }
+
+        let mut builder = GridPartitioner {
+            band: band.clone(),
+            cell,
+            origin,
+            cells: HashMap::new(),
+            cell_input: Vec::new(),
+            name: if (scale - 1.0).abs() < 1e-12 {
+                "Grid-eps".to_string()
+            } else {
+                format!("Grid-{scale}eps")
+            },
+        };
+
+        // Materialize every cell that receives at least one S-tuple (those are the only
+        // cells that can produce output) and every cell containing a T-tuple (so that no
+        // tuple ends up unassigned, as Definition 1 requires h(x) ≠ ∅).
+        let mut coords = vec![0i64; dims];
+        for key in s.iter() {
+            builder.cell_coords(key, &mut coords);
+            builder.intern(&coords, 1.0);
+        }
+        for key in t.iter() {
+            builder.cell_coords(key, &mut coords);
+            builder.intern(&coords, 1.0);
+        }
+        builder
+    }
+
+    /// The grid cell side lengths.
+    pub fn cell_sizes(&self) -> &[f64] {
+        &self.cell
+    }
+
+    /// Number of materialized (non-empty) cells.
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    fn intern(&mut self, coords: &[i64], weight: f64) -> PartitionId {
+        if let Some(&id) = self.cells.get(coords) {
+            self.cell_input[id as usize] += weight;
+            return id;
+        }
+        let id = self.cells.len() as PartitionId;
+        self.cells.insert(coords.to_vec(), id);
+        self.cell_input.push(weight);
+        id
+    }
+
+    #[inline]
+    fn cell_coords(&self, key: &[f64], out: &mut [i64]) {
+        for (d, c) in out.iter_mut().enumerate() {
+            *c = ((key[d] - self.origin[d]) / self.cell[d]).floor() as i64;
+        }
+    }
+
+    /// Enumerate the (existing) cells intersecting the ε-range around a T-tuple and push
+    /// their partition ids.
+    fn push_t_range_cells(&self, key: &[f64], out: &mut Vec<PartitionId>) {
+        let dims = self.band.dims();
+        let mut lo = vec![0i64; dims];
+        let mut hi = vec![0i64; dims];
+        for d in 0..dims {
+            let (range_lo, range_hi) = self.band.range_around_t(d, key[d]);
+            lo[d] = ((range_lo - self.origin[d]) / self.cell[d]).floor() as i64;
+            hi[d] = ((range_hi - self.origin[d]) / self.cell[d]).floor() as i64;
+        }
+        // Iterate the cartesian product of per-dimension index ranges.
+        let mut cursor = lo.clone();
+        loop {
+            if let Some(&id) = self.cells.get(cursor.as_slice()) {
+                out.push(id);
+            }
+            // Advance the cursor (odometer style).
+            let mut d = 0;
+            loop {
+                if d == dims {
+                    return;
+                }
+                cursor[d] += 1;
+                if cursor[d] <= hi[d] {
+                    break;
+                }
+                cursor[d] = lo[d];
+                d += 1;
+            }
+        }
+    }
+}
+
+impl Partitioner for GridPartitioner {
+    fn num_partitions(&self) -> usize {
+        self.cells.len().max(1)
+    }
+
+    fn assign_s(&self, key: &[f64], _tuple_id: u64, out: &mut Vec<PartitionId>) {
+        let mut coords = vec![0i64; self.band.dims()];
+        self.cell_coords(key, &mut coords);
+        if let Some(&id) = self.cells.get(coords.as_slice()) {
+            out.push(id);
+        } else {
+            // A tuple outside every materialized cell (possible only for data not seen at
+            // build time); fall back to partition 0 to keep the assignment total.
+            out.push(0);
+        }
+    }
+
+    fn assign_t(&self, key: &[f64], _tuple_id: u64, out: &mut Vec<PartitionId>) {
+        let before = out.len();
+        self.push_t_range_cells(key, out);
+        if out.len() == before {
+            // ε-range intersects no materialized cell: send to the tuple's own cell if it
+            // exists, otherwise partition 0 (keeps h(x) ≠ ∅; produces no spurious output).
+            let mut coords = vec![0i64; self.band.dims()];
+            self.cell_coords(key, &mut coords);
+            match self.cells.get(coords.as_slice()) {
+                Some(&id) => out.push(id),
+                None => out.push(0),
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn estimated_partition_loads(&self) -> Option<Vec<f64>> {
+        Some(self.cell_input.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_relation(n: usize, dims: usize, lo: f64, hi: f64, seed: u64) -> Relation {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut r = Relation::with_capacity(dims, n);
+        let mut key = vec![0.0; dims];
+        for _ in 0..n {
+            for k in key.iter_mut() {
+                *k = rng.gen_range(lo..hi);
+            }
+            r.push(&key);
+        }
+        r
+    }
+
+    fn exactly_once(
+        grid: &GridPartitioner,
+        s: &Relation,
+        t: &Relation,
+        band: &BandCondition,
+    ) {
+        let mut s_parts = Vec::new();
+        let mut t_parts = Vec::new();
+        for (si, sk) in s.iter().enumerate() {
+            s_parts.clear();
+            grid.assign_s(sk, si as u64, &mut s_parts);
+            assert_eq!(s_parts.len(), 1, "S-tuples go to exactly one cell");
+            for (ti, tk) in t.iter().enumerate() {
+                if !band.matches(sk, tk) {
+                    continue;
+                }
+                t_parts.clear();
+                grid.assign_t(tk, ti as u64, &mut t_parts);
+                let common = s_parts.iter().filter(|p| t_parts.contains(p)).count();
+                assert_eq!(common, 1, "pair (S#{si}, T#{ti}) must meet exactly once");
+            }
+        }
+    }
+
+    #[test]
+    fn exactly_once_1d() {
+        let s = random_relation(300, 1, 0.0, 50.0, 1);
+        let t = random_relation(300, 1, 0.0, 50.0, 2);
+        let band = BandCondition::symmetric(&[1.0]);
+        let grid = GridPartitioner::build(&s, &t, &band, 1.0);
+        exactly_once(&grid, &s, &t, &band);
+    }
+
+    #[test]
+    fn exactly_once_2d_with_coarser_grid() {
+        let s = random_relation(200, 2, 0.0, 20.0, 3);
+        let t = random_relation(200, 2, 0.0, 20.0, 4);
+        let band = BandCondition::symmetric(&[0.5, 1.0]);
+        for scale in [1.0, 2.0, 4.0] {
+            let grid = GridPartitioner::build(&s, &t, &band, scale);
+            exactly_once(&grid, &s, &t, &band);
+        }
+    }
+
+    #[test]
+    fn t_duplication_is_bounded_by_3_pow_d() {
+        let s = random_relation(500, 2, 0.0, 30.0, 5);
+        let t = random_relation(500, 2, 0.0, 30.0, 6);
+        let band = BandCondition::symmetric(&[1.0, 1.0]);
+        let grid = GridPartitioner::build(&s, &t, &band, 1.0);
+        let mut out = Vec::new();
+        let mut max_copies = 0;
+        for (i, key) in t.iter().enumerate() {
+            out.clear();
+            grid.assign_t(key, i as u64, &mut out);
+            assert!(!out.is_empty());
+            max_copies = max_copies.max(out.len());
+        }
+        assert!(max_copies <= 9, "T copied to at most 3^2 cells, saw {max_copies}");
+        assert!(max_copies >= 4, "dense data should hit multi-cell copies");
+    }
+
+    #[test]
+    fn coarser_grid_has_fewer_cells_and_less_duplication() {
+        let s = random_relation(1000, 1, 0.0, 100.0, 7);
+        let t = random_relation(1000, 1, 0.0, 100.0, 8);
+        let band = BandCondition::symmetric(&[1.0]);
+        let fine = GridPartitioner::build(&s, &t, &band, 1.0);
+        let coarse = GridPartitioner::build(&s, &t, &band, 8.0);
+        assert!(coarse.num_cells() < fine.num_cells());
+        assert_eq!(fine.num_partitions(), fine.num_cells());
+        let dup = |g: &GridPartitioner| g.count_total_input(&s, &t);
+        assert!(dup(&coarse) < dup(&fine));
+    }
+
+    #[test]
+    fn skewed_data_gives_skewed_cell_loads() {
+        // All S-tuples in one tiny spot: that cell's input dwarfs the others (Lemma 2's
+        // precondition).
+        let mut s = Relation::new(1);
+        for i in 0..500 {
+            s.push(&[10.0 + (i as f64) * 1e-6]);
+        }
+        let t = random_relation(500, 1, 0.0, 100.0, 9);
+        let band = BandCondition::symmetric(&[1.0]);
+        let grid = GridPartitioner::build(&s, &t, &band, 1.0);
+        let loads = grid.estimated_partition_loads().unwrap();
+        let max = loads.iter().cloned().fold(0.0, f64::max);
+        let mean = loads.iter().sum::<f64>() / loads.len() as f64;
+        assert!(max > mean * 10.0, "hot cell must stand out (max {max}, mean {mean})");
+    }
+
+    #[test]
+    fn names_reflect_scale() {
+        let s = random_relation(50, 1, 0.0, 10.0, 10);
+        let t = random_relation(50, 1, 0.0, 10.0, 11);
+        let band = BandCondition::symmetric(&[1.0]);
+        assert_eq!(GridPartitioner::build(&s, &t, &band, 1.0).name(), "Grid-eps");
+        assert_eq!(GridPartitioner::build(&s, &t, &band, 4.0).name(), "Grid-4eps");
+    }
+
+    #[test]
+    #[should_panic(expected = "band width 0")]
+    fn zero_band_width_rejected() {
+        let s = random_relation(10, 1, 0.0, 1.0, 12);
+        let t = random_relation(10, 1, 0.0, 1.0, 13);
+        let band = BandCondition::equi(1);
+        let _ = GridPartitioner::build(&s, &t, &band, 1.0);
+    }
+
+    #[test]
+    fn cell_sizes_follow_band_and_scale() {
+        let s = random_relation(20, 2, 0.0, 10.0, 14);
+        let t = random_relation(20, 2, 0.0, 10.0, 15);
+        let band = BandCondition::symmetric(&[0.5, 2.0]);
+        let grid = GridPartitioner::build(&s, &t, &band, 3.0);
+        assert_eq!(grid.cell_sizes(), &[1.5, 6.0]);
+    }
+}

@@ -1,0 +1,50 @@
+//! Criterion micro-benchmarks of the per-worker local band-join algorithms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use distsim::LocalJoinAlgorithm;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use recpart::BandCondition;
+
+fn bench_local_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local_join");
+    let mut rng = StdRng::seed_from_u64(1);
+    for &n in &[1_000usize, 4_000] {
+        let s = datagen::pareto_relation(n, 1, 1.5, &mut rng);
+        let t = datagen::pareto_relation(n, 1, 1.5, &mut rng);
+        let band = BandCondition::symmetric(&[0.01]);
+        for algo in [
+            LocalJoinAlgorithm::IndexNestedLoop,
+            LocalJoinAlgorithm::SortMerge,
+            LocalJoinAlgorithm::NestedLoop,
+        ] {
+            // The quadratic reference algorithm only at the small size.
+            if algo == LocalJoinAlgorithm::NestedLoop && n > 1_000 {
+                continue;
+            }
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), n),
+                &(&s, &t),
+                |b, (s, t)| b.iter(|| algo.join_full(s, t, &band, None).output),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_local_join_3d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local_join_3d");
+    let mut rng = StdRng::seed_from_u64(2);
+    let s = datagen::pareto_relation(2_000, 3, 1.5, &mut rng);
+    let t = datagen::pareto_relation(2_000, 3, 1.5, &mut rng);
+    let band = BandCondition::symmetric(&[1.0, 1.0, 1.0]);
+    for algo in [LocalJoinAlgorithm::IndexNestedLoop, LocalJoinAlgorithm::SortMerge] {
+        group.bench_function(algo.name(), |b| {
+            b.iter(|| algo.join_full(&s, &t, &band, None).output)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_local_join, bench_local_join_3d);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Criterion benchmarks of the optimization phase: how long does each strategy take to
+//! *find* a partitioning (the paper's "optimization time" column)?
+
+use baselines::{CsioConfig, CsioPartitioner, GridStarPartitioner};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use distsim::CostModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use recpart::{BandCondition, RecPart, RecPartConfig, SampleConfig};
+
+fn workload(dims: usize, n: usize) -> (recpart::Relation, recpart::Relation, BandCondition) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let s = datagen::pareto_relation(n, dims, 1.5, &mut rng);
+    let t = datagen::pareto_relation(n, dims, 1.5, &mut rng);
+    let band = BandCondition::uniform(dims, 2.0);
+    (s, t, band)
+}
+
+fn bench_recpart_by_workers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recpart_optimization_by_workers");
+    let (s, t, band) = workload(3, 20_000);
+    for &workers in &[8usize, 30, 60] {
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            let cfg = RecPartConfig::new(w).with_sample(SampleConfig {
+                input_sample_size: 4_096,
+                output_sample_size: 2_048,
+                output_probe_count: 1_024,
+            });
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(3);
+                RecPart::new(cfg.clone()).optimize(&s, &t, &band, &mut rng)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_recpart_by_dimension(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recpart_optimization_by_dimension");
+    for &dims in &[1usize, 3, 8] {
+        let (s, t, band) = workload(dims, 10_000);
+        group.bench_with_input(BenchmarkId::from_parameter(dims), &dims, |b, _| {
+            let cfg = RecPartConfig::new(16).with_sample(SampleConfig {
+                input_sample_size: 2_048,
+                output_sample_size: 1_024,
+                output_probe_count: 512,
+            });
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(5);
+                RecPart::new(cfg.clone()).optimize(&s, &t, &band, &mut rng)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_competitor_optimization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("competitor_optimization");
+    group.sample_size(10);
+    let (s, t, band) = workload(3, 20_000);
+    group.bench_function("CSIO", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(7);
+            CsioPartitioner::build(&s, &t, &band, 30, &CsioConfig::default(), &mut rng)
+        });
+    });
+    group.bench_function("Grid*", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(7);
+            GridStarPartitioner::build(&s, &t, &band, 30, &CostModel::default(), 64, &mut rng)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_recpart_by_workers,
+    bench_recpart_by_dimension,
+    bench_competitor_optimization
+);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion benchmarks of tuple-assignment throughput: how fast can each partitioner
+//! route tuples to partitions (the map-side cost of the shuffle)?
+
+use baselines::{GridPartitioner, IEJoinPartitioner, OneBucket};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use recpart::{BandCondition, Partitioner, RecPart, RecPartConfig, SampleConfig};
+
+fn bench_assignment_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("assignment_throughput");
+    let mut rng = StdRng::seed_from_u64(21);
+    let s = datagen::pareto_relation(50_000, 3, 1.5, &mut rng);
+    let t = datagen::pareto_relation(50_000, 3, 1.5, &mut rng);
+    let band = BandCondition::symmetric(&[2.0, 2.0, 2.0]);
+
+    let recpart = RecPart::new(
+        RecPartConfig::new(30).with_sample(SampleConfig {
+            input_sample_size: 4_096,
+            output_sample_size: 2_048,
+            output_probe_count: 1_024,
+        }),
+    )
+    .optimize(&s, &t, &band, &mut rng)
+    .partitioner;
+    let one_bucket = OneBucket::new(30, s.len(), t.len(), 1);
+    let grid = GridPartitioner::build(&s, &t, &band, 1.0);
+    let iejoin = IEJoinPartitioner::build(&s, &t, &band, 2_000);
+
+    let strategies: Vec<(&str, &dyn Partitioner)> = vec![
+        ("RecPart", &recpart),
+        ("1-Bucket", &one_bucket),
+        ("Grid-eps", &grid),
+        ("IEJoin", &iejoin),
+    ];
+    for (name, partitioner) in strategies {
+        group.bench_function(name, |b| {
+            let mut buf = Vec::new();
+            b.iter(|| {
+                let mut assignments = 0usize;
+                for (i, key) in s.iter().enumerate() {
+                    buf.clear();
+                    partitioner.assign_s(key, i as u64, &mut buf);
+                    assignments += buf.len();
+                }
+                for (i, key) in t.iter().enumerate() {
+                    buf.clear();
+                    partitioner.assign_t(key, i as u64, &mut buf);
+                    assignments += buf.len();
+                }
+                assignments
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_assignment_throughput);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion benchmarks of the sampling phase (input sampling and band-join output
+//! sampling), which bounds RecPart's statistics-gathering cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use recpart::{BandCondition, InputSample, OutputSample, SampleConfig};
+
+fn bench_input_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("input_sampling");
+    let mut rng = StdRng::seed_from_u64(31);
+    let relation = datagen::pareto_relation(200_000, 3, 1.5, &mut rng);
+    for &k in &[1_000usize, 10_000, 100_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                InputSample::draw(&relation, k, &mut rng).len()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_output_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("output_sampling");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(32);
+    let s = datagen::pareto_relation(100_000, 1, 1.5, &mut rng);
+    let t = datagen::pareto_relation(100_000, 1, 1.5, &mut rng);
+    let band = BandCondition::symmetric(&[0.001]);
+    for &probes in &[512usize, 2_048, 8_192] {
+        group.bench_with_input(BenchmarkId::from_parameter(probes), &probes, |b, &probes| {
+            let cfg = SampleConfig {
+                input_sample_size: 8_192,
+                output_sample_size: 2_048,
+                output_probe_count: probes,
+            };
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(2);
+                OutputSample::draw(&s, &t, &band, &cfg, &mut rng).estimated_output()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_input_sampling, bench_output_sampling);
+criterion_main!(benches);

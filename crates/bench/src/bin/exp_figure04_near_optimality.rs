@@ -1,0 +1,49 @@
+//! Figure 4 / Figure 10: near-optimality scatter — input-duplication overhead (x) vs
+//! max-worker-load overhead (y), both relative to the Lemma 1 lower bounds, across a
+//! broad set of configurations and all strategies.
+//!
+//! The paper's headline claim is that every RecPart point lies within 10% of both lower
+//! bounds while the competitors are off by factors; the per-strategy worst case printed
+//! at the end makes that comparison directly.
+//!
+//! ```text
+//! cargo run -p bench --release --bin exp_figure04_near_optimality [-- --scale 2e-4]
+//! ```
+
+use bench::harness::Strategy;
+use bench::report::figure_points_to_json;
+use bench::{print_figure_points, run_rows, ExperimentArgs, RowSpec};
+
+fn main() {
+    let args = ExperimentArgs::from_env();
+    let rows = vec![
+        RowSpec::new("pareto-1.5/d1/eps1e-5", "pareto-1.5/d1/eps1e-5"),
+        RowSpec::new("pareto-1.5/d1/eps3e-5", "pareto-1.5/d1/eps3e-5"),
+        RowSpec::new("pareto-1.5/d3/eps2", "pareto-1.5/d3/eps2"),
+        RowSpec::new("pareto-1.5/d3/eps4", "pareto-1.5/d3/eps4"),
+        RowSpec::new("pareto-0.5/d3/eps2", "pareto-0.5/d3/eps2"),
+        RowSpec::new("pareto-2.0/d3/eps2", "pareto-2.0/d3/eps2"),
+        RowSpec::new("pareto-1.5/d8/eps20", "pareto-1.5/d8/eps20/400M"),
+        RowSpec::new("rv-pareto-1.5/d3/eps1000", "rv-pareto-1.5/d3/eps1000"),
+        RowSpec::new("ebird-cloud/eps1", "ebird-cloud/eps1"),
+        RowSpec::new("ebird-cloud/eps2", "ebird-cloud/eps2"),
+        RowSpec::new("ptf/eps3arcsec", "ptf/eps3arcsec"),
+    ];
+    // RecPart (full) plus the three competitors, as in the figure.
+    let strategies = [
+        Strategy::RecPart,
+        Strategy::Csio,
+        Strategy::OneBucket,
+        Strategy::GridEps,
+    ];
+    let (_, points) = run_rows(&rows, &strategies, &args);
+    print_figure_points(
+        "Figure 4 / Figure 10 — overhead vs lower bounds, all configurations",
+        &points,
+    );
+    // Also emit the raw points as JSON for plotting.
+    let json_path = std::env::temp_dir().join("figure4_points.json");
+    if std::fs::write(&json_path, figure_points_to_json(&points)).is_ok() {
+        println!("raw points written to {}", json_path.display());
+    }
+}

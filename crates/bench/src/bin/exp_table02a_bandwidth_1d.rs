@@ -1,0 +1,25 @@
+//! Table 2a: impact of band width for the 1-D `pareto-1.5` join.
+//!
+//! Compares RecPart-S, CSIO, 1-Bucket and Grid-ε on the four band widths of the paper's
+//! Table 2a (equi-join up to 3·10⁻⁵), reporting runtime (optimization + simulated join),
+//! relative time over RecPart-S, and the I/O sizes `I`, `I_m`, `O_m`.
+//!
+//! ```text
+//! cargo run -p bench --release --bin exp_table02a_bandwidth_1d [-- --scale 2e-4]
+//! ```
+
+use bench::harness::Strategy;
+use bench::{print_figure_points, print_table, run_rows, ExperimentArgs, RowSpec};
+
+fn main() {
+    let args = ExperimentArgs::from_env();
+    let rows = vec![
+        RowSpec::new("pareto-1.5 d=1 eps=0", "pareto-1.5/d1/eps0"),
+        RowSpec::new("pareto-1.5 d=1 eps=1e-5", "pareto-1.5/d1/eps1e-5"),
+        RowSpec::new("pareto-1.5 d=1 eps=2e-5", "pareto-1.5/d1/eps2e-5"),
+        RowSpec::new("pareto-1.5 d=1 eps=3e-5", "pareto-1.5/d1/eps3e-5"),
+    ];
+    let (table, points) = run_rows(&rows, &Strategy::paper_main(), &args);
+    print_table("Table 2a — impact of band width (pareto-1.5, d = 1)", &table);
+    print_figure_points("Figure 4 points from Table 2a", &points);
+}

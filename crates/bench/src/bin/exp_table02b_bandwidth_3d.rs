@@ -1,0 +1,20 @@
+//! Table 2b: impact of band width for the 3-D `pareto-1.5` join.
+//!
+//! ```text
+//! cargo run -p bench --release --bin exp_table02b_bandwidth_3d [-- --scale 2e-4]
+//! ```
+
+use bench::harness::Strategy;
+use bench::{print_figure_points, print_table, run_rows, ExperimentArgs, RowSpec};
+
+fn main() {
+    let args = ExperimentArgs::from_env();
+    let rows = vec![
+        RowSpec::new("pareto-1.5 d=3 eps=(0,0,0)", "pareto-1.5/d3/eps0"),
+        RowSpec::new("pareto-1.5 d=3 eps=(2,2,2)", "pareto-1.5/d3/eps2"),
+        RowSpec::new("pareto-1.5 d=3 eps=(4,4,4)", "pareto-1.5/d3/eps4"),
+    ];
+    let (table, points) = run_rows(&rows, &Strategy::paper_main(), &args);
+    print_table("Table 2b — impact of band width (pareto-1.5, d = 3)", &table);
+    print_figure_points("Figure 4 points from Table 2b", &points);
+}

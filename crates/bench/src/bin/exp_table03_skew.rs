@@ -1,0 +1,24 @@
+//! Table 3: skew resistance — `pareto-z` for z = 0.5 … 2.0, d = 3, eps = (2,2,2).
+//!
+//! ```text
+//! cargo run -p bench --release --bin exp_table03_skew [-- --scale 2e-4]
+//! ```
+
+use bench::harness::Strategy;
+use bench::{print_figure_points, print_table, run_rows, ExperimentArgs, RowSpec};
+
+fn main() {
+    let args = ExperimentArgs::from_env();
+    let rows = vec![
+        RowSpec::new("pareto-0.5", "pareto-0.5/d3/eps2"),
+        RowSpec::new("pareto-1.0", "pareto-1.0/d3/eps2"),
+        RowSpec::new("pareto-1.5", "pareto-1.5/d3/eps2"),
+        RowSpec::new("pareto-2.0", "pareto-2.0/d3/eps2"),
+    ];
+    let (table, points) = run_rows(&rows, &Strategy::paper_main(), &args);
+    print_table(
+        "Table 3 — skew resistance (pareto-z, d = 3, eps = (2,2,2))",
+        &table,
+    );
+    print_figure_points("Figure 4 points from Table 3", &points);
+}

@@ -1,0 +1,31 @@
+//! Table 4a: scalability on pareto-1.5, d = 3, eps = (2,2,2) — input size and worker
+//! count are doubled together (200M/15, 400M/30, 800M/60 in the paper, scaled here).
+//!
+//! ```text
+//! cargo run -p bench --release --bin exp_table04a_scale_pareto [-- --scale 2e-4]
+//! ```
+
+use bench::harness::Strategy;
+use bench::{print_figure_points, print_table, run_rows, ExperimentArgs, RowSpec};
+
+fn main() {
+    let args = ExperimentArgs::from_env();
+    let base = args.scaled_tuples(200.0);
+    let rows = vec![
+        RowSpec::new("200M-equiv / 15 workers", "pareto-1.5/d3/eps2")
+            .with_total(base)
+            .with_workers(15),
+        RowSpec::new("400M-equiv / 30 workers", "pareto-1.5/d3/eps2")
+            .with_total(base * 2)
+            .with_workers(30),
+        RowSpec::new("800M-equiv / 60 workers", "pareto-1.5/d3/eps2")
+            .with_total(base * 4)
+            .with_workers(60),
+    ];
+    let (table, points) = run_rows(&rows, &Strategy::paper_main(), &args);
+    print_table(
+        "Table 4a — scalability (pareto-1.5, d = 3, eps = (2,2,2))",
+        &table,
+    );
+    print_figure_points("Figure 4 points from Table 4a", &points);
+}

@@ -1,0 +1,31 @@
+//! Table 4b: scalability on ebird ⋈ cloud, d = 3, eps = (2,2,2) — input size and worker
+//! count doubled together (222M/15, 445M/30, 890M/60 in the paper, scaled here).
+//!
+//! ```text
+//! cargo run -p bench --release --bin exp_table04b_scale_real [-- --scale 2e-4]
+//! ```
+
+use bench::harness::Strategy;
+use bench::{print_figure_points, print_table, run_rows, ExperimentArgs, RowSpec};
+
+fn main() {
+    let args = ExperimentArgs::from_env();
+    let base = args.scaled_tuples(222.0);
+    let rows = vec![
+        RowSpec::new("222M-equiv / 15 workers", "ebird-cloud/eps2")
+            .with_total(base)
+            .with_workers(15),
+        RowSpec::new("445M-equiv / 30 workers", "ebird-cloud/eps2")
+            .with_total(base * 2)
+            .with_workers(30),
+        RowSpec::new("890M-equiv / 60 workers", "ebird-cloud/eps2")
+            .with_total(base * 4)
+            .with_workers(60),
+    ];
+    let (table, points) = run_rows(&rows, &Strategy::paper_main(), &args);
+    print_table(
+        "Table 4b — scalability (ebird ⋈ cloud, d = 3, eps = (2,2,2))",
+        &table,
+    );
+    print_figure_points("Figure 4 points from Table 4b", &points);
+}

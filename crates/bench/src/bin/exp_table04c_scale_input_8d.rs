@@ -1,0 +1,25 @@
+//! Table 4c: varying the input size for the 8-dimensional band-join (pareto-1.5, band
+//! width 20 in every dimension, 30 workers).
+//!
+//! ```text
+//! cargo run -p bench --release --bin exp_table04c_scale_input_8d [-- --scale 2e-4]
+//! ```
+
+use bench::harness::Strategy;
+use bench::{print_figure_points, print_table, run_rows, ExperimentArgs, RowSpec};
+
+fn main() {
+    let args = ExperimentArgs::from_env();
+    let rows = vec![
+        RowSpec::new("100M-equiv input", "pareto-1.5/d8/eps20/100M"),
+        RowSpec::new("200M-equiv input", "pareto-1.5/d8/eps20/200M"),
+        RowSpec::new("400M-equiv input", "pareto-1.5/d8/eps20/400M"),
+        RowSpec::new("800M-equiv input", "pareto-1.5/d8/eps20/800M"),
+    ];
+    let (table, points) = run_rows(&rows, &Strategy::paper_main(), &args);
+    print_table(
+        "Table 4c — varying input size (pareto-1.5, d = 8, eps = 20, w = 30)",
+        &table,
+    );
+    print_figure_points("Figure 4 points from Table 4c", &points);
+}

@@ -1,0 +1,25 @@
+//! Table 4d: varying the number of workers for the 8-dimensional band-join
+//! (pareto-1.5, band width 20 per dimension, 400M-equivalent input).
+//!
+//! ```text
+//! cargo run -p bench --release --bin exp_table04d_scale_workers_8d [-- --scale 2e-4]
+//! ```
+
+use bench::harness::Strategy;
+use bench::{print_figure_points, print_table, run_rows, ExperimentArgs, RowSpec};
+
+fn main() {
+    let args = ExperimentArgs::from_env();
+    let rows: Vec<RowSpec> = [1usize, 15, 30, 60]
+        .into_iter()
+        .map(|w| {
+            RowSpec::new(format!("w = {w}"), "pareto-1.5/d8/eps20/400M").with_workers(w)
+        })
+        .collect();
+    let (table, points) = run_rows(&rows, &Strategy::paper_main(), &args);
+    print_table(
+        "Table 4d — varying the number of workers (pareto-1.5, d = 8, eps = 20)",
+        &table,
+    );
+    print_figure_points("Figure 4 points from Table 4d", &points);
+}

@@ -1,0 +1,36 @@
+//! Table 5: impact of the grid size on Grid-ε, compared to Grid*, RecPart-S, CSIO and
+//! 1-Bucket (pareto-1.5, d = 3, eps = (2,2,2), 30 workers in the paper).
+//!
+//! ```text
+//! cargo run -p bench --release --bin exp_table05_grid_size [-- --scale 2e-4]
+//! ```
+
+use bench::harness::Strategy;
+use bench::{print_table, ExperimentArgs, RowSpec, TableRow};
+
+fn main() {
+    let args = ExperimentArgs::from_env();
+    let spec = RowSpec::new("pareto-1.5 d=3 eps=(2,2,2)", "pareto-1.5/d3/eps2");
+    // Sweep the grid-size multiplier, then compare against the adaptive strategies.
+    let grid_sweep: Vec<Strategy> = [1u32, 2, 4, 8, 16, 32, 64]
+        .into_iter()
+        .map(Strategy::GridScaled)
+        .collect();
+    let mut strategies = grid_sweep;
+    strategies.extend([
+        Strategy::GridStar,
+        Strategy::RecPartS,
+        Strategy::Csio,
+        Strategy::OneBucket,
+    ]);
+
+    let mut points = Vec::new();
+    let row = bench::run_row(&spec, &strategies, &args, &mut points);
+    print_table(
+        "Table 5 — Grid-eps grid-size sweep vs Grid*, RecPart-S, CSIO, 1-Bucket",
+        &[TableRow {
+            config: spec.label.clone(),
+            outcomes: row.outcomes,
+        }],
+    );
+}

@@ -1,0 +1,22 @@
+//! Table 6: Grid* vs RecPart on workloads where grid partitioning struggles — strong
+//! skew (pareto-2.0) and anti-correlated densities (rv-pareto-1.5 with large band
+//! widths), where Lemma 2 predicts an unavoidable heavy cell.
+//!
+//! ```text
+//! cargo run -p bench --release --bin exp_table06_grid_star_reverse [-- --scale 2e-4]
+//! ```
+
+use bench::harness::Strategy;
+use bench::{print_table, run_rows, ExperimentArgs, RowSpec};
+
+fn main() {
+    let args = ExperimentArgs::from_env();
+    let rows = vec![
+        RowSpec::new("pareto-2.0 eps=(2,2,2)", "pareto-2.0/d3/eps2"),
+        RowSpec::new("rv-pareto-1.5 eps=(1k,1k,1k)", "rv-pareto-1.5/d3/eps1000"),
+        RowSpec::new("rv-pareto-1.5 eps=(2k,2k,2k)", "rv-pareto-1.5/d3/eps2000"),
+    ];
+    let strategies = [Strategy::RecPart, Strategy::GridStar];
+    let (table, _) = run_rows(&rows, &strategies, &args);
+    print_table("Table 6 — Grid* vs RecPart on skewed / reverse-Pareto data", &table);
+}

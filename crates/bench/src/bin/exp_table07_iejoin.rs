@@ -1,0 +1,35 @@
+//! Table 7 / Table 11: RecPart-S vs the distributed IEJoin block partitioning, sweeping
+//! the `sizePerBlock` meta-parameter around its best value.
+//!
+//! ```text
+//! cargo run -p bench --release --bin exp_table07_iejoin [-- --scale 2e-4]
+//! ```
+
+use bench::harness::Strategy;
+use bench::{print_table, run_rows, ExperimentArgs, RowSpec};
+
+fn main() {
+    let args = ExperimentArgs::from_env();
+    let rows = vec![
+        RowSpec::new("pareto-1.5 d=1 eps=0", "pareto-1.5/d1/eps0"),
+        RowSpec::new("pareto-1.5 d=3 eps=(2,2,2)", "pareto-1.5/d3/eps2"),
+        RowSpec::new("pareto-1.0 d=3 eps=(2,2,2)", "pareto-1.0/d3/eps2"),
+        RowSpec::new("pareto-0.5 d=3 eps=(2,2,2)", "pareto-0.5/d3/eps2"),
+    ];
+    // The paper sweeps sizePerBlock in the thousands for 200M-tuple inputs (about
+    // |S| / (2w) … |S| / (20w)); the equivalents here scale with the instantiated size.
+    let reference = args.scaled_tuples(400.0) / 2; // |S| for the pareto rows
+    let blocks = [
+        reference / 240,
+        reference / 120,
+        reference / 60,
+        reference / 30,
+    ];
+    let mut strategies = vec![Strategy::RecPartS];
+    strategies.extend(blocks.into_iter().filter(|&b| b > 0).map(Strategy::IEJoin));
+    let (table, _) = run_rows(&rows, &strategies, &args);
+    print_table(
+        "Table 7 / Table 11 — RecPart-S vs distributed IEJoin (sizePerBlock sweep)",
+        &table,
+    );
+}

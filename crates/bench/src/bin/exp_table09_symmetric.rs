@@ -1,0 +1,41 @@
+//! Table 9 / Table 14: RecPart-S vs RecPart — the benefit of symmetric partitioning
+//! (choosing per split which input is duplicated), which shows up on the reverse-Pareto
+//! workloads where the dense regions of S and T are anti-correlated.
+//!
+//! ```text
+//! cargo run -p bench --release --bin exp_table09_symmetric [-- --scale 2e-4]
+//! ```
+
+use bench::harness::Strategy;
+use bench::{print_table, run_rows, ExperimentArgs, RowSpec};
+
+fn main() {
+    let args = ExperimentArgs::from_env();
+    let rows = vec![
+        RowSpec::new("pareto-1.0 eps=(2,2,2)", "pareto-1.0/d3/eps2"),
+        RowSpec::new("ebird-cloud eps=(0,0,0)", "ebird-cloud/eps0"),
+        RowSpec::new("ebird-cloud eps=(2,2,2)", "ebird-cloud/eps2"),
+        RowSpec::new("ebird-cloud eps=(4,4,4)", "ebird-cloud/eps4"),
+        RowSpec::new("rv-pareto-1.5 d=1 eps=2", "rv-pareto-1.5/d1/eps2"),
+        RowSpec::new("rv-pareto-1.5 d=1 eps=1000", "rv-pareto-1.5/d1/eps1000"),
+        RowSpec::new("rv-pareto-1.5 d=3 eps=1000", "rv-pareto-1.5/d3/eps1000"),
+        RowSpec::new("rv-pareto-1.5 d=3 eps=2000", "rv-pareto-1.5/d3/eps2000"),
+    ];
+    let strategies = [Strategy::RecPartS, Strategy::RecPart];
+    let (table, _) = run_rows(&rows, &strategies, &args);
+    print_table("Table 9 / Table 14 — RecPart-S vs RecPart (symmetric partitioning)", &table);
+    println!(
+        "Imbalance (max/mean worker load): the symmetric variant should stay near 1.0 on \
+         the reverse-Pareto rows while RecPart-S degrades."
+    );
+    for row in &table {
+        for o in &row.outcomes {
+            println!(
+                "{:<32} {:<10} imbalance {:>6.2}",
+                row.config,
+                o.label,
+                o.report.stats.imbalance()
+            );
+        }
+    }
+}

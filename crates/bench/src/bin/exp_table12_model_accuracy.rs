@@ -1,0 +1,88 @@
+//! Table 12 and Figure 9: accuracy of the running-time model.
+//!
+//! The linear model `β₀ + β₁·I + β₂·I_m + β₃·O_m` is fitted once against a calibration
+//! benchmark (the paper runs ~100 offline queries) and then used to predict the join
+//! time of every strategy on a set of experiment configurations. The binary prints the
+//! predicted vs. (simulated) actual times with the relative error per configuration, and
+//! the cumulative error distribution of Figure 9.
+//!
+//! ```text
+//! cargo run -p bench --release --bin exp_table12_model_accuracy [-- --scale 2e-4]
+//! ```
+
+use bench::harness::{calibrate_cost_model, run_strategies, HarnessConfig, Strategy};
+use bench::{ExperimentArgs, RowSpec};
+
+fn main() {
+    let args = ExperimentArgs::from_env();
+
+    // Offline calibration benchmark.
+    eprintln!("calibrating the running-time model …");
+    let cost_model = calibrate_cost_model(args.seed, 16);
+    println!(
+        "fitted model: t = {:.2} + {:.3e}·I + {:.3e}·Im + {:.3e}·Om   (β2/β3 = {:.2})",
+        cost_model.beta0,
+        cost_model.beta1,
+        cost_model.beta2,
+        cost_model.beta3,
+        cost_model.beta2 / cost_model.beta3.max(1e-12)
+    );
+
+    let specs = vec![
+        RowSpec::new("pareto-1.5 d=1 eps=0", "pareto-1.5/d1/eps0"),
+        RowSpec::new("pareto-1.5 d=1 eps=2e-5", "pareto-1.5/d1/eps2e-5"),
+        RowSpec::new("pareto-1.5 d=3 eps=(2,2,2)", "pareto-1.5/d3/eps2"),
+        RowSpec::new("pareto-1.5 d=3 eps=(4,4,4)", "pareto-1.5/d3/eps4"),
+        RowSpec::new("pareto-0.5 d=3 eps=(2,2,2)", "pareto-0.5/d3/eps2"),
+        RowSpec::new("pareto-2.0 d=3 eps=(2,2,2)", "pareto-2.0/d3/eps2"),
+        RowSpec::new("ebird-cloud eps=(1,1,1)", "ebird-cloud/eps1"),
+        RowSpec::new("ebird-cloud eps=(2,2,2)", "ebird-cloud/eps2"),
+    ];
+    let strategies = Strategy::paper_main();
+
+    println!();
+    println!("=== Table 12 — predicted vs simulated join time ===");
+    println!(
+        "{:<28} {:<12} {:>12} {:>12} {:>9}",
+        "config", "strategy", "predicted", "actual", "error"
+    );
+    let mut errors = Vec::new();
+    for spec in &specs {
+        eprintln!("running {} …", spec.label);
+        let workload = spec.instantiate(&args);
+        let mut cfg = HarnessConfig::new(args.workers_or(spec.workers));
+        cfg.cost_model = cost_model;
+        let outcomes = run_strategies(&strategies, &workload.s, &workload.t, &workload.band, &cfg);
+        for o in outcomes {
+            let predicted = o.predicted_join_seconds;
+            let actual = o.join_seconds;
+            let error = (predicted - actual) / actual;
+            errors.push(error.abs());
+            println!(
+                "{:<28} {:<12} {:>11.1}s {:>11.1}s {:>8.1}%",
+                spec.label,
+                o.label,
+                predicted,
+                actual,
+                100.0 * error
+            );
+        }
+    }
+
+    // Figure 9: cumulative distribution of the absolute relative error.
+    errors.sort_by(f64::total_cmp);
+    println!();
+    println!("=== Figure 9 — cumulative distribution of the model error ===");
+    for threshold in [0.05, 0.10, 0.20, 0.40, 0.60, 0.80] {
+        let below = errors.iter().filter(|&&e| e <= threshold).count();
+        println!(
+            "error ≤ {:>4.0}% : {:>5.1}% of the {} measurements",
+            100.0 * threshold,
+            100.0 * below as f64 / errors.len() as f64,
+            errors.len()
+        );
+    }
+    if let Some(max) = errors.last() {
+        println!("maximum relative error: {:.1}%", 100.0 * max);
+    }
+}

@@ -1,0 +1,51 @@
+//! Table 15: multidimensional joins — varying the dimensionality from 1 to 8 on
+//! pareto-1.5 with band width 5 in every dimension.
+//!
+//! Because the catalog's calibration targets the paper's per-row output ratios, this
+//! binary instead fixes the generated data (pareto-1.5) and sweeps the dimensionality
+//! directly, calibrating each band width to keep the output-to-input ratio in a
+//! comparable regime to the paper's Table 15 rows.
+//!
+//! ```text
+//! cargo run -p bench --release --bin exp_table15_dimensionality [-- --scale 2e-4]
+//! ```
+
+use bench::harness::{run_strategies, HarnessConfig, Strategy};
+use bench::report::{print_table, TableRow};
+use bench::ExperimentArgs;
+use datagen::catalog::calibrate_band;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = ExperimentArgs::from_env();
+    let workers = args.workers_or(30);
+    let total = args.scaled_tuples(400.0);
+    // Output sizes of the paper's Table 15 divided by its 400M input.
+    let paper_ratio: &[(usize, f64)] = &[
+        (1, 280.0),
+        (2, 0.78),
+        (4, 2.15e-3),
+        (8, 0.0),
+    ];
+
+    let mut rows = Vec::new();
+    for &(dims, target_ratio) in paper_ratio {
+        eprintln!("running d = {dims} …");
+        let mut rng = StdRng::seed_from_u64(args.seed ^ dims as u64);
+        let s = datagen::pareto_relation(total / 2, dims, 1.5, &mut rng);
+        let t = datagen::pareto_relation(total / 2, dims, 1.5, &mut rng);
+        let base = vec![5.0; dims];
+        let band = calibrate_band(&s, &t, &base, target_ratio, &mut rng);
+        let cfg = HarnessConfig::new(workers);
+        let outcomes = run_strategies(&Strategy::paper_main(), &s, &t, &band, &cfg);
+        rows.push(TableRow {
+            config: format!("d = {dims}"),
+            outcomes,
+        });
+    }
+    print_table(
+        "Table 15 — dimensionality sweep (pareto-1.5, eps = 5 per dimension)",
+        &rows,
+    );
+}

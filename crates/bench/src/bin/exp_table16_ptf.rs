@@ -1,0 +1,29 @@
+//! Table 16: the PTF sky-survey self-join with RecPart using the *theoretical*
+//! termination condition (no cost model needed), at 1 and 3 arc seconds.
+//!
+//! ```text
+//! cargo run -p bench --release --bin exp_table16_ptf [-- --scale 2e-4]
+//! ```
+
+use bench::harness::Strategy;
+use bench::{print_figure_points, print_table, run_rows, ExperimentArgs, RowSpec};
+
+fn main() {
+    let args = ExperimentArgs::from_env();
+    let rows = vec![
+        RowSpec::new("ptf_objects eps=1 arcsec", "ptf/eps1arcsec"),
+        RowSpec::new("ptf_objects eps=3 arcsec", "ptf/eps3arcsec"),
+    ];
+    let strategies = [
+        Strategy::RecPartTheoretical,
+        Strategy::Csio,
+        Strategy::OneBucket,
+        Strategy::GridEps,
+    ];
+    let (table, points) = run_rows(&rows, &strategies, &args);
+    print_table(
+        "Table 16 — PTF self-join, RecPart with the theoretical termination condition",
+        &table,
+    );
+    print_figure_points("Figure 10 points from Table 16", &points);
+}

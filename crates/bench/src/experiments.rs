@@ -1,0 +1,141 @@
+//! Glue between the experiment catalog (`datagen::catalog`) and the strategy harness:
+//! instantiate a catalog row at the requested scale, run a set of strategies on it, and
+//! collect both the paper-style table row and the Figure-4 scatter points.
+
+use crate::args::ExperimentArgs;
+use crate::harness::{run_strategies, HarnessConfig, Strategy, StrategyOutcome};
+use crate::report::{FigurePoint, TableRow};
+use datagen::catalog::{catalog_entry, Workload};
+
+/// A fully described experiment row: which catalog entry, at what size, on how many
+/// workers, labelled how.
+#[derive(Debug, Clone)]
+pub struct RowSpec {
+    /// Label printed in the table's `config` column.
+    pub label: String,
+    /// Catalog id (see [`datagen::catalog::table1_catalog`]).
+    pub catalog_id: String,
+    /// Total tuples `|S| + |T|`; `None` derives it from the catalog's paper size and the
+    /// `--scale` argument.
+    pub total_tuples: Option<usize>,
+    /// Worker count for this row.
+    pub workers: usize,
+}
+
+impl RowSpec {
+    /// Convenience constructor using the paper's 30-worker default.
+    pub fn new(label: impl Into<String>, catalog_id: impl Into<String>) -> RowSpec {
+        RowSpec {
+            label: label.into(),
+            catalog_id: catalog_id.into(),
+            total_tuples: None,
+            workers: 30,
+        }
+    }
+
+    /// Override the worker count.
+    pub fn with_workers(mut self, workers: usize) -> RowSpec {
+        self.workers = workers;
+        self
+    }
+
+    /// Override the total tuple count.
+    pub fn with_total(mut self, total: usize) -> RowSpec {
+        self.total_tuples = Some(total);
+        self
+    }
+
+    /// Instantiate the workload for this row under the given arguments.
+    pub fn instantiate(&self, args: &ExperimentArgs) -> Workload {
+        let entry = catalog_entry(&self.catalog_id);
+        let total = self
+            .total_tuples
+            .unwrap_or_else(|| args.scaled_tuples(entry.paper_input_millions));
+        entry.instantiate(total, args.seed)
+    }
+}
+
+/// Run one experiment row: instantiate, execute every strategy, collect the table row
+/// and the figure points.
+pub fn run_row(
+    spec: &RowSpec,
+    strategies: &[Strategy],
+    args: &ExperimentArgs,
+    figure_points: &mut Vec<FigurePoint>,
+) -> TableRow {
+    let workload = spec.instantiate(args);
+    let workers = args.workers_or(spec.workers);
+    let cfg = HarnessConfig::new(workers);
+    let outcomes = run_strategies(strategies, &workload.s, &workload.t, &workload.band, &cfg);
+    collect_figure_points(&spec.label, &outcomes, figure_points);
+    TableRow {
+        config: spec.label.clone(),
+        outcomes,
+    }
+}
+
+/// Run a list of rows with the same strategy set.
+pub fn run_rows(
+    specs: &[RowSpec],
+    strategies: &[Strategy],
+    args: &ExperimentArgs,
+) -> (Vec<TableRow>, Vec<FigurePoint>) {
+    let mut figure_points = Vec::new();
+    let rows = specs
+        .iter()
+        .map(|spec| {
+            eprintln!("running {} …", spec.label);
+            run_row(spec, strategies, args, &mut figure_points)
+        })
+        .collect();
+    (rows, figure_points)
+}
+
+/// Append one figure point per outcome.
+pub fn collect_figure_points(
+    config: &str,
+    outcomes: &[StrategyOutcome],
+    figure_points: &mut Vec<FigurePoint>,
+) {
+    for o in outcomes {
+        figure_points.push(FigurePoint::from_outcome(config, o));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_spec_instantiates_scaled_workload() {
+        let spec = RowSpec::new("pareto d3 eps0", "pareto-1.5/d3/eps0").with_workers(4);
+        let args = ExperimentArgs {
+            scale: 1e-5,
+            ..ExperimentArgs::default()
+        };
+        let w = spec.instantiate(&args);
+        // 400 M × 1e-5 = 4 000 tuples.
+        assert_eq!(w.s.len() + w.t.len(), 4_000);
+        assert_eq!(w.band.dims(), 3);
+    }
+
+    #[test]
+    fn run_row_produces_outcomes_and_points() {
+        let spec = RowSpec::new("tiny", "pareto-1.5/d1/eps0")
+            .with_workers(3)
+            .with_total(2_000);
+        let args = ExperimentArgs::default();
+        let mut points = Vec::new();
+        let row = run_row(
+            &spec,
+            &[Strategy::RecPartS, Strategy::OneBucket],
+            &args,
+            &mut points,
+        );
+        assert_eq!(row.outcomes.len(), 2);
+        assert_eq!(points.len(), 2);
+        for o in &row.outcomes {
+            assert_eq!(o.report.correct, Some(true));
+        }
+    }
+}

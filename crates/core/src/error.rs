@@ -1,0 +1,92 @@
+//! Error types for the `recpart` crate.
+
+use std::fmt;
+
+/// Errors that can occur while building or running a partitioning.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecPartError {
+    /// The two input relations (or the band condition) do not have the same number of
+    /// join dimensions.
+    DimensionMismatch {
+        /// Dimensions expected (e.g. of the band condition).
+        expected: usize,
+        /// Dimensions actually found.
+        found: usize,
+    },
+    /// A relation passed to the optimizer is empty.
+    EmptyRelation {
+        /// Which side was empty ("S" or "T").
+        side: &'static str,
+    },
+    /// An invalid configuration value was supplied.
+    InvalidConfig {
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// A band width was negative or NaN.
+    InvalidBandWidth {
+        /// The dimension with the offending band width.
+        dimension: usize,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for RecPartError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecPartError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            RecPartError::EmptyRelation { side } => {
+                write!(f, "input relation {side} is empty")
+            }
+            RecPartError::InvalidConfig { message } => {
+                write!(f, "invalid configuration: {message}")
+            }
+            RecPartError::InvalidBandWidth { dimension, value } => {
+                write!(
+                    f,
+                    "invalid band width {value} in dimension {dimension}: must be finite and >= 0"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecPartError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_key_information() {
+        let e = RecPartError::DimensionMismatch {
+            expected: 3,
+            found: 2,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains('3') && msg.contains('2'));
+
+        let e = RecPartError::EmptyRelation { side: "S" };
+        assert!(e.to_string().contains('S'));
+
+        let e = RecPartError::InvalidBandWidth {
+            dimension: 1,
+            value: -2.0,
+        };
+        assert!(e.to_string().contains("-2"));
+
+        let e = RecPartError::InvalidConfig {
+            message: "workers must be > 0".into(),
+        };
+        assert!(e.to_string().contains("workers"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_e: &E) {}
+        assert_err(&RecPartError::EmptyRelation { side: "T" });
+    }
+}

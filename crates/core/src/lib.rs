@@ -1,0 +1,99 @@
+//! # recpart — near-optimal distributed band-joins through recursive partitioning
+//!
+//! This crate implements the core contribution of the SIGMOD 2020 paper
+//! *"Near-Optimal Distributed Band-Joins through Recursive Partitioning"*
+//! (Li, Gatterbauer, Riedewald): the **RecPart** algorithm, which partitions the
+//! d-dimensional join-attribute space of a band-join `S ⋈_B T` so that the work can be
+//! spread over `w` distributed workers while keeping both
+//!
+//! * the **total input** (original tuples plus duplicates created at partition
+//!   boundaries), and
+//! * the **maximum worker load** `L_m = max_i (β₂·I_i + β₃·O_i)`
+//!
+//! close to their respective lower bounds.
+//!
+//! ## Crate layout
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`relation`] | flat, row-major [`Relation`] storage for join-key vectors |
+//! | [`band`] | [`BandCondition`] — per-dimension (possibly asymmetric) band widths |
+//! | [`geometry`] | [`Rect`] — axis-aligned hyper-rectangles of the attribute space |
+//! | [`load`] | [`LoadModel`] (β coefficients), per-worker loads, lower bounds |
+//! | [`metrics`] | [`PartitioningStats`] — I, Im, Om, Lm and overhead-vs-lower-bound measures |
+//! | [`partition`] | the [`Partitioner`] trait every partitioning strategy implements |
+//! | [`sample`] | input sampling and band-join output sampling |
+//! | [`split_tree`] | the recursive split tree grown by RecPart |
+//! | [`scoring`] | split scoring: load-variance reduction / duplication increase |
+//! | [`small`] | 1-Bucket style internal sub-partitioning of "small" leaves |
+//! | [`recpart`] | the optimizer driver (Algorithm 1 of the paper) |
+//! | [`config`] | [`RecPartConfig`], termination conditions |
+//!
+//! ## Quick example
+//!
+//! ```
+//! use recpart::prelude::*;
+//! use rand::{rngs::StdRng, SeedableRng, Rng};
+//!
+//! // Two small 1-D relations.
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let mut s = Relation::new(1);
+//! let mut t = Relation::new(1);
+//! for _ in 0..2000 {
+//!     s.push(&[rng.gen::<f64>() * 100.0]);
+//!     t.push(&[rng.gen::<f64>() * 100.0]);
+//! }
+//! let band = BandCondition::symmetric(&[0.5]);
+//!
+//! // Partition for 8 workers.
+//! let config = RecPartConfig::new(8);
+//! let result = RecPart::new(config).optimize(&s, &t, &band, &mut rng);
+//! let partitioner = result.partitioner;
+//! assert!(partitioner.num_partitions() >= 8);
+//!
+//! // Every tuple is assigned to at least one partition.
+//! let mut out = Vec::new();
+//! partitioner.assign_s(s.key(0), 0, &mut out);
+//! assert!(!out.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod band;
+pub mod config;
+pub mod error;
+pub mod geometry;
+pub mod load;
+pub mod metrics;
+pub mod partition;
+pub mod recpart;
+pub mod relation;
+pub mod sample;
+pub mod scoring;
+pub mod small;
+pub mod split_tree;
+
+pub use band::BandCondition;
+pub use config::{RecPartConfig, Termination};
+pub use error::RecPartError;
+pub use geometry::Rect;
+pub use load::LoadModel;
+pub use metrics::{PartitioningStats, WorkerLoad};
+pub use partition::{PartitionId, Partitioner};
+pub use recpart::{OptimizationReport, RecPart, RecPartResult, SplitTreePartitioner};
+pub use relation::Relation;
+pub use sample::{InputSample, OutputSample, SampleConfig};
+
+/// Convenience re-exports for downstream users.
+pub mod prelude {
+    pub use crate::band::BandCondition;
+    pub use crate::config::{RecPartConfig, Termination};
+    pub use crate::geometry::Rect;
+    pub use crate::load::LoadModel;
+    pub use crate::metrics::PartitioningStats;
+    pub use crate::partition::{PartitionId, Partitioner};
+    pub use crate::recpart::{OptimizationReport, RecPart, RecPartResult, SplitTreePartitioner};
+    pub use crate::relation::Relation;
+    pub use crate::sample::{InputSample, OutputSample, SampleConfig};
+}

@@ -1,0 +1,147 @@
+//! Worker-load model and lower bounds.
+//!
+//! Following Section 2 of the paper, the load of worker `w_i` is the weighted sum
+//! `L_i = β₂·I_i + β₃·O_i` of the input `I_i` and output `O_i` assigned to it, and the
+//! *max worker load* is `L_m = max_i L_i`. The paper's end-to-end running-time model is
+//! the piecewise-linear `M(I, I_m, O_m) = β₀ + β₁·I + β₂·I_m + β₃·O_m` (the full model
+//! lives in the `distsim` crate; this module only carries the load weights that the
+//! optimizer needs).
+
+use serde::{Deserialize, Serialize};
+
+/// Weights describing how input and output tuples contribute to a worker's load.
+///
+/// In the paper's Amazon EC2 profiling, `β₂/β₃ ≈ 4`, i.e. each input tuple costs about
+/// four times as much as an output tuple; those are the defaults here.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoadModel {
+    /// Weight of one input tuple on a worker (`β₂`).
+    pub beta_input: f64,
+    /// Weight of one output tuple on a worker (`β₃`).
+    pub beta_output: f64,
+}
+
+impl Default for LoadModel {
+    fn default() -> Self {
+        LoadModel {
+            beta_input: 4.0,
+            beta_output: 1.0,
+        }
+    }
+}
+
+impl LoadModel {
+    /// Create a load model from explicit weights.
+    ///
+    /// # Panics
+    /// Panics if either weight is negative or not finite.
+    pub fn new(beta_input: f64, beta_output: f64) -> Self {
+        assert!(
+            beta_input.is_finite() && beta_input >= 0.0,
+            "beta_input must be finite and non-negative"
+        );
+        assert!(
+            beta_output.is_finite() && beta_output >= 0.0,
+            "beta_output must be finite and non-negative"
+        );
+        LoadModel {
+            beta_input,
+            beta_output,
+        }
+    }
+
+    /// The load `β₂·input + β₃·output` of a worker (or partition).
+    #[inline]
+    pub fn load(&self, input: f64, output: f64) -> f64 {
+        self.beta_input * input + self.beta_output * output
+    }
+
+    /// Lower bound `L₀ = (β₂(|S|+|T|) + β₃|S ⋈ T|) / w` on the max worker load
+    /// (Lemma 1 of the paper).
+    pub fn max_load_lower_bound(&self, s_len: usize, t_len: usize, output: usize, workers: usize) -> f64 {
+        assert!(workers > 0, "need at least one worker");
+        self.load((s_len + t_len) as f64, output as f64) / workers as f64
+    }
+
+    /// The ratio `β₂/β₃`, used when reporting `L_m = (β₂/β₃)·I_m + O_m` in the paper's
+    /// "4·Im + Om" form. Returns `f64::INFINITY` if `β₃ == 0`.
+    pub fn input_output_ratio(&self) -> f64 {
+        if self.beta_output == 0.0 {
+            f64::INFINITY
+        } else {
+            self.beta_input / self.beta_output
+        }
+    }
+}
+
+/// Lower bound on the total input `I` of any correct partitioning: every input tuple must
+/// be examined by at least one worker, so `I ≥ |S| + |T|` (Lemma 1).
+#[inline]
+pub fn total_input_lower_bound(s_len: usize, t_len: usize) -> usize {
+    s_len + t_len
+}
+
+/// Relative overhead of a measured value over its lower bound: `(value − bound) / bound`.
+///
+/// Returns 0 when both are 0, and `f64::INFINITY` when the bound is 0 but the value is
+/// positive.
+#[inline]
+pub fn relative_overhead(value: f64, lower_bound: f64) -> f64 {
+    if lower_bound == 0.0 {
+        if value <= 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (value - lower_bound) / lower_bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_ratio() {
+        let m = LoadModel::default();
+        assert_eq!(m.input_output_ratio(), 4.0);
+        assert_eq!(m.load(10.0, 8.0), 48.0);
+    }
+
+    #[test]
+    fn lower_bounds() {
+        let m = LoadModel::new(4.0, 1.0);
+        // 30 workers, |S|+|T| = 400, output 1120 → L0 = (4·400 + 1120)/30
+        let l0 = m.max_load_lower_bound(200, 200, 1120, 30);
+        assert!((l0 - (4.0 * 400.0 + 1120.0) / 30.0).abs() < 1e-12);
+        assert_eq!(total_input_lower_bound(200, 200), 400);
+    }
+
+    #[test]
+    fn relative_overhead_basic() {
+        assert!((relative_overhead(11.0, 10.0) - 0.1).abs() < 1e-12);
+        assert_eq!(relative_overhead(0.0, 0.0), 0.0);
+        assert_eq!(relative_overhead(5.0, 0.0), f64::INFINITY);
+        assert!(relative_overhead(9.0, 10.0) < 0.0);
+    }
+
+    #[test]
+    fn zero_output_weight_ratio_is_infinite() {
+        let m = LoadModel::new(1.0, 0.0);
+        assert_eq!(m.input_output_ratio(), f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weight_panics() {
+        let _ = LoadModel::new(-1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        let m = LoadModel::default();
+        let _ = m.max_load_lower_bound(1, 1, 0, 0);
+    }
+}

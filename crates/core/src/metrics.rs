@@ -1,0 +1,275 @@
+//! Success measures for a partitioning: total input `I`, max worker load `L_m`, and
+//! their overheads over the Lemma-1 lower bounds.
+//!
+//! The paper evaluates every partitioning by how close it comes to
+//!
+//! * `I_lb = |S| + |T|` — duplication overhead `(I − I_lb) / I_lb`, and
+//! * `L₀ = (β₂(|S|+|T|) + β₃·|S ⋈ T|) / w` — load overhead `(L_m − L₀) / L₀`
+//!
+//! (Figure 4 / Figure 10 plot exactly these two axes).
+
+use crate::load::{relative_overhead, total_input_lower_bound, LoadModel};
+use serde::{Deserialize, Serialize};
+
+/// Input and output volume assigned to one worker.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkerLoad {
+    /// Number of input tuples (including duplicates) received by the worker.
+    pub input: u64,
+    /// Number of output tuples produced by the worker.
+    pub output: u64,
+}
+
+impl WorkerLoad {
+    /// The weighted load of the worker under the given model.
+    pub fn load(&self, model: &LoadModel) -> f64 {
+        model.load(self.input as f64, self.output as f64)
+    }
+}
+
+/// Quality statistics of a concrete partitioning, measured after (simulated) execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartitioningStats {
+    /// Name of the partitioning strategy that produced this result.
+    pub strategy: String,
+    /// Number of workers.
+    pub workers: usize,
+    /// `|S|`.
+    pub s_len: u64,
+    /// `|T|`.
+    pub t_len: u64,
+    /// Exact size of the join result `|S ⋈ T|`.
+    pub output_len: u64,
+    /// Total input including duplicates (the paper's `I`).
+    pub total_input: u64,
+    /// Input tuples on the most loaded worker (the paper's `I_m`).
+    pub max_worker_input: u64,
+    /// Output tuples on the most loaded worker (the paper's `O_m`).
+    pub max_worker_output: u64,
+    /// Max worker load `L_m = max_i (β₂ I_i + β₃ O_i)`.
+    pub max_worker_load: f64,
+    /// The load model used.
+    pub load_model: LoadModel,
+    /// Per-worker loads (input/output), indexed by worker.
+    pub per_worker: Vec<WorkerLoad>,
+}
+
+impl PartitioningStats {
+    /// Build the statistics from per-worker loads.
+    ///
+    /// The "most loaded worker" (whose `I_m`/`O_m` are reported) is the worker with the
+    /// maximum weighted load, matching how the paper reports `I_m` and `O_m` jointly.
+    pub fn from_worker_loads(
+        strategy: impl Into<String>,
+        s_len: u64,
+        t_len: u64,
+        output_len: u64,
+        per_worker: Vec<WorkerLoad>,
+        load_model: LoadModel,
+    ) -> Self {
+        assert!(!per_worker.is_empty(), "need at least one worker");
+        let total_input: u64 = per_worker.iter().map(|w| w.input).sum();
+        let (max_idx, max_load) = per_worker
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (i, w.load(&load_model)))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("loads are finite"))
+            .expect("non-empty worker list");
+        PartitioningStats {
+            strategy: strategy.into(),
+            workers: per_worker.len(),
+            s_len,
+            t_len,
+            output_len,
+            total_input,
+            max_worker_input: per_worker[max_idx].input,
+            max_worker_output: per_worker[max_idx].output,
+            max_worker_load: max_load,
+            load_model,
+            per_worker,
+        }
+    }
+
+    /// Lower bound on total input: `|S| + |T|`.
+    pub fn input_lower_bound(&self) -> u64 {
+        total_input_lower_bound(self.s_len as usize, self.t_len as usize) as u64
+    }
+
+    /// Lower bound `L₀` on the max worker load.
+    pub fn load_lower_bound(&self) -> f64 {
+        self.load_model.max_load_lower_bound(
+            self.s_len as usize,
+            self.t_len as usize,
+            self.output_len as usize,
+            self.workers,
+        )
+    }
+
+    /// Relative input-duplication overhead `(I − (|S|+|T|)) / (|S|+|T|)`
+    /// (the x-axis of Figure 4).
+    pub fn duplication_overhead(&self) -> f64 {
+        relative_overhead(self.total_input as f64, self.input_lower_bound() as f64)
+    }
+
+    /// Relative max-load overhead `(L_m − L₀) / L₀` (the y-axis of Figure 4).
+    pub fn load_overhead(&self) -> f64 {
+        relative_overhead(self.max_worker_load, self.load_lower_bound())
+    }
+
+    /// The paper's near-optimality criterion: the larger of the two overheads.
+    pub fn max_overhead(&self) -> f64 {
+        self.duplication_overhead().max(self.load_overhead())
+    }
+
+    /// Load imbalance: max worker load divided by mean worker load (1.0 = perfect).
+    /// Reported in Table 14 of the paper.
+    pub fn imbalance(&self) -> f64 {
+        let mean: f64 = self
+            .per_worker
+            .iter()
+            .map(|w| w.load(&self.load_model))
+            .sum::<f64>()
+            / self.workers as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            self.max_worker_load / mean
+        }
+    }
+
+    /// Number of duplicate input assignments created by the partitioning.
+    pub fn duplicates(&self) -> u64 {
+        self.total_input.saturating_sub(self.input_lower_bound())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats_with(per_worker: Vec<WorkerLoad>, s: u64, t: u64, o: u64) -> PartitioningStats {
+        PartitioningStats::from_worker_loads("test", s, t, o, per_worker, LoadModel::new(4.0, 1.0))
+    }
+
+    #[test]
+    fn totals_and_max_worker() {
+        let stats = stats_with(
+            vec![
+                WorkerLoad {
+                    input: 100,
+                    output: 10,
+                },
+                WorkerLoad {
+                    input: 80,
+                    output: 200,
+                },
+            ],
+            100,
+            80,
+            210,
+        );
+        assert_eq!(stats.total_input, 180);
+        // Worker 1 has load 4·80 + 200 = 520 > worker 0's 4·100 + 10 = 410.
+        assert_eq!(stats.max_worker_input, 80);
+        assert_eq!(stats.max_worker_output, 200);
+        assert!((stats.max_worker_load - 520.0).abs() < 1e-12);
+        assert_eq!(stats.workers, 2);
+    }
+
+    #[test]
+    fn perfect_partitioning_has_zero_overheads() {
+        // Two workers, no duplicates, perfectly balanced.
+        let stats = stats_with(
+            vec![
+                WorkerLoad {
+                    input: 100,
+                    output: 50,
+                },
+                WorkerLoad {
+                    input: 100,
+                    output: 50,
+                },
+            ],
+            120,
+            80,
+            100,
+        );
+        assert_eq!(stats.duplicates(), 0);
+        assert!(stats.duplication_overhead().abs() < 1e-12);
+        assert!(stats.load_overhead().abs() < 1e-12);
+        assert!((stats.imbalance() - 1.0).abs() < 1e-12);
+        assert!(stats.max_overhead().abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplication_overhead_counts_extra_copies() {
+        let stats = stats_with(
+            vec![
+                WorkerLoad {
+                    input: 150,
+                    output: 0,
+                },
+                WorkerLoad {
+                    input: 150,
+                    output: 0,
+                },
+            ],
+            100,
+            100,
+            0,
+        );
+        assert_eq!(stats.duplicates(), 100);
+        assert!((stats.duplication_overhead() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn load_overhead_example_from_paper() {
+        // "for Lm = 11 and L0 = 10 we obtain 0.1"
+        let model = LoadModel::new(1.0, 0.0);
+        let stats = PartitioningStats::from_worker_loads(
+            "x",
+            10,
+            10,
+            0,
+            vec![
+                WorkerLoad {
+                    input: 11,
+                    output: 0,
+                },
+                WorkerLoad {
+                    input: 9,
+                    output: 0,
+                },
+            ],
+            model,
+        );
+        assert!((stats.load_lower_bound() - 10.0).abs() < 1e-12);
+        assert!((stats.load_overhead() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn imbalance_of_skewed_assignment() {
+        let stats = stats_with(
+            vec![
+                WorkerLoad {
+                    input: 300,
+                    output: 0,
+                },
+                WorkerLoad {
+                    input: 100,
+                    output: 0,
+                },
+            ],
+            400,
+            0,
+            0,
+        );
+        assert!((stats.imbalance() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn empty_worker_list_panics() {
+        let _ = stats_with(vec![], 1, 1, 0);
+    }
+}

@@ -1,0 +1,154 @@
+//! The [`Partitioner`] trait — the common interface of every distributed band-join
+//! partitioning strategy (RecPart, 1-Bucket, Grid-ε, CSIO, …).
+//!
+//! A partitioner realizes Definition 1 of the paper: an assignment
+//! `h : S ∪ T → 2^{1..P} \ ∅` of every input tuple to one or more *partitions* such that
+//! every join result can be recovered by exactly one local join. Partitions are later
+//! mapped onto the `w` workers (see `distsim::executor`); separating the two stages
+//! mirrors how MapReduce/Spark map logical reduce partitions onto physical executors.
+
+use crate::relation::Relation;
+
+/// Identifier of a logical partition produced by a [`Partitioner`].
+pub type PartitionId = u32;
+
+/// A distributed band-join partitioning strategy.
+///
+/// Implementations must guarantee the *exactly-once* property: for every pair `(s, t)`
+/// satisfying the band condition, exactly one partition receives both `s` and `t`.
+/// This is what allows each worker to run an unfiltered local band-join on the input it
+/// receives without producing duplicate results or missing results.
+pub trait Partitioner: Send + Sync {
+    /// Total number of logical partitions created by this partitioner.
+    fn num_partitions(&self) -> usize;
+
+    /// Append to `out` the partitions that must receive the S-tuple with key `key` and
+    /// tuple id `tuple_id`.
+    ///
+    /// `tuple_id` is used by randomized partitioners (e.g. 1-Bucket) to derive a stable
+    /// pseudo-random assignment; deterministic partitioners may ignore it.
+    /// Implementations must clear nothing: callers pass a cleared buffer and reuse it
+    /// between calls to avoid per-tuple allocations.
+    fn assign_s(&self, key: &[f64], tuple_id: u64, out: &mut Vec<PartitionId>);
+
+    /// Append to `out` the partitions that must receive the T-tuple with key `key`.
+    fn assign_t(&self, key: &[f64], tuple_id: u64, out: &mut Vec<PartitionId>);
+
+    /// A short human-readable name of the strategy (e.g. `"RecPart"`, `"1-Bucket"`).
+    fn name(&self) -> &str;
+
+    /// Optional estimate of the load share of each partition, used to map partitions
+    /// onto workers before the actual per-partition loads are known. Returns `None` if
+    /// the strategy has no estimate (the executor then falls back to measured loads).
+    fn estimated_partition_loads(&self) -> Option<Vec<f64>> {
+        None
+    }
+
+    /// Count the total number of partition assignments ("input including duplicates",
+    /// the quantity `I` of the paper) this partitioner produces for the given inputs.
+    ///
+    /// The default implementation simply runs the assignment for every tuple; strategies
+    /// with a cheaper closed form may override it.
+    fn count_total_input(&self, s: &Relation, t: &Relation) -> u64 {
+        let mut buf = Vec::new();
+        let mut total = 0u64;
+        for (i, key) in s.iter().enumerate() {
+            buf.clear();
+            self.assign_s(key, i as u64, &mut buf);
+            total += buf.len() as u64;
+        }
+        for (i, key) in t.iter().enumerate() {
+            buf.clear();
+            self.assign_t(key, i as u64, &mut buf);
+            total += buf.len() as u64;
+        }
+        total
+    }
+}
+
+/// Blanket implementation so boxed partitioners can be used wherever a partitioner is
+/// expected.
+impl<P: Partitioner + ?Sized> Partitioner for Box<P> {
+    fn num_partitions(&self) -> usize {
+        (**self).num_partitions()
+    }
+    fn assign_s(&self, key: &[f64], tuple_id: u64, out: &mut Vec<PartitionId>) {
+        (**self).assign_s(key, tuple_id, out)
+    }
+    fn assign_t(&self, key: &[f64], tuple_id: u64, out: &mut Vec<PartitionId>) {
+        (**self).assign_t(key, tuple_id, out)
+    }
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn estimated_partition_loads(&self) -> Option<Vec<f64>> {
+        (**self).estimated_partition_loads()
+    }
+    fn count_total_input(&self, s: &Relation, t: &Relation) -> u64 {
+        (**self).count_total_input(s, t)
+    }
+}
+
+/// A trivial partitioner that sends every tuple to a single partition.
+///
+/// Useful as a correctness baseline (`w = 1` runs) and in tests.
+#[derive(Debug, Clone, Default)]
+pub struct SinglePartition;
+
+impl Partitioner for SinglePartition {
+    fn num_partitions(&self) -> usize {
+        1
+    }
+    fn assign_s(&self, _key: &[f64], _tuple_id: u64, out: &mut Vec<PartitionId>) {
+        out.push(0);
+    }
+    fn assign_t(&self, _key: &[f64], _tuple_id: u64, out: &mut Vec<PartitionId>) {
+        out.push(0);
+    }
+    fn name(&self) -> &str {
+        "SinglePartition"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_partition_assigns_everything_to_zero() {
+        let p = SinglePartition;
+        let mut out = Vec::new();
+        p.assign_s(&[1.0, 2.0], 0, &mut out);
+        assert_eq!(out, vec![0]);
+        out.clear();
+        p.assign_t(&[3.0], 17, &mut out);
+        assert_eq!(out, vec![0]);
+        assert_eq!(p.num_partitions(), 1);
+        assert_eq!(p.name(), "SinglePartition");
+        assert!(p.estimated_partition_loads().is_none());
+    }
+
+    #[test]
+    fn count_total_input_default_impl() {
+        let p = SinglePartition;
+        let mut s = Relation::new(1);
+        let mut t = Relation::new(1);
+        for i in 0..10 {
+            s.push(&[i as f64]);
+        }
+        for i in 0..7 {
+            t.push(&[i as f64]);
+        }
+        assert_eq!(p.count_total_input(&s, &t), 17);
+    }
+
+    #[test]
+    fn boxed_partitioner_delegates() {
+        let p: Box<dyn Partitioner> = Box::new(SinglePartition);
+        assert_eq!(p.num_partitions(), 1);
+        assert_eq!(p.name(), "SinglePartition");
+        let mut out = Vec::new();
+        p.assign_s(&[0.0], 0, &mut out);
+        assert_eq!(out, vec![0]);
+    }
+}

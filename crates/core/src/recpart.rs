@@ -1,0 +1,1279 @@
+//! The RecPart optimizer (Algorithm 1 of the paper).
+//!
+//! Starting from a single leaf covering the whole join-attribute space, RecPart
+//! repeatedly picks the leaf whose best candidate split has the highest score (ratio of
+//! load-variance reduction to input-duplication increase, see [`crate::scoring`]) and
+//! applies that split:
+//!
+//! * a **regular** leaf is split by the best hyperplane found over all allowed
+//!   dimensions (decision-tree style, Algorithm 2);
+//! * a **small** leaf (extent below twice the band width in every dimension) instead
+//!   increments the row or column count of its internal 1-Bucket grid.
+//!
+//! All estimates are derived from a fixed-size input sample and output sample, so the
+//! optimization cost is `O(w log w + w·d)` for `w` workers and `d` dimensions.
+//! The optimizer tracks the best partitioning seen so far and stops according to the
+//! configured [`Termination`] rule.
+
+use crate::band::BandCondition;
+use crate::config::{RecPartConfig, Termination};
+use crate::error::RecPartError;
+use crate::geometry::Rect;
+use crate::partition::{PartitionId, Partitioner};
+use crate::relation::Relation;
+use crate::sample::{InputSample, OutputSample};
+use crate::scoring::{partition_load, variance_term, SplitScore};
+use crate::small::BucketGrid;
+use crate::split_tree::{Node, NodeId, SplitKind, SplitTree};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+/// The action chosen for a leaf by `best_split`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum SplitAction {
+    /// Split the leaf by the hyperplane `A_dim < value`.
+    Plane {
+        dim: usize,
+        value: f64,
+        kind: SplitKind,
+    },
+    /// Increment the leaf's internal 1-Bucket grid.
+    Grid { add_row: bool },
+    /// Nothing useful to do with this leaf.
+    None,
+}
+
+/// Best split of a leaf together with its score and estimated duplication increase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct BestSplit {
+    score: SplitScore,
+    action: SplitAction,
+    dup_increase: f64,
+}
+
+impl BestSplit {
+    fn none() -> Self {
+        BestSplit {
+            score: SplitScore::NotSplittable,
+            action: SplitAction::None,
+            dup_increase: 0.0,
+        }
+    }
+}
+
+/// Per-leaf working state of the optimizer: the sample points that fall into the leaf
+/// and the cached best split.
+#[derive(Debug, Clone)]
+struct LeafWork {
+    node: NodeId,
+    s_pts: Vec<u32>,
+    t_pts: Vec<u32>,
+    /// Indices of output-sample pairs routed to this leaf.
+    o_pts: Vec<u32>,
+    grid: BucketGrid,
+    is_small: bool,
+    best: BestSplit,
+    version: u32,
+}
+
+/// Entry of the leaf priority queue, ordered by split score.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct QueueEntry {
+    score: SplitScore,
+    leaf: NodeId,
+    version: u32,
+}
+
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.score
+            .cmp(&other.score)
+            .then_with(|| other.leaf.cmp(&self.leaf))
+    }
+}
+
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Estimated input/output of one partition cell, used for the estimated worker mapping.
+#[derive(Debug, Clone, Copy, Default)]
+struct CellEst {
+    input: f64,
+    output: f64,
+}
+
+/// Result of evaluating the current partitioning against the lower bounds.
+#[derive(Debug, Clone, Copy)]
+struct Evaluation {
+    total_input: f64,
+    dup_overhead: f64,
+    load_overhead: f64,
+    predicted_time: f64,
+}
+
+/// A snapshot of the best partitioning found so far.
+#[derive(Debug, Clone)]
+struct Winner {
+    tree: SplitTree,
+    iteration: usize,
+    eval: Evaluation,
+    criterion: f64,
+}
+
+/// Summary of an optimization run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OptimizationReport {
+    /// `"RecPart"` or `"RecPart-S"`.
+    pub strategy: String,
+    /// Number of repeat-loop iterations executed.
+    pub iterations: usize,
+    /// Iteration at which the returned (winning) partitioning was found.
+    pub winning_iteration: usize,
+    /// Number of leaves of the winning split tree.
+    pub leaves: usize,
+    /// Number of partitions (leaf 1-Bucket cells) of the winning tree.
+    pub partitions: usize,
+    /// Estimated total input (including duplicates) of the winning partitioning.
+    pub estimated_total_input: f64,
+    /// Estimated duplication overhead `(I − (|S|+|T|)) / (|S|+|T|)`.
+    pub estimated_dup_overhead: f64,
+    /// Estimated max-load overhead `(L_m − L₀) / L₀`.
+    pub estimated_load_overhead: f64,
+    /// Estimated output size `|S ⋈ T|` from the output sampler.
+    pub estimated_output: f64,
+    /// Predicted join time of the winning partitioning under the cost model.
+    pub predicted_time: f64,
+    /// Wall-clock optimization time in seconds (sampling + tree growth).
+    pub optimization_seconds: f64,
+    /// Human-readable reason the loop stopped.
+    pub termination_reason: String,
+}
+
+/// The partitioner produced by a RecPart optimization run.
+///
+/// Routes tuples through the split tree (Algorithm 3): S-tuples follow T-split nodes
+/// deterministically and are duplicated at S-split nodes, T-tuples vice versa; small
+/// leaves route into their internal 1-Bucket grid.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SplitTreePartitioner {
+    tree: SplitTree,
+    band: BandCondition,
+    seed: u64,
+    name: String,
+    estimated_loads: Vec<f64>,
+}
+
+impl SplitTreePartitioner {
+    /// The underlying split tree.
+    pub fn tree(&self) -> &SplitTree {
+        &self.tree
+    }
+
+    /// The band condition the partitioner was built for.
+    pub fn band(&self) -> &BandCondition {
+        &self.band
+    }
+
+    /// Build a partitioner directly from a split tree (primarily for tests and tools).
+    pub fn from_tree(
+        mut tree: SplitTree,
+        band: BandCondition,
+        seed: u64,
+        name: impl Into<String>,
+    ) -> Self {
+        tree.assign_partition_ids();
+        let partitions = tree.num_partitions();
+        SplitTreePartitioner {
+            tree,
+            band,
+            seed,
+            name: name.into(),
+            estimated_loads: vec![1.0; partitions],
+        }
+    }
+}
+
+impl Partitioner for SplitTreePartitioner {
+    fn num_partitions(&self) -> usize {
+        self.tree.num_partitions()
+    }
+
+    fn assign_s(&self, key: &[f64], tuple_id: u64, out: &mut Vec<PartitionId>) {
+        self.tree.route_s(key, tuple_id, &self.band, self.seed, out);
+    }
+
+    fn assign_t(&self, key: &[f64], tuple_id: u64, out: &mut Vec<PartitionId>) {
+        self.tree.route_t(key, tuple_id, &self.band, self.seed, out);
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn estimated_partition_loads(&self) -> Option<Vec<f64>> {
+        Some(self.estimated_loads.clone())
+    }
+}
+
+/// Result of [`RecPart::optimize`]: the partitioner plus the optimization report.
+#[derive(Debug, Clone)]
+pub struct RecPartResult {
+    /// The winning partitioner.
+    pub partitioner: SplitTreePartitioner,
+    /// Statistics about the optimization run.
+    pub report: OptimizationReport,
+}
+
+/// The RecPart optimizer.
+#[derive(Debug, Clone)]
+pub struct RecPart {
+    config: RecPartConfig,
+}
+
+impl RecPart {
+    /// Create an optimizer with the given configuration.
+    pub fn new(config: RecPartConfig) -> Self {
+        RecPart { config }
+    }
+
+    /// The configuration this optimizer runs with.
+    pub fn config(&self) -> &RecPartConfig {
+        &self.config
+    }
+
+    /// Validate inputs, draw samples, and run the optimization (panicking convenience
+    /// wrapper around [`RecPart::try_optimize`]).
+    pub fn optimize<R: Rng + ?Sized>(
+        &self,
+        s: &Relation,
+        t: &Relation,
+        band: &BandCondition,
+        rng: &mut R,
+    ) -> RecPartResult {
+        self.try_optimize(s, t, band, rng).expect("RecPart optimization failed")
+    }
+
+    /// Validate inputs, draw samples, and run the optimization.
+    pub fn try_optimize<R: Rng + ?Sized>(
+        &self,
+        s: &Relation,
+        t: &Relation,
+        band: &BandCondition,
+        rng: &mut R,
+    ) -> Result<RecPartResult, RecPartError> {
+        if s.is_empty() {
+            return Err(RecPartError::EmptyRelation { side: "S" });
+        }
+        if t.is_empty() {
+            return Err(RecPartError::EmptyRelation { side: "T" });
+        }
+        if s.dims() != t.dims() {
+            return Err(RecPartError::DimensionMismatch {
+                expected: s.dims(),
+                found: t.dims(),
+            });
+        }
+        band.check_dims(s.dims())?;
+
+        let start = Instant::now();
+        let total = self.config.sample.input_sample_size.max(2);
+        let s_share = ((total as f64 * s.len() as f64 / (s.len() + t.len()) as f64).round()
+            as usize)
+            .clamp(1, total - 1);
+        let s_sample = InputSample::draw(s, s_share, rng);
+        let t_sample = InputSample::draw(t, total - s_share, rng);
+        let o_sample = OutputSample::draw(s, t, band, &self.config.sample, rng);
+
+        Ok(self.optimize_with_samples(
+            s.len(),
+            t.len(),
+            band,
+            s_sample,
+            t_sample,
+            o_sample,
+            start,
+        ))
+    }
+
+    /// Run the optimization on pre-drawn samples. Exposed so that optimization-time
+    /// benchmarks can exclude the sampling cost and so callers can reuse samples.
+    #[allow(clippy::too_many_arguments)]
+    pub fn optimize_with_samples(
+        &self,
+        s_len: usize,
+        t_len: usize,
+        band: &BandCondition,
+        s_sample: InputSample,
+        t_sample: InputSample,
+        o_sample: OutputSample,
+        start: Instant,
+    ) -> RecPartResult {
+        let cfg = &self.config;
+        let dims = band.dims();
+        let state = OptimizerState {
+            cfg,
+            band,
+            dims,
+            s_len,
+            t_len,
+            ws: s_sample.weight(),
+            wt: t_sample.weight(),
+            wo: o_sample.weight(),
+            est_output: o_sample.estimated_output(),
+            s_sample,
+            t_sample,
+            o_sample,
+        };
+        state.run(start)
+    }
+}
+
+/// Internal optimizer state shared by the helper methods.
+struct OptimizerState<'a> {
+    cfg: &'a RecPartConfig,
+    band: &'a BandCondition,
+    dims: usize,
+    s_len: usize,
+    t_len: usize,
+    ws: f64,
+    wt: f64,
+    wo: f64,
+    est_output: f64,
+    s_sample: InputSample,
+    t_sample: InputSample,
+    o_sample: OutputSample,
+}
+
+impl<'a> OptimizerState<'a> {
+    fn run(&self, start: Instant) -> RecPartResult {
+        let cfg = self.cfg;
+        let mut tree = SplitTree::new(self.dims);
+
+        // Domain bounding box over all sample points (used for "small" checks).
+        let domain = self.domain_box();
+
+        // Leaf working state, indexed by node id.
+        let mut works: Vec<Option<LeafWork>> = Vec::new();
+        let root_work = LeafWork {
+            node: tree.root(),
+            s_pts: (0..self.s_sample.len() as u32).collect(),
+            t_pts: (0..self.t_sample.len() as u32).collect(),
+            o_pts: (0..self.o_sample.len() as u32).collect(),
+            grid: BucketGrid::default(),
+            is_small: self.is_small(&tree, tree.root(), &domain),
+            best: BestSplit::none(),
+            version: 0,
+        };
+        Self::store_work(&mut works, root_work);
+        self.refresh_best(&mut works, &tree, tree.root(), &domain);
+
+        let mut heap: BinaryHeap<QueueEntry> = BinaryHeap::new();
+        Self::push_entry(&mut heap, &works, tree.root());
+
+        let mut winner: Option<Winner> = None;
+        let mut best_load_overhead = f64::INFINITY;
+        // Predicted join times recorded after iterations that *paid* input duplication.
+        // The applied termination rule (Section 4.2) watches a window of `w` such
+        // iterations: duplication-free splits are always worth applying (they can only
+        // improve load balance at zero cost), so they keep the loop alive and only the
+        // paid iterations can convict the optimizer of wasting duplication.
+        let mut paid_time_history: Vec<f64> = Vec::new();
+        let mut iterations = 0usize;
+        let mut termination_reason = String::from("no more useful splits");
+
+        // Evaluate the initial (single-partition) state so the winner is always defined.
+        let eval = self.evaluate(&tree, &works);
+        best_load_overhead = best_load_overhead.min(eval.load_overhead);
+        paid_time_history.push(eval.predicted_time);
+        Self::consider_winner(&mut winner, &tree, 0, eval, cfg);
+
+        while iterations < cfg.max_iterations {
+            // Pop until a valid entry (leaf still exists, version matches, splittable).
+            let entry = loop {
+                match heap.pop() {
+                    None => break None,
+                    Some(e) => {
+                        let valid = works
+                            .get(e.leaf as usize)
+                            .and_then(|w| w.as_ref())
+                            .map(|w| w.version == e.version && w.best.score.is_splittable())
+                            .unwrap_or(false);
+                        if valid {
+                            break Some(e);
+                        }
+                    }
+                }
+            };
+            let Some(entry) = entry else {
+                termination_reason = "no leaf with a useful split remains".into();
+                break;
+            };
+
+            iterations += 1;
+            let leaf_id = entry.leaf;
+            let best = works[leaf_id as usize].as_ref().expect("validated above").best;
+            let paid_duplication = best.dup_increase > 0.0;
+
+            match best.action {
+                SplitAction::Plane { dim, value, kind } => {
+                    self.apply_plane_split(&mut tree, &mut works, leaf_id, dim, value, kind, &domain);
+                    let (l, r) = match tree.node(leaf_id) {
+                        Node::Inner(inner) => (inner.left, inner.right),
+                        Node::Leaf(_) => unreachable!("leaf was just split"),
+                    };
+                    Self::push_entry(&mut heap, &works, l);
+                    Self::push_entry(&mut heap, &works, r);
+                }
+                SplitAction::Grid { add_row } => {
+                    let work = works[leaf_id as usize].as_mut().expect("validated above");
+                    if add_row {
+                        work.grid.rows += 1;
+                    } else {
+                        work.grid.cols += 1;
+                    }
+                    work.version += 1;
+                    tree.set_leaf_grid(leaf_id, work.grid);
+                    self.refresh_best(&mut works, &tree, leaf_id, &domain);
+                    Self::push_entry(&mut heap, &works, leaf_id);
+                }
+                SplitAction::None => {
+                    // Defensive: scores of `None` actions are NotSplittable and filtered.
+                    continue;
+                }
+            }
+
+            let eval = self.evaluate(&tree, &works);
+            best_load_overhead = best_load_overhead.min(eval.load_overhead);
+            if paid_duplication {
+                paid_time_history.push(eval.predicted_time);
+            }
+            Self::consider_winner(&mut winner, &tree, iterations, eval, cfg);
+
+            match cfg.termination {
+                Termination::Theoretical => {
+                    // Duplication overhead is monotone; once it exceeds the best load
+                    // overhead seen, the criterion max{dup, load} can no longer improve.
+                    if eval.dup_overhead > best_load_overhead {
+                        termination_reason =
+                            "duplication overhead exceeded best load overhead (theoretical rule)"
+                                .into();
+                        break;
+                    }
+                }
+                Termination::CostModel { min_improvement } => {
+                    let w = cfg.workers;
+                    if paid_time_history.len() > w {
+                        let split = paid_time_history.len() - w;
+                        let before = paid_time_history[..split]
+                            .iter()
+                            .cloned()
+                            .fold(f64::INFINITY, f64::min);
+                        let recent = paid_time_history[split..]
+                            .iter()
+                            .cloned()
+                            .fold(f64::INFINITY, f64::min);
+                        if recent > before * (1.0 - min_improvement) {
+                            termination_reason = format!(
+                                "predicted join time improved < {:.1}% over the last {} \
+                                 duplication-incurring iterations",
+                                min_improvement * 100.0,
+                                w
+                            );
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        if iterations >= cfg.max_iterations {
+            termination_reason = "reached the iteration cap".into();
+        }
+
+        let winner = winner.expect("at least the initial evaluation is recorded");
+        self.finalize(winner, iterations, termination_reason, start)
+    }
+
+    fn domain_box(&self) -> Rect {
+        let dims = self.dims;
+        let s_box = Rect::bounding_box(dims, self.s_sample.iter());
+        let t_box = Rect::bounding_box(dims, self.t_sample.iter());
+        match (s_box, t_box) {
+            (Some(a), Some(b)) => a.union(&b),
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+            (None, None) => Rect::unbounded(dims),
+        }
+    }
+
+    fn store_work(works: &mut Vec<Option<LeafWork>>, work: LeafWork) {
+        let idx = work.node as usize;
+        if works.len() <= idx {
+            works.resize_with(idx + 1, || None);
+        }
+        works[idx] = Some(work);
+    }
+
+    fn push_entry(heap: &mut BinaryHeap<QueueEntry>, works: &[Option<LeafWork>], leaf: NodeId) {
+        if let Some(Some(w)) = works.get(leaf as usize) {
+            if w.best.score.is_splittable() {
+                heap.push(QueueEntry {
+                    score: w.best.score,
+                    leaf,
+                    version: w.version,
+                });
+            }
+        }
+    }
+
+    /// Is the leaf "small": extent below twice the band width in every dimension?
+    fn is_small(&self, tree: &SplitTree, leaf: NodeId, domain: &Rect) -> bool {
+        let region = &tree.leaf(leaf).region;
+        (0..self.dims).all(|d| {
+            let eps = self.band.eps(d);
+            eps > 0.0 && region.clipped_extent(d, domain) < 2.0 * eps
+        })
+    }
+
+    /// May the leaf still be split recursively in dimension `d`?
+    fn dim_allowed(&self, tree: &SplitTree, leaf: NodeId, domain: &Rect, d: usize) -> bool {
+        let region = &tree.leaf(leaf).region;
+        let eps = self.band.eps(d);
+        eps == 0.0 || region.clipped_extent(d, domain) >= 2.0 * eps
+    }
+
+    fn leaf_estimates(&self, work: &LeafWork) -> (f64, f64, f64) {
+        (
+            self.ws * work.s_pts.len() as f64,
+            self.wt * work.t_pts.len() as f64,
+            self.wo * work.o_pts.len() as f64,
+        )
+    }
+
+    /// Recompute and cache the best split of a leaf (Algorithm 2 `best_split`).
+    fn refresh_best(
+        &self,
+        works: &mut [Option<LeafWork>],
+        tree: &SplitTree,
+        leaf: NodeId,
+        domain: &Rect,
+    ) {
+        let work = works[leaf as usize].as_ref().expect("leaf work must exist");
+        let best = if work.is_small {
+            self.best_grid_increment(work)
+        } else {
+            self.best_plane_split(tree, work, domain)
+        };
+        let work = works[leaf as usize].as_mut().expect("leaf work must exist");
+        work.best = best;
+    }
+
+    /// Best 1-Bucket increment for a small leaf.
+    fn best_grid_increment(&self, work: &LeafWork) -> BestSplit {
+        let (s_in, t_in, out) = self.leaf_estimates(work);
+        let lm = &self.cfg.load_model;
+        let w = self.cfg.workers;
+        let (row_score, row_dup) =
+            work.grid
+                .score_add_row(w, lm.beta_input, lm.beta_output, s_in, t_in, out);
+        let (col_score, col_dup) =
+            work.grid
+                .score_add_col(w, lm.beta_input, lm.beta_output, s_in, t_in, out);
+        if row_score >= col_score {
+            BestSplit {
+                score: row_score,
+                action: SplitAction::Grid { add_row: true },
+                dup_increase: row_dup,
+            }
+        } else {
+            BestSplit {
+                score: col_score,
+                action: SplitAction::Grid { add_row: false },
+                dup_increase: col_dup,
+            }
+        }
+    }
+
+    /// Best hyperplane split of a regular leaf over all allowed dimensions, considering
+    /// both T-splits and (if enabled) S-splits.
+    fn best_plane_split(&self, tree: &SplitTree, work: &LeafWork, domain: &Rect) -> BestSplit {
+        let lm = &self.cfg.load_model;
+        let w = self.cfg.workers;
+        let (s_in, t_in, out) = self.leaf_estimates(work);
+        let old_load = partition_load(lm.beta_input, lm.beta_output, s_in + t_in, out);
+        let old_var = variance_term(w, old_load);
+
+        let mut best = BestSplit::none();
+        let region = &tree.leaf(work.node).region;
+
+        for dim in 0..self.dims {
+            if !self.dim_allowed(tree, work.node, domain, dim) {
+                continue;
+            }
+            // Sorted per-dimension value arrays for the leaf's sample points.
+            let mut s_vals: Vec<f64> = work
+                .s_pts
+                .iter()
+                .map(|&i| self.s_sample.key(i as usize)[dim])
+                .collect();
+            let mut t_vals: Vec<f64> = work
+                .t_pts
+                .iter()
+                .map(|&i| self.t_sample.key(i as usize)[dim])
+                .collect();
+            let mut o_s_vals: Vec<f64> = work
+                .o_pts
+                .iter()
+                .map(|&i| self.o_sample.s_key(i as usize)[dim])
+                .collect();
+            let mut o_t_vals: Vec<f64> = work
+                .o_pts
+                .iter()
+                .map(|&i| self.o_sample.t_key(i as usize)[dim])
+                .collect();
+            s_vals.sort_unstable_by(f64::total_cmp);
+            t_vals.sort_unstable_by(f64::total_cmp);
+            o_s_vals.sort_unstable_by(f64::total_cmp);
+            o_t_vals.sort_unstable_by(f64::total_cmp);
+
+            // Candidate boundaries: midpoints between consecutive distinct values of the
+            // combined input sample in this dimension.
+            let mut combined: Vec<f64> = Vec::with_capacity(s_vals.len() + t_vals.len());
+            combined.extend_from_slice(&s_vals);
+            combined.extend_from_slice(&t_vals);
+            combined.sort_unstable_by(f64::total_cmp);
+            combined.dedup();
+            if combined.len() < 2 {
+                continue;
+            }
+
+            let ns = s_vals.len() as f64;
+            let nt = t_vals.len() as f64;
+            let no = o_s_vals.len() as f64;
+            let eps_lo = self.band.eps_low(dim);
+            let eps_hi = self.band.eps_high(dim);
+
+            for pair in combined.windows(2) {
+                let x = 0.5 * (pair[0] + pair[1]);
+                if x <= region.lo(dim) || x >= region.hi(dim) || x <= pair[0] || x >= pair[1] {
+                    continue;
+                }
+
+                // --- T-split: S partitioned at x, T duplicated near x. ---
+                {
+                    let nsl = s_vals.partition_point(|&v| v < x) as f64;
+                    let nsr = ns - nsl;
+                    // T goes left iff t − ε_lo < x, right iff t + ε_hi ≥ x.
+                    let ntl = t_vals.partition_point(|&v| v - eps_lo < x) as f64;
+                    let ntr = nt - t_vals.partition_point(|&v| v + eps_hi < x) as f64;
+                    let nol = o_s_vals.partition_point(|&v| v < x) as f64;
+                    let nor = no - nol;
+                    let dup = self.wt * (ntl + ntr - nt);
+                    let l1 = partition_load(
+                        lm.beta_input,
+                        lm.beta_output,
+                        self.ws * nsl + self.wt * ntl,
+                        self.wo * nol,
+                    );
+                    let l2 = partition_load(
+                        lm.beta_input,
+                        lm.beta_output,
+                        self.ws * nsr + self.wt * ntr,
+                        self.wo * nor,
+                    );
+                    let reduction = old_var - variance_term(w, l1) - variance_term(w, l2);
+                    let score = SplitScore::new(reduction, dup);
+                    if score > best.score {
+                        best = BestSplit {
+                            score,
+                            action: SplitAction::Plane {
+                                dim,
+                                value: x,
+                                kind: SplitKind::TSplit,
+                            },
+                            dup_increase: dup.max(0.0),
+                        };
+                    }
+                }
+
+                // --- S-split: T partitioned at x, S duplicated near x. ---
+                if self.cfg.symmetric {
+                    let ntl = t_vals.partition_point(|&v| v < x) as f64;
+                    let ntr = nt - ntl;
+                    // S goes left iff s − ε_hi < x, right iff s + ε_lo ≥ x.
+                    let nsl = s_vals.partition_point(|&v| v - eps_hi < x) as f64;
+                    let nsr = ns - s_vals.partition_point(|&v| v + eps_lo < x) as f64;
+                    let nol = o_t_vals.partition_point(|&v| v < x) as f64;
+                    let nor = no - nol;
+                    let dup = self.ws * (nsl + nsr - ns);
+                    let l1 = partition_load(
+                        lm.beta_input,
+                        lm.beta_output,
+                        self.ws * nsl + self.wt * ntl,
+                        self.wo * nol,
+                    );
+                    let l2 = partition_load(
+                        lm.beta_input,
+                        lm.beta_output,
+                        self.ws * nsr + self.wt * ntr,
+                        self.wo * nor,
+                    );
+                    let reduction = old_var - variance_term(w, l1) - variance_term(w, l2);
+                    let score = SplitScore::new(reduction, dup);
+                    if score > best.score {
+                        best = BestSplit {
+                            score,
+                            action: SplitAction::Plane {
+                                dim,
+                                value: x,
+                                kind: SplitKind::SSplit,
+                            },
+                            dup_increase: dup.max(0.0),
+                        };
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// Apply a hyperplane split: update the tree and distribute the parent's sample
+    /// points over the two new leaves.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_plane_split(
+        &self,
+        tree: &mut SplitTree,
+        works: &mut Vec<Option<LeafWork>>,
+        leaf_id: NodeId,
+        dim: usize,
+        value: f64,
+        kind: SplitKind,
+        domain: &Rect,
+    ) {
+        let parent = works[leaf_id as usize]
+            .take()
+            .expect("parent leaf work must exist");
+        let (left_id, right_id) = tree.split_leaf(leaf_id, dim, value, kind);
+
+        let mut left = LeafWork {
+            node: left_id,
+            s_pts: Vec::new(),
+            t_pts: Vec::new(),
+            o_pts: Vec::new(),
+            grid: BucketGrid::default(),
+            is_small: false,
+            best: BestSplit::none(),
+            version: 0,
+        };
+        let mut right = LeafWork {
+            node: right_id,
+            s_pts: Vec::new(),
+            t_pts: Vec::new(),
+            o_pts: Vec::new(),
+            grid: BucketGrid::default(),
+            is_small: false,
+            best: BestSplit::none(),
+            version: 0,
+        };
+
+        match kind {
+            SplitKind::TSplit => {
+                for &i in &parent.s_pts {
+                    if self.s_sample.key(i as usize)[dim] < value {
+                        left.s_pts.push(i);
+                    } else {
+                        right.s_pts.push(i);
+                    }
+                }
+                for &i in &parent.t_pts {
+                    let v = self.t_sample.key(i as usize)[dim];
+                    let (lo, hi) = self.band.range_around_t(dim, v);
+                    if lo < value {
+                        left.t_pts.push(i);
+                    }
+                    if hi >= value {
+                        right.t_pts.push(i);
+                    }
+                }
+                for &i in &parent.o_pts {
+                    if self.o_sample.s_key(i as usize)[dim] < value {
+                        left.o_pts.push(i);
+                    } else {
+                        right.o_pts.push(i);
+                    }
+                }
+            }
+            SplitKind::SSplit => {
+                for &i in &parent.t_pts {
+                    if self.t_sample.key(i as usize)[dim] < value {
+                        left.t_pts.push(i);
+                    } else {
+                        right.t_pts.push(i);
+                    }
+                }
+                for &i in &parent.s_pts {
+                    let v = self.s_sample.key(i as usize)[dim];
+                    let (lo, hi) = self.band.range_around_s(dim, v);
+                    if lo < value {
+                        left.s_pts.push(i);
+                    }
+                    if hi >= value {
+                        right.s_pts.push(i);
+                    }
+                }
+                for &i in &parent.o_pts {
+                    if self.o_sample.t_key(i as usize)[dim] < value {
+                        left.o_pts.push(i);
+                    } else {
+                        right.o_pts.push(i);
+                    }
+                }
+            }
+        }
+
+        left.is_small = self.is_small(tree, left_id, domain);
+        right.is_small = self.is_small(tree, right_id, domain);
+        Self::store_work(works, left);
+        Self::store_work(works, right);
+        self.refresh_best(works, tree, left_id, domain);
+        self.refresh_best(works, tree, right_id, domain);
+    }
+
+    /// Estimate per-cell loads, map cells onto the workers (longest-processing-time
+    /// first), and compute the overheads against the lower bounds.
+    fn evaluate(&self, tree: &SplitTree, works: &[Option<LeafWork>]) -> Evaluation {
+        let lm = &self.cfg.load_model;
+        let mut cells: Vec<CellEst> = Vec::new();
+        for leaf_id in tree.leaf_ids() {
+            let Some(Some(work)) = works.get(leaf_id as usize) else {
+                continue;
+            };
+            let (s_in, t_in, out) = self.leaf_estimates(work);
+            let grid = work.grid;
+            if grid.cells() == 1 {
+                cells.push(CellEst {
+                    input: s_in + t_in,
+                    output: out,
+                });
+            } else {
+                let cell_input = s_in / grid.rows as f64 + t_in / grid.cols as f64;
+                let cell_output = out / grid.cells() as f64;
+                for _ in 0..grid.cells() {
+                    cells.push(CellEst {
+                        input: cell_input,
+                        output: cell_output,
+                    });
+                }
+            }
+        }
+
+        // LPT mapping of cells onto workers.
+        let w = self.cfg.workers;
+        let mut order: Vec<usize> = (0..cells.len()).collect();
+        order.sort_unstable_by(|&a, &b| {
+            let la = lm.load(cells[a].input, cells[a].output);
+            let lb = lm.load(cells[b].input, cells[b].output);
+            lb.partial_cmp(&la).unwrap_or(Ordering::Equal)
+        });
+        let mut worker_in = vec![0.0f64; w];
+        let mut worker_out = vec![0.0f64; w];
+        for &c in &order {
+            let target = (0..w)
+                .min_by(|&a, &b| {
+                    lm.load(worker_in[a], worker_out[a])
+                        .partial_cmp(&lm.load(worker_in[b], worker_out[b]))
+                        .unwrap_or(Ordering::Equal)
+                })
+                .expect("at least one worker");
+            worker_in[target] += cells[c].input;
+            worker_out[target] += cells[c].output;
+        }
+        let (max_idx, max_load) = (0..w)
+            .map(|i| (i, lm.load(worker_in[i], worker_out[i])))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(Ordering::Equal))
+            .expect("at least one worker");
+
+        let total_input: f64 = cells.iter().map(|c| c.input).sum();
+        let input_lb = (self.s_len + self.t_len) as f64;
+        let load_lb = lm.load(input_lb, self.est_output) / w as f64;
+        let dup_overhead = (total_input - input_lb) / input_lb;
+        let load_overhead = if load_lb > 0.0 {
+            (max_load - load_lb) / load_lb
+        } else {
+            0.0
+        };
+        let predicted_time =
+            self.cfg
+                .predict_time(total_input, worker_in[max_idx], worker_out[max_idx]);
+
+        Evaluation {
+            total_input,
+            dup_overhead,
+            load_overhead,
+            predicted_time,
+        }
+    }
+
+    fn consider_winner(
+        winner: &mut Option<Winner>,
+        tree: &SplitTree,
+        iteration: usize,
+        eval: Evaluation,
+        cfg: &RecPartConfig,
+    ) {
+        let criterion = match cfg.termination {
+            Termination::Theoretical => eval.dup_overhead.max(eval.load_overhead),
+            Termination::CostModel { .. } => eval.predicted_time,
+        };
+        let better = winner
+            .as_ref()
+            .map(|w| criterion < w.criterion)
+            .unwrap_or(true);
+        if better {
+            *winner = Some(Winner {
+                tree: tree.clone(),
+                iteration,
+                eval,
+                criterion,
+            });
+        }
+    }
+
+    fn finalize(
+        &self,
+        winner: Winner,
+        iterations: usize,
+        termination_reason: String,
+        start: Instant,
+    ) -> RecPartResult {
+        let mut tree = winner.tree;
+        tree.assign_partition_ids();
+
+        // Re-distribute the samples over the winning tree's leaves to obtain estimated
+        // per-partition loads (used by the executor's partition→worker mapping).
+        let lm = &self.cfg.load_model;
+        let partitions = tree.num_partitions();
+        let mut loads = vec![0.0f64; partitions];
+        let mut buf: Vec<PartitionId> = Vec::new();
+        for (i, key) in self.s_sample.iter().enumerate() {
+            buf.clear();
+            tree.route_s(key, i as u64, self.band, self.cfg.seed, &mut buf);
+            for &p in &buf {
+                loads[p as usize] += lm.beta_input * self.ws;
+            }
+        }
+        for (i, key) in self.t_sample.iter().enumerate() {
+            buf.clear();
+            tree.route_t(key, i as u64, self.band, self.cfg.seed, &mut buf);
+            for &p in &buf {
+                loads[p as usize] += lm.beta_input * self.wt;
+            }
+        }
+
+        let leaves = tree.num_leaves();
+        let report = OptimizationReport {
+            strategy: self.cfg.strategy_name().to_string(),
+            iterations,
+            winning_iteration: winner.iteration,
+            leaves,
+            partitions,
+            estimated_total_input: winner.eval.total_input,
+            estimated_dup_overhead: winner.eval.dup_overhead,
+            estimated_load_overhead: winner.eval.load_overhead,
+            estimated_output: self.est_output,
+            predicted_time: winner.eval.predicted_time,
+            optimization_seconds: start.elapsed().as_secs_f64(),
+            termination_reason,
+        };
+        let partitioner = SplitTreePartitioner {
+            tree,
+            band: self.band.clone(),
+            seed: self.cfg.seed,
+            name: self.cfg.strategy_name().to_string(),
+            estimated_loads: loads,
+        };
+        RecPartResult {
+            partitioner,
+            report,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::load::LoadModel;
+    use crate::sample::SampleConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn uniform_relation(n: usize, dims: usize, lo: f64, hi: f64, seed: u64) -> Relation {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut r = Relation::with_capacity(dims, n);
+        let mut key = vec![0.0; dims];
+        for _ in 0..n {
+            for k in key.iter_mut() {
+                *k = rng.gen_range(lo..hi);
+            }
+            r.push(&key);
+        }
+        r
+    }
+
+    fn pareto_relation(n: usize, dims: usize, z: f64, seed: u64) -> Relation {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut r = Relation::with_capacity(dims, n);
+        let mut key = vec![0.0; dims];
+        for _ in 0..n {
+            for k in key.iter_mut() {
+                let u: f64 = rng.gen_range(0.0..1.0f64);
+                *k = (1.0 - u).powf(-1.0 / z);
+            }
+            r.push(&key);
+        }
+        r
+    }
+
+    fn small_sample_config() -> SampleConfig {
+        SampleConfig {
+            input_sample_size: 1_000,
+            output_sample_size: 500,
+            output_probe_count: 400,
+        }
+    }
+
+    fn exactly_once_check(
+        partitioner: &SplitTreePartitioner,
+        s: &Relation,
+        t: &Relation,
+        band: &BandCondition,
+    ) {
+        let mut s_parts = Vec::new();
+        let mut t_parts = Vec::new();
+        for (si, sk) in s.iter().enumerate() {
+            s_parts.clear();
+            partitioner.assign_s(sk, si as u64, &mut s_parts);
+            assert!(!s_parts.is_empty(), "every S-tuple must go somewhere");
+            for (ti, tk) in t.iter().enumerate() {
+                if !band.matches(sk, tk) {
+                    continue;
+                }
+                t_parts.clear();
+                partitioner.assign_t(tk, ti as u64, &mut t_parts);
+                let common = s_parts.iter().filter(|p| t_parts.contains(p)).count();
+                assert_eq!(
+                    common, 1,
+                    "matching pair (S#{si}, T#{ti}) must meet in exactly one partition"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn optimize_uniform_1d_produces_enough_partitions() {
+        let s = uniform_relation(4000, 1, 0.0, 100.0, 1);
+        let t = uniform_relation(4000, 1, 0.0, 100.0, 2);
+        let band = BandCondition::symmetric(&[0.2]);
+        let cfg = RecPartConfig::new(8).with_sample(small_sample_config());
+        let mut rng = StdRng::seed_from_u64(3);
+        let result = RecPart::new(cfg).optimize(&s, &t, &band, &mut rng);
+        assert!(
+            result.partitioner.num_partitions() >= 8,
+            "expected at least w partitions, got {}",
+            result.partitioner.num_partitions()
+        );
+        assert!(result.report.iterations > 0);
+        assert!(result.report.estimated_dup_overhead >= 0.0);
+        assert!(result.report.optimization_seconds >= 0.0);
+    }
+
+    #[test]
+    fn exactly_once_on_uniform_2d() {
+        let s = uniform_relation(400, 2, 0.0, 10.0, 4);
+        let t = uniform_relation(400, 2, 0.0, 10.0, 5);
+        let band = BandCondition::symmetric(&[0.3, 0.3]);
+        let cfg = RecPartConfig::new(6)
+            .with_sample(small_sample_config())
+            .with_seed(11);
+        let mut rng = StdRng::seed_from_u64(6);
+        let result = RecPart::new(cfg).optimize(&s, &t, &band, &mut rng);
+        exactly_once_check(&result.partitioner, &s, &t, &band);
+    }
+
+    #[test]
+    fn exactly_once_with_symmetric_splits_on_skewed_data() {
+        // Reverse-skew data exercises the S-split path.
+        let s = pareto_relation(400, 1, 1.5, 7);
+        let mut t = Relation::new(1);
+        for key in pareto_relation(400, 1, 1.5, 8).iter() {
+            t.push(&[1000.0 - key[0]]);
+        }
+        let band = BandCondition::symmetric(&[5.0]);
+        let cfg = RecPartConfig::new(4).with_sample(small_sample_config());
+        let mut rng = StdRng::seed_from_u64(9);
+        let result = RecPart::new(cfg).optimize(&s, &t, &band, &mut rng);
+        exactly_once_check(&result.partitioner, &s, &t, &band);
+    }
+
+    #[test]
+    fn recpart_s_never_uses_s_splits() {
+        let s = pareto_relation(2000, 2, 1.5, 10);
+        let t = pareto_relation(2000, 2, 1.5, 11);
+        let band = BandCondition::symmetric(&[0.5, 0.5]);
+        let cfg = RecPartConfig::new(8)
+            .without_symmetric()
+            .with_sample(small_sample_config());
+        let mut rng = StdRng::seed_from_u64(12);
+        let result = RecPart::new(cfg).optimize(&s, &t, &band, &mut rng);
+        assert_eq!(result.report.strategy, "RecPart-S");
+        // Inspect the tree: no SSplit nodes may exist.
+        let tree = result.partitioner.tree();
+        for id in 0..tree.num_nodes() {
+            if let Node::Inner(inner) = tree.node(id as NodeId) {
+                assert_eq!(inner.kind, SplitKind::TSplit);
+            }
+        }
+    }
+
+    #[test]
+    fn theoretical_termination_produces_low_duplication() {
+        let s = uniform_relation(3000, 1, 0.0, 1000.0, 13);
+        let t = uniform_relation(3000, 1, 0.0, 1000.0, 14);
+        let band = BandCondition::symmetric(&[0.5]);
+        let cfg = RecPartConfig::new(10)
+            .with_theoretical_termination()
+            .with_sample(small_sample_config());
+        let mut rng = StdRng::seed_from_u64(15);
+        let result = RecPart::new(cfg).optimize(&s, &t, &band, &mut rng);
+        // On uniform data with a narrow band, near-zero duplication is achievable.
+        assert!(
+            result.report.estimated_dup_overhead < 0.15,
+            "dup overhead too high: {}",
+            result.report.estimated_dup_overhead
+        );
+    }
+
+    #[test]
+    fn empty_inputs_are_rejected() {
+        let empty = Relation::new(1);
+        let t = uniform_relation(10, 1, 0.0, 1.0, 16);
+        let band = BandCondition::symmetric(&[0.1]);
+        let cfg = RecPartConfig::new(2);
+        let mut rng = StdRng::seed_from_u64(17);
+        let err = RecPart::new(cfg.clone())
+            .try_optimize(&empty, &t, &band, &mut rng)
+            .unwrap_err();
+        assert_eq!(err, RecPartError::EmptyRelation { side: "S" });
+        let err = RecPart::new(cfg)
+            .try_optimize(&t, &empty, &band, &mut rng)
+            .unwrap_err();
+        assert_eq!(err, RecPartError::EmptyRelation { side: "T" });
+    }
+
+    #[test]
+    fn dimension_mismatch_is_rejected() {
+        let s = uniform_relation(10, 1, 0.0, 1.0, 18);
+        let t = uniform_relation(10, 2, 0.0, 1.0, 19);
+        let band = BandCondition::symmetric(&[0.1]);
+        let cfg = RecPartConfig::new(2);
+        let mut rng = StdRng::seed_from_u64(20);
+        assert!(matches!(
+            RecPart::new(cfg).try_optimize(&s, &t, &band, &mut rng),
+            Err(RecPartError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn band_dimension_mismatch_is_rejected() {
+        let s = uniform_relation(10, 2, 0.0, 1.0, 21);
+        let t = uniform_relation(10, 2, 0.0, 1.0, 22);
+        let band = BandCondition::symmetric(&[0.1]);
+        let cfg = RecPartConfig::new(2);
+        let mut rng = StdRng::seed_from_u64(23);
+        assert!(matches!(
+            RecPart::new(cfg).try_optimize(&s, &t, &band, &mut rng),
+            Err(RecPartError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn wide_band_triggers_small_partitions_and_grid_mode() {
+        // Band width comparable to the whole domain: the root quickly becomes "small" and
+        // 1-Bucket style sub-partitioning kicks in.
+        let s = uniform_relation(2000, 1, 0.0, 10.0, 24);
+        let t = uniform_relation(2000, 1, 0.0, 10.0, 25);
+        let band = BandCondition::symmetric(&[8.0]);
+        let cfg = RecPartConfig::new(6).with_sample(small_sample_config());
+        let mut rng = StdRng::seed_from_u64(26);
+        let result = RecPart::new(cfg).optimize(&s, &t, &band, &mut rng);
+        assert!(
+            result.partitioner.num_partitions() > result.partitioner.tree().num_leaves(),
+            "expected internal 1-Bucket cells (partitions {} vs leaves {})",
+            result.partitioner.num_partitions(),
+            result.partitioner.tree().num_leaves()
+        );
+        exactly_once_check(&result.partitioner, &s, &t, &band);
+    }
+
+    #[test]
+    fn estimated_loads_have_partition_length() {
+        let s = uniform_relation(1000, 1, 0.0, 100.0, 27);
+        let t = uniform_relation(1000, 1, 0.0, 100.0, 28);
+        let band = BandCondition::symmetric(&[1.0]);
+        let cfg = RecPartConfig::new(4).with_sample(small_sample_config());
+        let mut rng = StdRng::seed_from_u64(29);
+        let result = RecPart::new(cfg).optimize(&s, &t, &band, &mut rng);
+        let loads = result.partitioner.estimated_partition_loads().unwrap();
+        assert_eq!(loads.len(), result.partitioner.num_partitions());
+        assert!(loads.iter().all(|&l| l >= 0.0));
+    }
+
+    #[test]
+    fn optimization_is_deterministic_given_seed() {
+        let s = pareto_relation(2000, 2, 1.2, 30);
+        let t = pareto_relation(2000, 2, 1.2, 31);
+        let band = BandCondition::symmetric(&[0.2, 0.2]);
+        let cfg = RecPartConfig::new(8).with_sample(small_sample_config());
+        let run = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            RecPart::new(cfg.clone()).optimize(&s, &t, &band, &mut rng)
+        };
+        let a = run(42);
+        let b = run(42);
+        assert_eq!(a.report.iterations, b.report.iterations);
+        assert_eq!(a.partitioner.num_partitions(), b.partitioner.num_partitions());
+        assert_eq!(a.partitioner.tree(), b.partitioner.tree());
+    }
+
+    #[test]
+    fn equi_join_band_is_supported() {
+        let s = uniform_relation(1000, 1, 0.0, 50.0, 32);
+        let t = uniform_relation(1000, 1, 0.0, 50.0, 33);
+        let band = BandCondition::equi(1);
+        let cfg = RecPartConfig::new(4).with_sample(small_sample_config());
+        let mut rng = StdRng::seed_from_u64(34);
+        let result = RecPart::new(cfg).optimize(&s, &t, &band, &mut rng);
+        // With continuous uniform values exact matches are rare; duplication should be
+        // essentially zero because band width is zero.
+        assert!(result.report.estimated_dup_overhead < 0.01);
+        exactly_once_check(&result.partitioner, &s, &t, &band);
+    }
+
+    #[test]
+    fn custom_load_model_is_respected_in_report() {
+        let s = uniform_relation(1000, 1, 0.0, 100.0, 35);
+        let t = uniform_relation(1000, 1, 0.0, 100.0, 36);
+        let band = BandCondition::symmetric(&[1.0]);
+        let cfg = RecPartConfig::new(4)
+            .with_load_model(LoadModel::new(1.0, 1.0))
+            .with_sample(small_sample_config());
+        let mut rng = StdRng::seed_from_u64(37);
+        let result = RecPart::new(cfg).optimize(&s, &t, &band, &mut rng);
+        assert!(result.report.predicted_time > 0.0);
+    }
+}

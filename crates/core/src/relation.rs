@@ -1,0 +1,280 @@
+//! Flat storage for relations participating in a band-join.
+//!
+//! A [`Relation`] stores, for each tuple, its vector of join-attribute values
+//! (`d` values of type `f64`). Non-join attributes of the original relation are
+//! irrelevant for partitioning decisions and are represented by the tuple's index,
+//! which downstream code can use as a payload identifier.
+//!
+//! Storage is row-major (`d` consecutive values per tuple) so that the dominant
+//! access pattern — reading the full key of one tuple during assignment and local
+//! joins — touches a single contiguous cache line.
+
+use serde::{Deserialize, Serialize};
+
+/// A relation restricted to its join attributes.
+///
+/// Tuples are identified by their index in insertion order (`0..len`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Relation {
+    dims: usize,
+    data: Vec<f64>,
+}
+
+impl Relation {
+    /// Create an empty relation with `dims` join attributes.
+    ///
+    /// # Panics
+    /// Panics if `dims == 0`.
+    pub fn new(dims: usize) -> Self {
+        assert!(dims > 0, "a relation needs at least one join attribute");
+        Relation {
+            dims,
+            data: Vec::new(),
+        }
+    }
+
+    /// Create an empty relation with pre-allocated space for `capacity` tuples.
+    pub fn with_capacity(dims: usize, capacity: usize) -> Self {
+        assert!(dims > 0, "a relation needs at least one join attribute");
+        Relation {
+            dims,
+            data: Vec::with_capacity(capacity * dims),
+        }
+    }
+
+    /// Build a relation directly from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if the buffer length is not a multiple of `dims`.
+    pub fn from_flat(dims: usize, data: Vec<f64>) -> Self {
+        assert!(dims > 0, "a relation needs at least one join attribute");
+        assert!(
+            data.len() % dims == 0,
+            "flat buffer length {} is not a multiple of dims {}",
+            data.len(),
+            dims
+        );
+        Relation { dims, data }
+    }
+
+    /// Build a 1-dimensional relation from a slice of values.
+    pub fn from_values_1d(values: &[f64]) -> Self {
+        Relation {
+            dims: 1,
+            data: values.to_vec(),
+        }
+    }
+
+    /// Number of join attributes (the dimensionality `d` of the band-join).
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Number of tuples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len() / self.dims
+    }
+
+    /// Whether the relation holds no tuples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Append one tuple.
+    ///
+    /// # Panics
+    /// Panics if `key.len() != self.dims()`.
+    #[inline]
+    pub fn push(&mut self, key: &[f64]) {
+        assert_eq!(
+            key.len(),
+            self.dims,
+            "tuple has {} attributes, relation expects {}",
+            key.len(),
+            self.dims
+        );
+        self.data.extend_from_slice(key);
+    }
+
+    /// The join-attribute vector of tuple `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn key(&self, i: usize) -> &[f64] {
+        let start = i * self.dims;
+        &self.data[start..start + self.dims]
+    }
+
+    /// Value of attribute `dim` of tuple `i`.
+    #[inline]
+    pub fn value(&self, i: usize, dim: usize) -> f64 {
+        debug_assert!(dim < self.dims);
+        self.data[i * self.dims + dim]
+    }
+
+    /// Iterate over all tuple keys in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &[f64]> + '_ {
+        self.data.chunks_exact(self.dims)
+    }
+
+    /// The raw row-major buffer.
+    pub fn as_flat(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Per-dimension minimum over all tuples, or `None` if empty.
+    pub fn min_per_dim(&self) -> Option<Vec<f64>> {
+        self.fold_per_dim(f64::INFINITY, f64::min)
+    }
+
+    /// Per-dimension maximum over all tuples, or `None` if empty.
+    pub fn max_per_dim(&self) -> Option<Vec<f64>> {
+        self.fold_per_dim(f64::NEG_INFINITY, f64::max)
+    }
+
+    fn fold_per_dim(&self, init: f64, f: impl Fn(f64, f64) -> f64) -> Option<Vec<f64>> {
+        if self.is_empty() {
+            return None;
+        }
+        let mut acc = vec![init; self.dims];
+        for key in self.iter() {
+            for (a, &v) in acc.iter_mut().zip(key) {
+                *a = f(*a, v);
+            }
+        }
+        Some(acc)
+    }
+
+    /// Create a new relation containing the tuples at the given indices, in order.
+    pub fn project(&self, indices: &[usize]) -> Relation {
+        let mut out = Relation::with_capacity(self.dims, indices.len());
+        for &i in indices {
+            out.push(self.key(i));
+        }
+        out
+    }
+
+    /// Sort indices `0..len` by the value of `dim` (ascending, NaN-free assumed).
+    pub fn argsort_by_dim(&self, dim: usize) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        idx.sort_by(|&a, &b| {
+            self.value(a, dim)
+                .partial_cmp(&self.value(b, dim))
+                .expect("join-attribute values must not be NaN")
+        });
+        idx
+    }
+}
+
+impl<'a> IntoIterator for &'a Relation {
+    type Item = &'a [f64];
+    type IntoIter = std::slice::ChunksExact<'a, f64>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.data.chunks_exact(self.dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_relation() -> Relation {
+        let mut r = Relation::new(3);
+        r.push(&[1.0, 2.0, 3.0]);
+        r.push(&[4.0, 5.0, 6.0]);
+        r.push(&[-1.0, 0.5, 9.0]);
+        r
+    }
+
+    #[test]
+    fn push_and_access() {
+        let r = sample_relation();
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dims(), 3);
+        assert!(!r.is_empty());
+        assert_eq!(r.key(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(r.key(2), &[-1.0, 0.5, 9.0]);
+        assert_eq!(r.value(1, 1), 5.0);
+    }
+
+    #[test]
+    fn iteration_matches_indexing() {
+        let r = sample_relation();
+        let collected: Vec<&[f64]> = r.iter().collect();
+        assert_eq!(collected.len(), 3);
+        for (i, key) in collected.iter().enumerate() {
+            assert_eq!(*key, r.key(i));
+        }
+        let via_into: Vec<&[f64]> = (&r).into_iter().collect();
+        assert_eq!(via_into, collected);
+    }
+
+    #[test]
+    fn min_max_per_dim() {
+        let r = sample_relation();
+        assert_eq!(r.min_per_dim().unwrap(), vec![-1.0, 0.5, 3.0]);
+        assert_eq!(r.max_per_dim().unwrap(), vec![4.0, 5.0, 9.0]);
+        let empty = Relation::new(2);
+        assert!(empty.min_per_dim().is_none());
+        assert!(empty.max_per_dim().is_none());
+    }
+
+    #[test]
+    fn from_flat_and_as_flat_roundtrip() {
+        let r = Relation::from_flat(2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.key(1), &[3.0, 4.0]);
+        assert_eq!(r.as_flat(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn from_values_1d() {
+        let r = Relation::from_values_1d(&[5.0, 1.0, 3.0]);
+        assert_eq!(r.dims(), 1);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.value(2, 0), 3.0);
+    }
+
+    #[test]
+    fn project_selects_rows() {
+        let r = sample_relation();
+        let p = r.project(&[2, 0]);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.key(0), r.key(2));
+        assert_eq!(p.key(1), r.key(0));
+    }
+
+    #[test]
+    fn argsort_by_dim_orders_values() {
+        let r = sample_relation();
+        let order = r.argsort_by_dim(0);
+        assert_eq!(order, vec![2, 0, 1]);
+        let order = r.argsort_by_dim(2);
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "attributes")]
+    fn push_wrong_arity_panics() {
+        let mut r = Relation::new(2);
+        r.push(&[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn from_flat_wrong_length_panics() {
+        let _ = Relation::from_flat(3, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn with_capacity_starts_empty() {
+        let r = Relation::with_capacity(4, 100);
+        assert!(r.is_empty());
+        assert_eq!(r.dims(), 4);
+    }
+}

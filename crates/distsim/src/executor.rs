@@ -1,0 +1,566 @@
+//! The map–shuffle–reduce executor: runs a band-join under a given partitioning on a
+//! simulated cluster and reports the paper's success measures.
+//!
+//! Pipeline (mirroring Figure 5 of the paper):
+//!
+//! 1. **Map / partition**: every input tuple is routed through the
+//!    [`Partitioner`], which may copy it to several partitions (duplication).
+//! 2. **Shuffle**: per-partition input lists are materialized; the total number of
+//!    assignments is the paper's total input `I`.
+//! 3. **Reduce / local joins**: each partition's band-join is computed with the
+//!    configured [`LocalJoinAlgorithm`]; partitions are mapped onto the `w` workers with
+//!    a longest-processing-time-first heuristic, modelling the dynamic load balancing a
+//!    YARN/Spark scheduler performs at runtime (identically for every strategy, so
+//!    comparisons remain fair).
+//! 4. **Reporting**: per-worker input/output/comparison counts, the derived
+//!    [`PartitioningStats`] (`I`, `I_m`, `O_m`, `L_m`, overheads vs. lower bounds), the
+//!    simulated wall-clock join time from the [`MachineModel`], and optional correctness
+//!    verification against an exact single-node join.
+
+use crate::local_join::LocalJoinAlgorithm;
+use crate::machine::{MachineModel, WorkerWork};
+use crate::verify::{check_pairs, exact_join_count, PairCheck};
+use recpart::{BandCondition, LoadModel, PartitionId, Partitioner, PartitioningStats, Relation, WorkerLoad};
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+
+/// How thoroughly the executor validates the result of the distributed execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum VerificationLevel {
+    /// No verification (fastest; used by benchmarks).
+    None,
+    /// Compare the total distributed output count against an exact single-node join.
+    /// Catches both lost and duplicated results as long as their counts differ.
+    #[default]
+    Count,
+    /// Materialize every produced pair and compare the multiset against the exact
+    /// result. Detects lost, spurious, and duplicated pairs individually. Only suitable
+    /// for small inputs.
+    FullPairs,
+}
+
+/// Executor configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecutorConfig {
+    /// Number of simulated worker machines `w`.
+    pub workers: usize,
+    /// Load weights used for `L_m` and the partition→worker mapping.
+    pub load_model: LoadModel,
+    /// Local band-join algorithm run by each worker.
+    pub local_algorithm: LocalJoinAlgorithm,
+    /// Timing model of the simulated cluster.
+    pub machine: MachineModel,
+    /// Verification level.
+    pub verification: VerificationLevel,
+    /// Number of OS threads used for the local-join phase (0 = all available cores).
+    pub threads: usize,
+}
+
+impl ExecutorConfig {
+    /// Configuration with defaults for `workers` simulated machines.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        ExecutorConfig {
+            workers,
+            load_model: LoadModel::default(),
+            local_algorithm: LocalJoinAlgorithm::default(),
+            machine: MachineModel::default(),
+            verification: VerificationLevel::Count,
+            threads: 0,
+        }
+    }
+
+    /// Override the verification level.
+    pub fn with_verification(mut self, level: VerificationLevel) -> Self {
+        self.verification = level;
+        self
+    }
+
+    /// Override the load model.
+    pub fn with_load_model(mut self, load_model: LoadModel) -> Self {
+        self.load_model = load_model;
+        self
+    }
+
+    /// Override the local join algorithm.
+    pub fn with_local_algorithm(mut self, algorithm: LocalJoinAlgorithm) -> Self {
+        self.local_algorithm = algorithm;
+        self
+    }
+
+    /// Override the machine model.
+    pub fn with_machine(mut self, machine: MachineModel) -> Self {
+        self.machine = machine;
+        self
+    }
+}
+
+/// Work and result sizes of one partition.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartitionLoad {
+    /// S-tuples received (including duplicates).
+    pub s_input: u64,
+    /// T-tuples received (including duplicates).
+    pub t_input: u64,
+    /// Output pairs produced by this partition's local join.
+    pub output: u64,
+    /// Candidate comparisons performed.
+    pub comparisons: u64,
+}
+
+impl PartitionLoad {
+    /// Total input of the partition.
+    pub fn input(&self) -> u64 {
+        self.s_input + self.t_input
+    }
+}
+
+/// Everything measured about one distributed execution.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExecutionReport {
+    /// Name of the partitioning strategy.
+    pub strategy: String,
+    /// The paper's success measures (`I`, `I_m`, `O_m`, `L_m`, overheads, per-worker loads).
+    pub stats: PartitioningStats,
+    /// Number of logical partitions the strategy created.
+    pub partitions: usize,
+    /// Per-partition measurements.
+    pub per_partition: Vec<PartitionLoad>,
+    /// Which worker each partition was executed on.
+    pub partition_to_worker: Vec<u32>,
+    /// Per-worker work (input, output, comparisons, tasks).
+    pub per_worker_work: Vec<WorkerWork>,
+    /// Total candidate comparisons across the cluster.
+    pub total_comparisons: u64,
+    /// Simulated end-to-end join time (seconds) under the machine model.
+    pub simulated_join_seconds: f64,
+    /// Exact output size, when verification computed it.
+    pub exact_output: Option<u64>,
+    /// Whether the distributed output matched the exact result (per the verification
+    /// level); `None` when verification was disabled.
+    pub correct: Option<bool>,
+    /// Detailed pair-level check, when [`VerificationLevel::FullPairs`] was used.
+    pub pair_check: Option<PairCheck>,
+}
+
+impl ExecutionReport {
+    /// Duplication overhead (x-axis of Figure 4).
+    pub fn duplication_overhead(&self) -> f64 {
+        self.stats.duplication_overhead()
+    }
+
+    /// Max-load overhead (y-axis of Figure 4).
+    pub fn load_overhead(&self) -> f64 {
+        self.stats.load_overhead()
+    }
+}
+
+/// The simulated-cluster executor.
+#[derive(Debug, Clone)]
+pub struct Executor {
+    config: ExecutorConfig,
+}
+
+impl Executor {
+    /// Create an executor.
+    pub fn new(config: ExecutorConfig) -> Self {
+        Executor { config }
+    }
+
+    /// Convenience constructor with default configuration for `workers` machines.
+    pub fn with_workers(workers: usize) -> Self {
+        Executor::new(ExecutorConfig::new(workers))
+    }
+
+    /// The executor's configuration.
+    pub fn config(&self) -> &ExecutorConfig {
+        &self.config
+    }
+
+    /// Execute the band-join of `s` and `t` under `partitioner` and measure everything.
+    pub fn execute<P: Partitioner + ?Sized>(
+        &self,
+        partitioner: &P,
+        s: &Relation,
+        t: &Relation,
+        band: &BandCondition,
+    ) -> ExecutionReport {
+        let num_partitions = partitioner.num_partitions().max(1);
+
+        // --- Map & shuffle: materialize per-partition input index lists. ---
+        let mut s_parts: Vec<Vec<u32>> = vec![Vec::new(); num_partitions];
+        let mut t_parts: Vec<Vec<u32>> = vec![Vec::new(); num_partitions];
+        let mut buf: Vec<PartitionId> = Vec::new();
+        for (i, key) in s.iter().enumerate() {
+            buf.clear();
+            partitioner.assign_s(key, i as u64, &mut buf);
+            debug_assert!(!buf.is_empty(), "partitioner dropped an S-tuple");
+            for &p in &buf {
+                s_parts[p as usize].push(i as u32);
+            }
+        }
+        for (i, key) in t.iter().enumerate() {
+            buf.clear();
+            partitioner.assign_t(key, i as u64, &mut buf);
+            debug_assert!(!buf.is_empty(), "partitioner dropped a T-tuple");
+            for &p in &buf {
+                t_parts[p as usize].push(i as u32);
+            }
+        }
+
+        // --- Reduce: local joins per partition (parallel). ---
+        let materialize = self.config.verification == VerificationLevel::FullPairs;
+        let (per_partition, all_pairs) =
+            self.run_local_joins(s, t, band, &s_parts, &t_parts, materialize);
+
+        // --- Partition → worker mapping (LPT on measured load). ---
+        let partition_to_worker = self.map_partitions_to_workers(&per_partition);
+
+        // --- Aggregate per worker. ---
+        let workers = self.config.workers;
+        let mut per_worker_work = vec![WorkerWork::default(); workers];
+        for (p, load) in per_partition.iter().enumerate() {
+            let w = partition_to_worker[p] as usize;
+            per_worker_work[w].input += load.input();
+            per_worker_work[w].output += load.output;
+            per_worker_work[w].comparisons += load.comparisons;
+            per_worker_work[w].partitions += 1;
+        }
+
+        let output_count: u64 = per_partition.iter().map(|p| p.output).sum();
+        let total_comparisons: u64 = per_partition.iter().map(|p| p.comparisons).sum();
+        let total_input: u64 = per_partition.iter().map(|p| p.input()).sum();
+
+        let worker_loads: Vec<WorkerLoad> = per_worker_work
+            .iter()
+            .map(|w| WorkerLoad {
+                input: w.input,
+                output: w.output,
+            })
+            .collect();
+        let stats = PartitioningStats::from_worker_loads(
+            partitioner.name(),
+            s.len() as u64,
+            t.len() as u64,
+            output_count,
+            worker_loads,
+            self.config.load_model,
+        );
+        debug_assert_eq!(stats.total_input, total_input);
+
+        let simulated_join_seconds = self
+            .config
+            .machine
+            .join_seconds(total_input, &per_worker_work);
+
+        // --- Verification. ---
+        let (exact_output, correct, pair_check) = match self.config.verification {
+            VerificationLevel::None => (None, None, None),
+            VerificationLevel::Count => {
+                let exact = exact_join_count(s, t, band);
+                (Some(exact), Some(exact == output_count), None)
+            }
+            VerificationLevel::FullPairs => {
+                let pairs = all_pairs.expect("pairs were materialized");
+                let check = check_pairs(s, t, band, &pairs);
+                let exact = exact_join_count(s, t, band);
+                (Some(exact), Some(check.is_correct()), Some(check))
+            }
+        };
+
+        ExecutionReport {
+            strategy: partitioner.name().to_string(),
+            stats,
+            partitions: num_partitions,
+            per_partition,
+            partition_to_worker,
+            per_worker_work,
+            total_comparisons,
+            simulated_join_seconds,
+            exact_output,
+            correct,
+            pair_check,
+        }
+    }
+
+    /// Run the local joins of all partitions, optionally materializing output pairs.
+    fn run_local_joins(
+        &self,
+        s: &Relation,
+        t: &Relation,
+        band: &BandCondition,
+        s_parts: &[Vec<u32>],
+        t_parts: &[Vec<u32>],
+        materialize: bool,
+    ) -> (Vec<PartitionLoad>, Option<Vec<(u32, u32)>>) {
+        let num_partitions = s_parts.len();
+        let threads = if self.config.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.config.threads
+        }
+        .clamp(1, num_partitions.max(1));
+        let algo = self.config.local_algorithm;
+
+        let next = AtomicUsize::new(0);
+        let mut thread_results: Vec<Vec<(usize, PartitionLoad, Vec<(u32, u32)>)>> = Vec::new();
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for _ in 0..threads {
+                let next = &next;
+                handles.push(scope.spawn(move |_| {
+                    let mut local: Vec<(usize, PartitionLoad, Vec<(u32, u32)>)> = Vec::new();
+                    loop {
+                        let p = next.fetch_add(1, AtomicOrdering::Relaxed);
+                        if p >= num_partitions {
+                            break;
+                        }
+                        let mut pairs = Vec::new();
+                        let result = algo.join(
+                            s,
+                            t,
+                            &s_parts[p],
+                            &t_parts[p],
+                            band,
+                            materialize.then_some(&mut pairs),
+                        );
+                        local.push((
+                            p,
+                            PartitionLoad {
+                                s_input: s_parts[p].len() as u64,
+                                t_input: t_parts[p].len() as u64,
+                                output: result.output,
+                                comparisons: result.comparisons,
+                            },
+                            pairs,
+                        ));
+                    }
+                    local
+                }));
+            }
+            thread_results = handles
+                .into_iter()
+                .map(|h| h.join().expect("local-join worker thread panicked"))
+                .collect();
+        })
+        .expect("crossbeam scope failed");
+
+        let mut per_partition = vec![PartitionLoad::default(); num_partitions];
+        let mut all_pairs = materialize.then(Vec::new);
+        for chunk in thread_results {
+            for (p, load, pairs) in chunk {
+                per_partition[p] = load;
+                if let Some(all) = all_pairs.as_mut() {
+                    all.extend(pairs);
+                }
+            }
+        }
+        (per_partition, all_pairs)
+    }
+
+    /// Map partitions onto workers: identity when there are at most `w` partitions,
+    /// otherwise longest-processing-time-first on the measured per-partition load.
+    fn map_partitions_to_workers(&self, per_partition: &[PartitionLoad]) -> Vec<u32> {
+        let workers = self.config.workers;
+        let lm = &self.config.load_model;
+        let n = per_partition.len();
+        let mut assignment = vec![0u32; n];
+        if n <= workers {
+            for (p, slot) in assignment.iter_mut().enumerate() {
+                *slot = p as u32;
+            }
+            return assignment;
+        }
+        let mut order: Vec<usize> = (0..n).collect();
+        let load_of =
+            |p: &PartitionLoad| lm.load(p.input() as f64, p.output as f64);
+        order.sort_unstable_by(|&a, &b| {
+            load_of(&per_partition[b])
+                .partial_cmp(&load_of(&per_partition[a]))
+                .unwrap_or(Ordering::Equal)
+        });
+        let mut worker_load = vec![0.0f64; workers];
+        for p in order {
+            let target = (0..workers)
+                .min_by(|&a, &b| {
+                    worker_load[a]
+                        .partial_cmp(&worker_load[b])
+                        .unwrap_or(Ordering::Equal)
+                })
+                .expect("at least one worker");
+            assignment[p] = target as u32;
+            worker_load[target] += load_of(&per_partition[p]);
+        }
+        assignment
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use recpart::partition::SinglePartition;
+
+    fn random_relation(n: usize, dims: usize, seed: u64) -> Relation {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut r = Relation::with_capacity(dims, n);
+        let mut key = vec![0.0; dims];
+        for _ in 0..n {
+            for k in key.iter_mut() {
+                *k = rng.gen_range(0.0..100.0);
+            }
+            r.push(&key);
+        }
+        r
+    }
+
+    /// A deliberately bad partitioner that hash-splits both inputs independently —
+    /// it loses results, which the verification must detect.
+    struct BrokenPartitioner;
+    impl Partitioner for BrokenPartitioner {
+        fn num_partitions(&self) -> usize {
+            4
+        }
+        fn assign_s(&self, _key: &[f64], tuple_id: u64, out: &mut Vec<PartitionId>) {
+            out.push((tuple_id % 4) as PartitionId);
+        }
+        fn assign_t(&self, _key: &[f64], tuple_id: u64, out: &mut Vec<PartitionId>) {
+            out.push(((tuple_id / 3) % 4) as PartitionId);
+        }
+        fn name(&self) -> &str {
+            "Broken"
+        }
+    }
+
+    #[test]
+    fn single_partition_execution_is_exact() {
+        let s = random_relation(300, 2, 1);
+        let t = random_relation(300, 2, 2);
+        let band = BandCondition::symmetric(&[2.0, 2.0]);
+        let exec = Executor::new(ExecutorConfig::new(4));
+        let report = exec.execute(&SinglePartition, &s, &t, &band);
+        assert_eq!(report.correct, Some(true));
+        assert_eq!(report.stats.total_input, 600);
+        assert_eq!(report.partitions, 1);
+        assert_eq!(report.stats.output_len, report.exact_output.unwrap());
+        // Only one worker does all the work.
+        assert_eq!(report.per_worker_work.len(), 4);
+        let busy = report
+            .per_worker_work
+            .iter()
+            .filter(|w| w.input > 0)
+            .count();
+        assert_eq!(busy, 1);
+        assert!(report.simulated_join_seconds > 0.0);
+    }
+
+    #[test]
+    fn broken_partitioner_is_detected() {
+        let s = random_relation(200, 1, 3);
+        let t = random_relation(200, 1, 4);
+        let band = BandCondition::symmetric(&[1.0]);
+        let exec = Executor::new(ExecutorConfig::new(4));
+        let report = exec.execute(&BrokenPartitioner, &s, &t, &band);
+        assert_eq!(report.correct, Some(false), "verification must catch lost results");
+    }
+
+    #[test]
+    fn full_pair_verification_on_single_partition() {
+        let s = random_relation(80, 1, 5);
+        let t = random_relation(80, 1, 6);
+        let band = BandCondition::symmetric(&[0.8]);
+        let exec = Executor::new(
+            ExecutorConfig::new(2).with_verification(VerificationLevel::FullPairs),
+        );
+        let report = exec.execute(&SinglePartition, &s, &t, &band);
+        let check = report.pair_check.unwrap();
+        assert!(check.is_correct(), "{check:?}");
+    }
+
+    #[test]
+    fn verification_none_skips_exact_join() {
+        let s = random_relation(50, 1, 7);
+        let t = random_relation(50, 1, 8);
+        let band = BandCondition::symmetric(&[0.5]);
+        let exec = Executor::new(ExecutorConfig::new(2).with_verification(VerificationLevel::None));
+        let report = exec.execute(&SinglePartition, &s, &t, &band);
+        assert!(report.exact_output.is_none());
+        assert!(report.correct.is_none());
+    }
+
+    #[test]
+    fn stats_duplication_zero_for_single_partition() {
+        let s = random_relation(100, 1, 9);
+        let t = random_relation(100, 1, 10);
+        let band = BandCondition::symmetric(&[0.5]);
+        let exec = Executor::with_workers(3);
+        let report = exec.execute(&SinglePartition, &s, &t, &band);
+        assert_eq!(report.duplication_overhead(), 0.0);
+        // All load on one of three workers → overhead ≈ 3× the lower bound − 1.
+        assert!(report.load_overhead() > 1.5);
+    }
+
+    #[test]
+    fn lpt_mapping_balances_many_partitions() {
+        // Partition loads 8,7,6,5,4,3,2,1 onto 2 workers: LPT gives 18 vs 18.
+        let per_partition: Vec<PartitionLoad> = (1..=8)
+            .map(|i| PartitionLoad {
+                s_input: i,
+                t_input: 0,
+                output: 0,
+                comparisons: 0,
+            })
+            .collect();
+        let exec = Executor::new(
+            ExecutorConfig::new(2).with_load_model(LoadModel::new(1.0, 1.0)),
+        );
+        let mapping = exec.map_partitions_to_workers(&per_partition);
+        let mut per_worker = [0u64; 2];
+        for (p, &w) in mapping.iter().enumerate() {
+            per_worker[w as usize] += per_partition[p].s_input;
+        }
+        assert_eq!(per_worker[0] + per_worker[1], 36);
+        assert_eq!(per_worker[0], 18);
+    }
+
+    #[test]
+    fn identity_mapping_when_few_partitions() {
+        let per_partition = vec![PartitionLoad::default(); 3];
+        let exec = Executor::with_workers(8);
+        let mapping = exec.map_partitions_to_workers(&per_partition);
+        assert_eq!(mapping, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn executor_is_deterministic() {
+        let s = random_relation(150, 2, 11);
+        let t = random_relation(150, 2, 12);
+        let band = BandCondition::symmetric(&[1.0, 1.0]);
+        let exec = Executor::with_workers(4);
+        let a = exec.execute(&SinglePartition, &s, &t, &band);
+        let b = exec.execute(&SinglePartition, &s, &t, &band);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.per_partition, b.per_partition);
+        assert!((a.simulated_join_seconds - b.simulated_join_seconds).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_includes_comparisons() {
+        let s = random_relation(100, 1, 13);
+        let t = random_relation(100, 1, 14);
+        let band = BandCondition::symmetric(&[5.0]);
+        let exec = Executor::with_workers(2);
+        let report = exec.execute(&SinglePartition, &s, &t, &band);
+        assert!(report.total_comparisons >= report.stats.output_len);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = ExecutorConfig::new(0);
+    }
+}

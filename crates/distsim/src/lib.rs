@@ -1,0 +1,37 @@
+//! # distsim — distributed band-join execution substrate
+//!
+//! The paper evaluates partitioning strategies on a 30-node Amazon EMR cluster. This
+//! crate provides the equivalent substrate as a deterministic, in-process simulator so
+//! that every experiment of the paper can be re-run on a single machine:
+//!
+//! * [`local_join`] — the per-worker band-join algorithms (index-nested-loop over sorted
+//!   ε-ranges as used in the paper's reducers, a sort-merge sweep, and a nested-loop
+//!   reference), all of which also report the number of candidate comparisons they
+//!   performed;
+//! * [`executor`] — the map–shuffle–reduce pipeline: routes every tuple through a
+//!   [`recpart::Partitioner`], materializes per-partition inputs, maps partitions onto
+//!   workers (modelling the dynamic scheduler with a longest-processing-time heuristic),
+//!   runs the local joins, and reports the paper's success measures (`I`, `I_m`, `O_m`,
+//!   `L_m`, overheads vs. lower bounds);
+//! * [`cost_model`] — the running-time model `M(I, I_m, O_m) = β₀ + β₁I + β₂I_m + β₃O_m`
+//!   of Li et al. [24], with least-squares fitting over a calibration benchmark;
+//! * [`machine`] — the synthetic "ground truth" cluster timing model used in place of
+//!   real wall-clock measurements (shuffle + per-worker scan/compare/emit costs), which
+//!   the linear cost model is fitted against;
+//! * [`verify`] — exact single-node joins and duplicate/missing-pair checks used to
+//!   validate the exactly-once property of every partitioner.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cost_model;
+pub mod executor;
+pub mod local_join;
+pub mod machine;
+pub mod verify;
+
+pub use cost_model::{CalibrationPoint, CostModel};
+pub use executor::{ExecutionReport, Executor, ExecutorConfig, VerificationLevel};
+pub use local_join::LocalJoinAlgorithm;
+pub use machine::MachineModel;
+pub use verify::{exact_join_count, exact_join_pairs};

@@ -1,0 +1,310 @@
+//! Per-worker ("local") band-join algorithms.
+//!
+//! After the shuffle, every worker holds a subset `S_p`, `T_p` of the inputs and must
+//! compute the band-join of exactly those tuples. The paper uses an index-nested-loop
+//! scheme: range-partition `T_p` on the most selective dimension `A₁` into ranges of
+//! width `ε₁`, then probe each `s ∈ S_p` against its range and the two neighbouring
+//! ranges. Our [`LocalJoinAlgorithm::IndexNestedLoop`] implements the equivalent
+//! sorted-array formulation (binary search for `s.A₁ − ε₁`, scan to `s.A₁ + ε₁`), which
+//! is also what the paper's Grid-ε variant uses for its pre-sorted cells.
+//!
+//! Every algorithm reports the number of **candidate comparisons** it performed; the
+//! synthetic machine model uses this to derive realistic per-worker compute times.
+
+use recpart::{BandCondition, Relation};
+use serde::{Deserialize, Serialize};
+
+/// The algorithm a worker uses for its local band-join.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum LocalJoinAlgorithm {
+    /// Sort `T_p` on dimension 0 and probe each `s ∈ S_p` against the ε-range around its
+    /// `A₁` value (the paper's local algorithm).
+    #[default]
+    IndexNestedLoop,
+    /// Sort both inputs on dimension 0 and sweep them with a sliding window.
+    SortMerge,
+    /// Compare every pair (reference implementation, quadratic).
+    NestedLoop,
+}
+
+/// Result of one local join: output size and work performed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LocalJoinResult {
+    /// Number of output pairs produced.
+    pub output: u64,
+    /// Number of candidate pairs whose full band condition was evaluated.
+    pub comparisons: u64,
+}
+
+impl LocalJoinAlgorithm {
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LocalJoinAlgorithm::IndexNestedLoop => "index-nested-loop",
+            LocalJoinAlgorithm::SortMerge => "sort-merge",
+            LocalJoinAlgorithm::NestedLoop => "nested-loop",
+        }
+    }
+
+    /// Count the band-join output between the selected tuples of `s` and `t`.
+    ///
+    /// `s_idx`/`t_idx` select the tuples (by index) that were shuffled to this worker's
+    /// partition. Pass `Some(&mut pairs)` to additionally materialize the matching
+    /// `(s index, t index)` pairs (used by verification and small examples).
+    pub fn join(
+        &self,
+        s: &Relation,
+        t: &Relation,
+        s_idx: &[u32],
+        t_idx: &[u32],
+        band: &BandCondition,
+        mut pairs: Option<&mut Vec<(u32, u32)>>,
+    ) -> LocalJoinResult {
+        if s_idx.is_empty() || t_idx.is_empty() {
+            return LocalJoinResult::default();
+        }
+        match self {
+            LocalJoinAlgorithm::NestedLoop => {
+                let mut result = LocalJoinResult::default();
+                for &si in s_idx {
+                    let sk = s.key(si as usize);
+                    for &ti in t_idx {
+                        result.comparisons += 1;
+                        if band.matches(sk, t.key(ti as usize)) {
+                            result.output += 1;
+                            if let Some(p) = pairs.as_deref_mut() {
+                                p.push((si, ti));
+                            }
+                        }
+                    }
+                }
+                result
+            }
+            LocalJoinAlgorithm::IndexNestedLoop => {
+                // Sort the T side of this partition on dimension 0.
+                let mut sorted: Vec<u32> = t_idx.to_vec();
+                sorted.sort_unstable_by(|&a, &b| {
+                    t.value(a as usize, 0).total_cmp(&t.value(b as usize, 0))
+                });
+                let t_vals: Vec<f64> = sorted.iter().map(|&i| t.value(i as usize, 0)).collect();
+                let mut result = LocalJoinResult::default();
+                for &si in s_idx {
+                    let sk = s.key(si as usize);
+                    let (lo, hi) = band.range_around_s(0, sk[0]);
+                    let start = t_vals.partition_point(|&v| v < lo);
+                    let end = t_vals.partition_point(|&v| v <= hi);
+                    for &ti in &sorted[start..end] {
+                        result.comparisons += 1;
+                        if band.matches(sk, t.key(ti as usize)) {
+                            result.output += 1;
+                            if let Some(p) = pairs.as_deref_mut() {
+                                p.push((si, ti));
+                            }
+                        }
+                    }
+                }
+                result
+            }
+            LocalJoinAlgorithm::SortMerge => {
+                let mut s_sorted: Vec<u32> = s_idx.to_vec();
+                s_sorted.sort_unstable_by(|&a, &b| {
+                    s.value(a as usize, 0).total_cmp(&s.value(b as usize, 0))
+                });
+                let mut t_sorted: Vec<u32> = t_idx.to_vec();
+                t_sorted.sort_unstable_by(|&a, &b| {
+                    t.value(a as usize, 0).total_cmp(&t.value(b as usize, 0))
+                });
+                let t_vals: Vec<f64> =
+                    t_sorted.iter().map(|&i| t.value(i as usize, 0)).collect();
+                let mut result = LocalJoinResult::default();
+                // Sliding window over T while advancing through sorted S.
+                let mut window_start = 0usize;
+                for &si in &s_sorted {
+                    let sk = s.key(si as usize);
+                    let (lo, hi) = band.range_around_s(0, sk[0]);
+                    while window_start < t_vals.len() && t_vals[window_start] < lo {
+                        window_start += 1;
+                    }
+                    let mut k = window_start;
+                    while k < t_vals.len() && t_vals[k] <= hi {
+                        result.comparisons += 1;
+                        let ti = t_sorted[k];
+                        if band.matches(sk, t.key(ti as usize)) {
+                            result.output += 1;
+                            if let Some(p) = pairs.as_deref_mut() {
+                                p.push((si, ti));
+                            }
+                        }
+                        k += 1;
+                    }
+                }
+                result
+            }
+        }
+    }
+
+    /// Join the *entire* relations (no index selection). Convenience for exact joins and
+    /// tests.
+    pub fn join_full(
+        &self,
+        s: &Relation,
+        t: &Relation,
+        band: &BandCondition,
+        pairs: Option<&mut Vec<(u32, u32)>>,
+    ) -> LocalJoinResult {
+        let s_idx: Vec<u32> = (0..s.len() as u32).collect();
+        let t_idx: Vec<u32> = (0..t.len() as u32).collect();
+        self.join(s, t, &s_idx, &t_idx, band, pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_relation(n: usize, dims: usize, seed: u64) -> Relation {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut r = Relation::with_capacity(dims, n);
+        let mut key = vec![0.0; dims];
+        for _ in 0..n {
+            for k in key.iter_mut() {
+                *k = rng.gen_range(0.0..50.0);
+            }
+            r.push(&key);
+        }
+        r
+    }
+
+    const ALGOS: [LocalJoinAlgorithm; 3] = [
+        LocalJoinAlgorithm::IndexNestedLoop,
+        LocalJoinAlgorithm::SortMerge,
+        LocalJoinAlgorithm::NestedLoop,
+    ];
+
+    #[test]
+    fn all_algorithms_agree_on_output_count_1d() {
+        let s = random_relation(300, 1, 1);
+        let t = random_relation(300, 1, 2);
+        let band = BandCondition::symmetric(&[0.7]);
+        let counts: Vec<u64> = ALGOS
+            .iter()
+            .map(|a| a.join_full(&s, &t, &band, None).output)
+            .collect();
+        assert!(counts[0] > 0, "test needs non-empty output");
+        assert_eq!(counts[0], counts[1]);
+        assert_eq!(counts[0], counts[2]);
+    }
+
+    #[test]
+    fn all_algorithms_agree_on_output_count_3d() {
+        let s = random_relation(200, 3, 3);
+        let t = random_relation(200, 3, 4);
+        let band = BandCondition::symmetric(&[2.0, 3.0, 4.0]);
+        let counts: Vec<u64> = ALGOS
+            .iter()
+            .map(|a| a.join_full(&s, &t, &band, None).output)
+            .collect();
+        assert!(counts[0] > 0);
+        assert_eq!(counts[0], counts[1]);
+        assert_eq!(counts[0], counts[2]);
+    }
+
+    #[test]
+    fn all_algorithms_agree_with_asymmetric_band() {
+        let s = random_relation(150, 2, 5);
+        let t = random_relation(150, 2, 6);
+        let band = BandCondition::try_asymmetric(&[0.5, 3.0], &[2.0, 0.0]).unwrap();
+        let counts: Vec<u64> = ALGOS
+            .iter()
+            .map(|a| a.join_full(&s, &t, &band, None).output)
+            .collect();
+        assert_eq!(counts[0], counts[1]);
+        assert_eq!(counts[0], counts[2]);
+    }
+
+    #[test]
+    fn materialized_pairs_match_count_and_condition() {
+        let s = random_relation(100, 2, 7);
+        let t = random_relation(100, 2, 8);
+        let band = BandCondition::symmetric(&[1.5, 1.5]);
+        for algo in ALGOS {
+            let mut pairs = Vec::new();
+            let res = algo.join_full(&s, &t, &band, Some(&mut pairs));
+            assert_eq!(pairs.len() as u64, res.output, "{}", algo.name());
+            for (si, ti) in pairs {
+                assert!(band.matches(s.key(si as usize), t.key(ti as usize)));
+            }
+        }
+    }
+
+    #[test]
+    fn index_based_algorithms_do_less_work_than_nested_loop() {
+        let s = random_relation(400, 1, 9);
+        let t = random_relation(400, 1, 10);
+        let band = BandCondition::symmetric(&[0.2]);
+        let nl = LocalJoinAlgorithm::NestedLoop.join_full(&s, &t, &band, None);
+        let inl = LocalJoinAlgorithm::IndexNestedLoop.join_full(&s, &t, &band, None);
+        let sm = LocalJoinAlgorithm::SortMerge.join_full(&s, &t, &band, None);
+        assert_eq!(nl.comparisons, 400 * 400);
+        assert!(inl.comparisons < nl.comparisons / 10);
+        assert!(sm.comparisons < nl.comparisons / 10);
+    }
+
+    #[test]
+    fn empty_partitions_produce_no_output() {
+        let s = random_relation(10, 1, 11);
+        let t = random_relation(10, 1, 12);
+        let band = BandCondition::symmetric(&[1.0]);
+        for algo in ALGOS {
+            let res = algo.join(&s, &t, &[], &[0, 1, 2], &band, None);
+            assert_eq!(res, LocalJoinResult::default());
+            let res = algo.join(&s, &t, &[0], &[], &band, None);
+            assert_eq!(res, LocalJoinResult::default());
+        }
+    }
+
+    #[test]
+    fn subset_join_only_considers_selected_tuples() {
+        let mut s = Relation::new(1);
+        let mut t = Relation::new(1);
+        for v in [1.0, 2.0, 3.0] {
+            s.push(&[v]);
+            t.push(&[v]);
+        }
+        let band = BandCondition::symmetric(&[0.1]);
+        for algo in ALGOS {
+            // Only S#0 and T#2 selected: values 1.0 vs 3.0 do not match.
+            let res = algo.join(&s, &t, &[0], &[2], &band, None);
+            assert_eq!(res.output, 0);
+            // S#1 and T#1 match exactly.
+            let res = algo.join(&s, &t, &[1], &[1], &band, None);
+            assert_eq!(res.output, 1);
+        }
+    }
+
+    #[test]
+    fn equi_join_band_zero() {
+        let mut s = Relation::new(1);
+        let mut t = Relation::new(1);
+        for v in [1.0, 2.0, 2.0, 5.0] {
+            s.push(&[v]);
+        }
+        for v in [2.0, 5.0, 7.0] {
+            t.push(&[v]);
+        }
+        let band = BandCondition::equi(1);
+        for algo in ALGOS {
+            let res = algo.join_full(&s, &t, &band, None);
+            assert_eq!(res.output, 3, "{}", algo.name()); // (2,2), (2,2), (5,5)
+        }
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names: std::collections::HashSet<&str> = ALGOS.iter().map(|a| a.name()).collect();
+        assert_eq!(names.len(), 3);
+        assert_eq!(LocalJoinAlgorithm::default(), LocalJoinAlgorithm::IndexNestedLoop);
+    }
+}

@@ -1,0 +1,120 @@
+//! Exact reference joins and correctness verification.
+//!
+//! Definition 1 of the paper requires that every join result is produced by *exactly
+//! one* local join. The helpers here compute the exact result on a single node so that
+//! the executor (and the test suites of every partitioner) can check both directions:
+//! no result is lost, and no result is produced twice.
+
+use crate::local_join::LocalJoinAlgorithm;
+use recpart::{BandCondition, Relation};
+use std::collections::HashSet;
+
+/// Exact number of band-join results `|S ⋈ T|`, computed on a single node with the
+/// index-nested-loop algorithm.
+pub fn exact_join_count(s: &Relation, t: &Relation, band: &BandCondition) -> u64 {
+    LocalJoinAlgorithm::IndexNestedLoop
+        .join_full(s, t, band, None)
+        .output
+}
+
+/// Exact set of matching `(s index, t index)` pairs. Only use for small inputs — the
+/// result is materialized in memory.
+pub fn exact_join_pairs(s: &Relation, t: &Relation, band: &BandCondition) -> HashSet<(u32, u32)> {
+    let mut pairs = Vec::new();
+    LocalJoinAlgorithm::IndexNestedLoop.join_full(s, t, band, Some(&mut pairs));
+    pairs.into_iter().collect()
+}
+
+/// Outcome of comparing a distributed execution's materialized pairs against the exact
+/// result.
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct PairCheck {
+    /// Pairs produced by the distributed execution but not part of the exact result
+    /// (spurious results — should be impossible for a correct local join).
+    pub spurious: usize,
+    /// Exact-result pairs never produced by the distributed execution (lost results).
+    pub missing: usize,
+    /// Pairs produced more than once (violations of the exactly-once property).
+    pub duplicated: usize,
+}
+
+impl PairCheck {
+    /// `true` iff the distributed execution produced exactly the exact result, once each.
+    pub fn is_correct(&self) -> bool {
+        self.spurious == 0 && self.missing == 0 && self.duplicated == 0
+    }
+}
+
+/// Compare the concatenated per-partition outputs of a distributed execution against the
+/// exact join result.
+pub fn check_pairs(
+    s: &Relation,
+    t: &Relation,
+    band: &BandCondition,
+    produced: &[(u32, u32)],
+) -> PairCheck {
+    let exact = exact_join_pairs(s, t, band);
+    let mut seen: HashSet<(u32, u32)> = HashSet::with_capacity(produced.len());
+    let mut check = PairCheck::default();
+    for &pair in produced {
+        if !exact.contains(&pair) {
+            check.spurious += 1;
+        }
+        if !seen.insert(pair) {
+            check.duplicated += 1;
+        }
+    }
+    check.missing = exact.iter().filter(|p| !seen.contains(p)).count();
+    check
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_inputs() -> (Relation, Relation, BandCondition) {
+        // Example 2 of the paper: S = {1,2,3,5,6,8,9,10}, T = {1,5,6,10}, ε = 1.
+        let s = Relation::from_values_1d(&[1.0, 2.0, 3.0, 5.0, 6.0, 8.0, 9.0, 10.0]);
+        let t = Relation::from_values_1d(&[1.0, 5.0, 6.0, 10.0]);
+        let band = BandCondition::symmetric(&[1.0]);
+        (s, t, band)
+    }
+
+    #[test]
+    fn exact_count_matches_paper_example() {
+        let (s, t, band) = tiny_inputs();
+        // Matches: (1,1),(2,1),(5,5),(6,5),(5,6),(6,6),(9,10),(10,10) → 8 pairs.
+        assert_eq!(exact_join_count(&s, &t, &band), 8);
+        assert_eq!(exact_join_pairs(&s, &t, &band).len(), 8);
+    }
+
+    #[test]
+    fn check_pairs_accepts_exact_result() {
+        let (s, t, band) = tiny_inputs();
+        let exact: Vec<(u32, u32)> = exact_join_pairs(&s, &t, &band).into_iter().collect();
+        let check = check_pairs(&s, &t, &band, &exact);
+        assert!(check.is_correct(), "{check:?}");
+    }
+
+    #[test]
+    fn check_pairs_detects_duplicates() {
+        let (s, t, band) = tiny_inputs();
+        let mut produced: Vec<(u32, u32)> = exact_join_pairs(&s, &t, &band).into_iter().collect();
+        produced.push(produced[0]);
+        let check = check_pairs(&s, &t, &band, &produced);
+        assert_eq!(check.duplicated, 1);
+        assert!(!check.is_correct());
+    }
+
+    #[test]
+    fn check_pairs_detects_missing_and_spurious() {
+        let (s, t, band) = tiny_inputs();
+        let mut produced: Vec<(u32, u32)> = exact_join_pairs(&s, &t, &band).into_iter().collect();
+        produced.pop();
+        produced.push((0, 3)); // S=1.0 with T=10.0 does not match.
+        let check = check_pairs(&s, &t, &band, &produced);
+        assert_eq!(check.missing, 1);
+        assert_eq!(check.spurious, 1);
+        assert!(!check.is_correct());
+    }
+}

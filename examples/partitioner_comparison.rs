@@ -1,0 +1,70 @@
+//! Side-by-side comparison of every partitioner in the workspace on a skewed 3-D
+//! band-join — a miniature version of the paper's Table 2b.
+//!
+//! ```text
+//! cargo run --release --example partitioner_comparison
+//! ```
+
+use band_join::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let workers = 10;
+    let total = 60_000usize;
+    let mut rng = StdRng::seed_from_u64(3);
+
+    // pareto-1.5 in 3 dimensions, band width calibrated by the catalog to the paper's
+    // output-to-input ratio for eps = (2,2,2).
+    let config = datagen::catalog::catalog_entry("pareto-1.5/d3/eps2");
+    let workload = config.instantiate(total, 11);
+    let (s, t, band) = (&workload.s, &workload.t, &workload.band);
+    println!(
+        "Workload {}: |S|={}, |T|={}, calibrated band = {:?}",
+        workload.id,
+        s.len(),
+        t.len(),
+        (0..band.dims()).map(|d| band.eps(d)).collect::<Vec<_>>()
+    );
+
+    // Build every strategy.
+    let recpart_s = RecPart::new(RecPartConfig::new(workers).without_symmetric())
+        .optimize(s, t, band, &mut rng);
+    let recpart = RecPart::new(RecPartConfig::new(workers)).optimize(s, t, band, &mut rng);
+    let one_bucket = OneBucket::new(workers, s.len(), t.len(), 5);
+    let grid = GridPartitioner::build(s, t, band, 1.0);
+    let grid_star =
+        GridStarPartitioner::build(s, t, band, workers, &CostModel::default(), 64, &mut rng);
+    let csio = CsioPartitioner::build(s, t, band, workers, &CsioConfig::default(), &mut rng);
+    let iejoin = IEJoinPartitioner::build(s, t, band, (s.len() / (2 * workers)).max(1));
+
+    let strategies: Vec<(&str, &dyn Partitioner)> = vec![
+        ("RecPart", &recpart.partitioner),
+        ("RecPart-S", &recpart_s.partitioner),
+        ("CSIO", &csio),
+        ("1-Bucket", &one_bucket),
+        ("Grid-eps", &grid),
+        ("Grid*", &grid_star),
+        ("IEJoin", &iejoin),
+    ];
+
+    let executor = Executor::with_workers(workers);
+    println!(
+        "{:<10} {:>10} {:>9} {:>9} {:>10} {:>10} {:>11}",
+        "strategy", "I", "Im", "Om", "dup ovh", "load ovh", "sim time"
+    );
+    for (name, partitioner) in strategies {
+        let report = executor.execute(partitioner, s, t, band);
+        assert_eq!(report.correct, Some(true), "{name} produced an incorrect result");
+        println!(
+            "{:<10} {:>10} {:>9} {:>9} {:>9.1}% {:>9.1}% {:>10.1}s",
+            name,
+            report.stats.total_input,
+            report.stats.max_worker_input,
+            report.stats.max_worker_output,
+            100.0 * report.duplication_overhead(),
+            100.0 * report.load_overhead(),
+            report.simulated_join_seconds,
+        );
+    }
+}
