@@ -25,7 +25,9 @@
 //! exactly once.
 
 use rand::Rng;
-use recpart::{BandCondition, InputSample, OutputSample, PartitionId, Partitioner, Relation, SampleConfig};
+use recpart::{
+    BandCondition, InputSample, OutputSample, PartitionId, Partitioner, Relation, SampleConfig,
+};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -339,8 +341,8 @@ impl Linearizer {
         match self.order {
             LinearizationOrder::RowMajor => {
                 let mut key: u128 = 0;
-                for d in 0..self.dims {
-                    key = (key << 16) | self.bucket(d, point[d]) as u128;
+                for (d, &p) in point.iter().enumerate().take(self.dims) {
+                    key = (key << 16) | self.bucket(d, p) as u128;
                 }
                 key
             }
@@ -385,9 +387,7 @@ fn quantile_bounds<'a>(
 
 /// Index of the range containing `key` (ranges are `[prev bound, bound)`).
 fn range_of(bounds: &[u128], key: u128) -> usize {
-    bounds
-        .partition_point(|&b| b <= key)
-        .min(bounds.len() - 1)
+    bounds.partition_point(|&b| b <= key).min(bounds.len() - 1)
 }
 
 // --------------------------------------------------------------------------------------
@@ -416,10 +416,10 @@ impl RangeStats {
 
     fn add(&mut self, range: usize, key: &[f64]) {
         self.count[range] += 1;
-        for d in 0..self.dims {
+        for (d, &k) in key.iter().enumerate().take(self.dims) {
             let idx = range * self.dims + d;
-            self.min[idx] = self.min[idx].min(key[d]);
-            self.max[idx] = self.max[idx].max(key[d]);
+            self.min[idx] = self.min[idx].min(k);
+            self.max[idx] = self.max[idx].max(k);
         }
     }
 
@@ -618,7 +618,12 @@ impl CandidateMatrix {
     /// Cover the candidate columns of rows `[row_lo, row_hi]` with column-contiguous
     /// rectangles under the load bound. Returns `None` if even a single column exceeds
     /// the bound.
-    fn cover_row_block(&self, row_lo: usize, row_hi: usize, max_load: f64) -> Option<Vec<CoverRect>> {
+    fn cover_row_block(
+        &self,
+        row_lo: usize,
+        row_hi: usize,
+        max_load: f64,
+    ) -> Option<Vec<CoverRect>> {
         let block_s_input: f64 = (row_lo..=row_hi).map(|r| self.row_input[r]).sum();
         let mut rects = Vec::new();
         let mut current: Option<(usize, f64, f64)> = None; // (start col, t input, output)
@@ -627,7 +632,9 @@ impl CandidateMatrix {
             if !is_candidate {
                 continue;
             }
-            let col_output: f64 = (row_lo..=row_hi).map(|r| self.output[r * self.cols + col]).sum();
+            let col_output: f64 = (row_lo..=row_hi)
+                .map(|r| self.output[r * self.cols + col])
+                .sum();
             let col_input = self.col_input[col];
             let single_load =
                 self.beta_input * (block_s_input + col_input) + self.beta_output * col_output;

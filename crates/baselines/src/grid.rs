@@ -37,12 +37,7 @@ impl GridPartitioner {
     /// # Panics
     /// Panics if any band width is zero (Grid-ε is undefined for equi-dimensions) or if
     /// `scale <= 0`.
-    pub fn build(
-        s: &Relation,
-        t: &Relation,
-        band: &BandCondition,
-        scale: f64,
-    ) -> GridPartitioner {
+    pub fn build(s: &Relation, t: &Relation, band: &BandCondition, scale: f64) -> GridPartitioner {
         assert!(scale > 0.0, "grid scale must be positive");
         let dims = band.dims();
         for d in 0..dims {
@@ -219,12 +214,7 @@ mod tests {
         r
     }
 
-    fn exactly_once(
-        grid: &GridPartitioner,
-        s: &Relation,
-        t: &Relation,
-        band: &BandCondition,
-    ) {
+    fn exactly_once(grid: &GridPartitioner, s: &Relation, t: &Relation, band: &BandCondition) {
         let mut s_parts = Vec::new();
         let mut t_parts = Vec::new();
         for (si, sk) in s.iter().enumerate() {
@@ -277,7 +267,10 @@ mod tests {
             assert!(!out.is_empty());
             max_copies = max_copies.max(out.len());
         }
-        assert!(max_copies <= 9, "T copied to at most 3^2 cells, saw {max_copies}");
+        assert!(
+            max_copies <= 9,
+            "T copied to at most 3^2 cells, saw {max_copies}"
+        );
         assert!(max_copies >= 4, "dense data should hit multi-cell copies");
     }
 
@@ -308,7 +301,10 @@ mod tests {
         let loads = grid.estimated_partition_loads().unwrap();
         let max = loads.iter().cloned().fold(0.0, f64::max);
         let mean = loads.iter().sum::<f64>() / loads.len() as f64;
-        assert!(max > mean * 10.0, "hot cell must stand out (max {max}, mean {mean})");
+        assert!(
+            max > mean * 10.0,
+            "hot cell must stand out (max {max}, mean {mean})"
+        );
     }
 
     #[test]
@@ -316,8 +312,14 @@ mod tests {
         let s = random_relation(50, 1, 0.0, 10.0, 10);
         let t = random_relation(50, 1, 0.0, 10.0, 11);
         let band = BandCondition::symmetric(&[1.0]);
-        assert_eq!(GridPartitioner::build(&s, &t, &band, 1.0).name(), "Grid-eps");
-        assert_eq!(GridPartitioner::build(&s, &t, &band, 4.0).name(), "Grid-4eps");
+        assert_eq!(
+            GridPartitioner::build(&s, &t, &band, 1.0).name(),
+            "Grid-eps"
+        );
+        assert_eq!(
+            GridPartitioner::build(&s, &t, &band, 4.0).name(),
+            "Grid-4eps"
+        );
     }
 
     #[test]

@@ -139,8 +139,7 @@ fn predict_time(
 
     // LPT mapping onto workers using the cost model's per-worker weights.
     let mut order: Vec<usize> = (0..partitions).collect();
-    let load =
-        |i: f64, o: f64| cost_model.beta2 * i + cost_model.beta3 * o;
+    let load = |i: f64, o: f64| cost_model.beta2 * i + cost_model.beta3 * o;
     order.sort_unstable_by(|&a, &b| {
         load(cell_input[b], cell_output[b])
             .partial_cmp(&load(cell_input[a], cell_output[a]))

@@ -62,9 +62,9 @@ impl IEJoinPartitioner {
         let mut s_block_partitions = vec![Vec::new(); s_blocks];
         let mut t_block_partitions = vec![Vec::new(); t_blocks];
         let mut num_partitions = 0usize;
-        for si in 0..s_blocks {
+        for (si, s_parts) in s_block_partitions.iter_mut().enumerate() {
             let (s_lo, s_hi) = range_of(&s_bounds, si);
-            for ti in 0..t_blocks {
+            for (ti, t_parts) in t_block_partitions.iter_mut().enumerate() {
                 let (t_lo, t_hi) = range_of(&t_bounds, ti);
                 // Joinable iff some s in (s_lo, s_hi] can match some t in (t_lo, t_hi]:
                 // s ∈ [t − ε_lo, t + ε_hi]  ⇔  intervals [s_lo, s_hi] and
@@ -73,15 +73,18 @@ impl IEJoinPartitioner {
                 let t_hi_ext = t_hi + band.eps_high(0);
                 if s_hi >= t_lo_ext && s_lo <= t_hi_ext {
                     let pid = num_partitions as PartitionId;
-                    s_block_partitions[si].push(pid);
-                    t_block_partitions[ti].push(pid);
+                    s_parts.push(pid);
+                    t_parts.push(pid);
                     num_partitions += 1;
                 }
             }
         }
         // Guarantee h(x) ≠ ∅ even for blocks with no joinable counterpart: give such
         // blocks a private partition (it will simply produce no output).
-        for parts in s_block_partitions.iter_mut().chain(t_block_partitions.iter_mut()) {
+        for parts in s_block_partitions
+            .iter_mut()
+            .chain(t_block_partitions.iter_mut())
+        {
             if parts.is_empty() {
                 parts.push(num_partitions as PartitionId);
                 num_partitions += 1;

@@ -72,8 +72,7 @@ impl OneBucket {
     /// Expected duplication factor of the total input:
     /// `(c·|S| + r·|T|) / (|S| + |T|)`.
     pub fn expected_duplication(&self, s_len: usize, t_len: usize) -> f64 {
-        (self.cols as f64 * s_len as f64 + self.rows as f64 * t_len as f64)
-            / (s_len + t_len) as f64
+        (self.cols as f64 * s_len as f64 + self.rows as f64 * t_len as f64) / (s_len + t_len) as f64
     }
 }
 
@@ -91,8 +90,8 @@ impl Partitioner for OneBucket {
     }
 
     fn assign_t(&self, _key: &[f64], tuple_id: u64, out: &mut Vec<PartitionId>) {
-        let col = (stable_hash(self.seed ^ 0xD1B5_4A32_D192_ED03, tuple_id) % self.cols as u64)
-            as u32;
+        let col =
+            (stable_hash(self.seed ^ 0xD1B5_4A32_D192_ED03, tuple_id) % self.cols as u64) as u32;
         for i in 0..self.rows {
             out.push(i * self.cols + col);
         }

@@ -22,11 +22,9 @@ fn bench_local_join(c: &mut Criterion) {
             if algo == LocalJoinAlgorithm::NestedLoop && n > 1_000 {
                 continue;
             }
-            group.bench_with_input(
-                BenchmarkId::new(algo.name(), n),
-                &(&s, &t),
-                |b, (s, t)| b.iter(|| algo.join_full(s, t, &band, None).output),
-            );
+            group.bench_with_input(BenchmarkId::new(algo.name(), n), &(&s, &t), |b, (s, t)| {
+                b.iter(|| algo.join_full(s, t, &band, None).output)
+            });
         }
     }
     group.finish();
@@ -38,7 +36,10 @@ fn bench_local_join_3d(c: &mut Criterion) {
     let s = datagen::pareto_relation(2_000, 3, 1.5, &mut rng);
     let t = datagen::pareto_relation(2_000, 3, 1.5, &mut rng);
     let band = BandCondition::symmetric(&[1.0, 1.0, 1.0]);
-    for algo in [LocalJoinAlgorithm::IndexNestedLoop, LocalJoinAlgorithm::SortMerge] {
+    for algo in [
+        LocalJoinAlgorithm::IndexNestedLoop,
+        LocalJoinAlgorithm::SortMerge,
+    ] {
         group.bench_function(algo.name(), |b| {
             b.iter(|| algo.join_full(&s, &t, &band, None).output)
         });

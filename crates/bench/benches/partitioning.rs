@@ -14,13 +14,11 @@ fn bench_assignment_throughput(c: &mut Criterion) {
     let t = datagen::pareto_relation(50_000, 3, 1.5, &mut rng);
     let band = BandCondition::symmetric(&[2.0, 2.0, 2.0]);
 
-    let recpart = RecPart::new(
-        RecPartConfig::new(30).with_sample(SampleConfig {
-            input_sample_size: 4_096,
-            output_sample_size: 2_048,
-            output_probe_count: 1_024,
-        }),
-    )
+    let recpart = RecPart::new(RecPartConfig::new(30).with_sample(SampleConfig {
+        input_sample_size: 4_096,
+        output_sample_size: 2_048,
+        output_probe_count: 1_024,
+    }))
     .optimize(&s, &t, &band, &mut rng)
     .partitioner;
     let one_bucket = OneBucket::new(30, s.len(), t.len(), 1);

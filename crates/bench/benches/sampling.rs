@@ -29,17 +29,21 @@ fn bench_output_sampling(c: &mut Criterion) {
     let t = datagen::pareto_relation(100_000, 1, 1.5, &mut rng);
     let band = BandCondition::symmetric(&[0.001]);
     for &probes in &[512usize, 2_048, 8_192] {
-        group.bench_with_input(BenchmarkId::from_parameter(probes), &probes, |b, &probes| {
-            let cfg = SampleConfig {
-                input_sample_size: 8_192,
-                output_sample_size: 2_048,
-                output_probe_count: probes,
-            };
-            b.iter(|| {
-                let mut rng = StdRng::seed_from_u64(2);
-                OutputSample::draw(&s, &t, &band, &cfg, &mut rng).estimated_output()
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(probes),
+            &probes,
+            |b, &probes| {
+                let cfg = SampleConfig {
+                    input_sample_size: 8_192,
+                    output_sample_size: 2_048,
+                    output_probe_count: probes,
+                };
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(2);
+                    OutputSample::draw(&s, &t, &band, &cfg, &mut rng).estimated_output()
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -60,9 +60,7 @@ impl ExperimentArgs {
                 }
                 "--quick" => out.quick = true,
                 "--help" | "-h" => {
-                    eprintln!(
-                        "options: [--scale <f64>] [--workers <n>] [--seed <u64>] [--quick]"
-                    );
+                    eprintln!("options: [--scale <f64>] [--workers <n>] [--seed <u64>] [--quick]");
                     std::process::exit(0);
                 }
                 other => panic!("unknown argument: {other}"),

@@ -46,7 +46,10 @@ fn main() {
         "{} of {} T-tuples lie inside one ε-range; Lemma 2 predicts ≥ that many in some cell:",
         packed, n
     );
-    println!("{:>10} {:>18} {:>14}", "grid scale", "max T per cell", "≥ packed?");
+    println!(
+        "{:>10} {:>18} {:>14}",
+        "grid scale", "max T per cell", "≥ packed?"
+    );
     for scale in [1.0, 2.0, 4.0, 8.0, 0.5, 0.25] {
         let grid = GridPartitioner::build(&s, &t, &band, scale);
         let max_cell = max_t_cell_count(&grid, &t);
@@ -54,7 +57,11 @@ fn main() {
             "{:>10} {:>18} {:>14}",
             scale,
             max_cell,
-            if max_cell * 10 >= packed * 9 { "yes" } else { "NO" }
+            if max_cell * 10 >= packed * 9 {
+                "yes"
+            } else {
+                "NO"
+            }
         );
     }
 

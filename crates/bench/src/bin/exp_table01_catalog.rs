@@ -15,7 +15,10 @@ use distsim::exact_join_count;
 
 fn main() {
     let args = ExperimentArgs::from_env();
-    println!("=== Table 1 / Table 10: band-join characteristics (scale {}) ===", args.scale);
+    println!(
+        "=== Table 1 / Table 10: band-join characteristics (scale {}) ===",
+        args.scale
+    );
     println!(
         "{:<28} {:>3} {:>12} {:>12} {:>14} {:>14} {:>12}",
         "dataset", "d", "|S|+|T|", "output", "out/in", "paper out/in", "band mult"

@@ -20,6 +20,9 @@ fn main() {
         RowSpec::new("pareto-1.5 d=1 eps=3e-5", "pareto-1.5/d1/eps3e-5"),
     ];
     let (table, points) = run_rows(&rows, &Strategy::paper_main(), &args);
-    print_table("Table 2a — impact of band width (pareto-1.5, d = 1)", &table);
+    print_table(
+        "Table 2a — impact of band width (pareto-1.5, d = 1)",
+        &table,
+    );
     print_figure_points("Figure 4 points from Table 2a", &points);
 }

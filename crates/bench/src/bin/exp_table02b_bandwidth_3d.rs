@@ -15,6 +15,9 @@ fn main() {
         RowSpec::new("pareto-1.5 d=3 eps=(4,4,4)", "pareto-1.5/d3/eps4"),
     ];
     let (table, points) = run_rows(&rows, &Strategy::paper_main(), &args);
-    print_table("Table 2b — impact of band width (pareto-1.5, d = 3)", &table);
+    print_table(
+        "Table 2b — impact of band width (pareto-1.5, d = 3)",
+        &table,
+    );
     print_figure_points("Figure 4 points from Table 2b", &points);
 }

@@ -12,9 +12,7 @@ fn main() {
     let args = ExperimentArgs::from_env();
     let rows: Vec<RowSpec> = [1usize, 15, 30, 60]
         .into_iter()
-        .map(|w| {
-            RowSpec::new(format!("w = {w}"), "pareto-1.5/d8/eps20/400M").with_workers(w)
-        })
+        .map(|w| RowSpec::new(format!("w = {w}"), "pareto-1.5/d8/eps20/400M").with_workers(w))
         .collect();
     let (table, points) = run_rows(&rows, &Strategy::paper_main(), &args);
     print_table(

@@ -18,5 +18,8 @@ fn main() {
     ];
     let strategies = [Strategy::RecPart, Strategy::GridStar];
     let (table, _) = run_rows(&rows, &strategies, &args);
-    print_table("Table 6 — Grid* vs RecPart on skewed / reverse-Pareto data", &table);
+    print_table(
+        "Table 6 — Grid* vs RecPart on skewed / reverse-Pareto data",
+        &table,
+    );
 }

@@ -42,7 +42,12 @@ fn main() {
         for strategy in [Strategy::RecPart, Strategy::OneBucket] {
             let (partitioner, _) =
                 build_partitioner(strategy, &workload.s, &workload.t, &workload.band, &cfg);
-            let report = executor.execute(partitioner.as_ref(), &workload.s, &workload.t, &workload.band);
+            let report = executor.execute(
+                partitioner.as_ref(),
+                &workload.s,
+                &workload.t,
+                &workload.band,
+            );
             let lm_metric =
                 4.0 * report.stats.max_worker_input as f64 + report.stats.max_worker_output as f64;
             row.push((report.stats.total_input, lm_metric));

@@ -23,7 +23,10 @@ fn main() {
     ];
     let strategies = [Strategy::RecPartS, Strategy::RecPart];
     let (table, _) = run_rows(&rows, &strategies, &args);
-    print_table("Table 9 / Table 14 — RecPart-S vs RecPart (symmetric partitioning)", &table);
+    print_table(
+        "Table 9 / Table 14 — RecPart-S vs RecPart (symmetric partitioning)",
+        &table,
+    );
     println!(
         "Imbalance (max/mean worker load): the symmetric variant should stay near 1.0 on \
          the reverse-Pareto rows while RecPart-S degrades."

@@ -22,12 +22,7 @@ fn main() {
     let workers = args.workers_or(30);
     let total = args.scaled_tuples(400.0);
     // Output sizes of the paper's Table 15 divided by its 400M input.
-    let paper_ratio: &[(usize, f64)] = &[
-        (1, 280.0),
-        (2, 0.78),
-        (4, 2.15e-3),
-        (8, 0.0),
-    ];
+    let paper_ratio: &[(usize, f64)] = &[(1, 280.0), (2, 0.78), (4, 2.15e-3), (8, 0.0)];
 
     let mut rows = Vec::new();
     for &(dims, target_ratio) in paper_ratio {

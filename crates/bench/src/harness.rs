@@ -1,10 +1,15 @@
 //! Builds, times, and executes every partitioning strategy on a workload.
 
-use baselines::{CsioConfig, CsioPartitioner, GridPartitioner, GridStarPartitioner, IEJoinPartitioner, OneBucket};
+use baselines::{
+    CsioConfig, CsioPartitioner, GridPartitioner, GridStarPartitioner, IEJoinPartitioner, OneBucket,
+};
 use distsim::{CostModel, ExecutionReport, Executor, ExecutorConfig, VerificationLevel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use recpart::{BandCondition, LoadModel, Partitioner, RecPart, RecPartConfig, Relation, SampleConfig, Termination};
+use recpart::{
+    BandCondition, LoadModel, Partitioner, RecPart, RecPartConfig, Relation, SampleConfig,
+    Termination,
+};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -251,10 +256,9 @@ pub fn calibrate_cost_model(seed: u64, queries: usize) -> CostModel {
             let t = datagen::pareto_relation(n, 1, 1.5, &mut rng);
             let band = BandCondition::symmetric(&[0.01]);
             let ob = OneBucket::new(w, s.len(), t.len(), seed ^ produced as u64);
-            let report = Executor::new(
-                ExecutorConfig::new(w).with_verification(VerificationLevel::None),
-            )
-            .execute(&ob, &s, &t, &band);
+            let report =
+                Executor::new(ExecutorConfig::new(w).with_verification(VerificationLevel::None))
+                    .execute(&ob, &s, &t, &band);
             points.push(CalibrationPoint {
                 total_input: report.stats.total_input as f64,
                 max_input: report.stats.max_worker_input as f64,
@@ -291,8 +295,7 @@ mod tests {
             Strategy::GridStar,
             Strategy::IEJoin(100),
         ];
-        let labels: std::collections::HashSet<String> =
-            all.iter().map(|s| s.label()).collect();
+        let labels: std::collections::HashSet<String> = all.iter().map(|s| s.label()).collect();
         assert_eq!(labels.len(), all.len());
     }
 

@@ -80,13 +80,11 @@ impl Rect {
     #[inline]
     pub fn contains(&self, point: &[f64]) -> bool {
         debug_assert_eq!(point.len(), self.dims());
-        for i in 0..self.dims() {
-            // Half-open: [lo, hi). The unbounded upper side (+∞) accepts everything finite.
-            if point[i] < self.lo[i] || point[i] >= self.hi[i] {
-                return false;
-            }
-        }
-        true
+        // Half-open: [lo, hi). The unbounded upper side (+∞) accepts everything finite.
+        point
+            .iter()
+            .zip(self.lo.iter().zip(&self.hi))
+            .all(|(&p, (&lo, &hi))| p >= lo && p < hi)
     }
 
     /// Does the ε-range around a **T**-tuple `t` intersect this rectangle?
@@ -97,8 +95,8 @@ impl Rect {
     #[inline]
     pub fn intersects_t_range(&self, t: &[f64], band: &BandCondition) -> bool {
         debug_assert_eq!(t.len(), self.dims());
-        for i in 0..self.dims() {
-            let (lo, hi) = band.range_around_t(i, t[i]);
+        for (i, &tv) in t.iter().enumerate() {
+            let (lo, hi) = band.range_around_t(i, tv);
             // Closed range [lo, hi] vs half-open [self.lo, self.hi):
             // empty intersection iff hi < self.lo or lo >= self.hi.
             if hi < self.lo[i] || lo >= self.hi[i] {
@@ -115,8 +113,8 @@ impl Rect {
     #[inline]
     pub fn intersects_s_range(&self, s: &[f64], band: &BandCondition) -> bool {
         debug_assert_eq!(s.len(), self.dims());
-        for i in 0..self.dims() {
-            let (lo, hi) = band.range_around_s(i, s[i]);
+        for (i, &sv) in s.iter().enumerate() {
+            let (lo, hi) = band.range_around_s(i, sv);
             if hi < self.lo[i] || lo >= self.hi[i] {
                 return false;
             }

@@ -58,7 +58,13 @@ impl LoadModel {
 
     /// Lower bound `L₀ = (β₂(|S|+|T|) + β₃|S ⋈ T|) / w` on the max worker load
     /// (Lemma 1 of the paper).
-    pub fn max_load_lower_bound(&self, s_len: usize, t_len: usize, output: usize, workers: usize) -> f64 {
+    pub fn max_load_lower_bound(
+        &self,
+        s_len: usize,
+        t_len: usize,
+        output: usize,
+        workers: usize,
+    ) -> f64 {
         assert!(workers > 0, "need at least one worker");
         self.load((s_len + t_len) as f64, output as f64) / workers as f64
     }

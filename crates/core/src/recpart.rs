@@ -256,7 +256,8 @@ impl RecPart {
         band: &BandCondition,
         rng: &mut R,
     ) -> RecPartResult {
-        self.try_optimize(s, t, band, rng).expect("RecPart optimization failed")
+        self.try_optimize(s, t, band, rng)
+            .expect("RecPart optimization failed")
     }
 
     /// Validate inputs, draw samples, and run the optimization.
@@ -290,15 +291,7 @@ impl RecPart {
         let t_sample = InputSample::draw(t, total - s_share, rng);
         let o_sample = OutputSample::draw(s, t, band, &self.config.sample, rng);
 
-        Ok(self.optimize_with_samples(
-            s.len(),
-            t.len(),
-            band,
-            s_sample,
-            t_sample,
-            o_sample,
-            start,
-        ))
+        Ok(self.optimize_with_samples(s.len(), t.len(), band, s_sample, t_sample, o_sample, start))
     }
 
     /// Run the optimization on pre-drawn samples. Exposed so that optimization-time
@@ -417,12 +410,17 @@ impl<'a> OptimizerState<'a> {
 
             iterations += 1;
             let leaf_id = entry.leaf;
-            let best = works[leaf_id as usize].as_ref().expect("validated above").best;
+            let best = works[leaf_id as usize]
+                .as_ref()
+                .expect("validated above")
+                .best;
             let paid_duplication = best.dup_increase > 0.0;
 
             match best.action {
                 SplitAction::Plane { dim, value, kind } => {
-                    self.apply_plane_split(&mut tree, &mut works, leaf_id, dim, value, kind, &domain);
+                    self.apply_plane_split(
+                        &mut tree, &mut works, leaf_id, dim, value, kind, &domain,
+                    );
                     let (l, r) = match tree.node(leaf_id) {
                         Node::Inner(inner) => (inner.left, inner.right),
                         Node::Leaf(_) => unreachable!("leaf was just split"),
@@ -1246,7 +1244,10 @@ mod tests {
         let a = run(42);
         let b = run(42);
         assert_eq!(a.report.iterations, b.report.iterations);
-        assert_eq!(a.partitioner.num_partitions(), b.partitioner.num_partitions());
+        assert_eq!(
+            a.partitioner.num_partitions(),
+            b.partitioner.num_partitions()
+        );
         assert_eq!(a.partitioner.tree(), b.partitioner.tree());
     }
 

@@ -49,7 +49,7 @@ impl Relation {
     pub fn from_flat(dims: usize, data: Vec<f64>) -> Self {
         assert!(dims > 0, "a relation needs at least one join attribute");
         assert!(
-            data.len() % dims == 0,
+            data.len().is_multiple_of(dims),
             "flat buffer length {} is not a multiple of dims {}",
             data.len(),
             dims

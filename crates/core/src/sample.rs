@@ -92,11 +92,7 @@ impl InputSample {
 
     /// Number of sampled tuples.
     pub fn len(&self) -> usize {
-        if self.dims == 0 {
-            0
-        } else {
-            self.data.len() / self.dims
-        }
+        self.data.len().checked_div(self.dims).unwrap_or(0)
     }
 
     /// Whether the sample is empty.

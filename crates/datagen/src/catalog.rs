@@ -149,7 +149,11 @@ impl ExperimentConfig {
         paper_input_millions: f64,
         paper_output_millions: f64,
     ) -> Self {
-        assert_eq!(paper_band.len(), dataset.dims(), "band width arity mismatch");
+        assert_eq!(
+            paper_band.len(),
+            dataset.dims(),
+            "band width arity mismatch"
+        );
         ExperimentConfig {
             id: ExperimentId(id.into()),
             dataset,
@@ -272,37 +276,163 @@ pub fn table1_catalog() -> Vec<ExperimentConfig> {
     use DatasetSpec::*;
     vec![
         // pareto-1.5, d = 1, varying band width.
-        ExperimentConfig::new("pareto-1.5/d1/eps0", Pareto { z: 1.5, dims: 1 }, vec![0.0], 400.0, 2430.0),
-        ExperimentConfig::new("pareto-1.5/d1/eps1e-5", Pareto { z: 1.5, dims: 1 }, vec![1e-5], 400.0, 4580.0),
-        ExperimentConfig::new("pareto-1.5/d1/eps2e-5", Pareto { z: 1.5, dims: 1 }, vec![2e-5], 400.0, 9120.0),
-        ExperimentConfig::new("pareto-1.5/d1/eps3e-5", Pareto { z: 1.5, dims: 1 }, vec![3e-5], 400.0, 11280.0),
+        ExperimentConfig::new(
+            "pareto-1.5/d1/eps0",
+            Pareto { z: 1.5, dims: 1 },
+            vec![0.0],
+            400.0,
+            2430.0,
+        ),
+        ExperimentConfig::new(
+            "pareto-1.5/d1/eps1e-5",
+            Pareto { z: 1.5, dims: 1 },
+            vec![1e-5],
+            400.0,
+            4580.0,
+        ),
+        ExperimentConfig::new(
+            "pareto-1.5/d1/eps2e-5",
+            Pareto { z: 1.5, dims: 1 },
+            vec![2e-5],
+            400.0,
+            9120.0,
+        ),
+        ExperimentConfig::new(
+            "pareto-1.5/d1/eps3e-5",
+            Pareto { z: 1.5, dims: 1 },
+            vec![3e-5],
+            400.0,
+            11280.0,
+        ),
         // pareto-1.5, d = 3, varying band width.
-        ExperimentConfig::new("pareto-1.5/d3/eps0", Pareto { z: 1.5, dims: 3 }, vec![0.0; 3], 400.0, 0.0),
-        ExperimentConfig::new("pareto-1.5/d3/eps2", Pareto { z: 1.5, dims: 3 }, vec![2.0; 3], 400.0, 1120.0),
-        ExperimentConfig::new("pareto-1.5/d3/eps4", Pareto { z: 1.5, dims: 3 }, vec![4.0; 3], 400.0, 8740.0),
+        ExperimentConfig::new(
+            "pareto-1.5/d3/eps0",
+            Pareto { z: 1.5, dims: 3 },
+            vec![0.0; 3],
+            400.0,
+            0.0,
+        ),
+        ExperimentConfig::new(
+            "pareto-1.5/d3/eps2",
+            Pareto { z: 1.5, dims: 3 },
+            vec![2.0; 3],
+            400.0,
+            1120.0,
+        ),
+        ExperimentConfig::new(
+            "pareto-1.5/d3/eps4",
+            Pareto { z: 1.5, dims: 3 },
+            vec![4.0; 3],
+            400.0,
+            8740.0,
+        ),
         // Skew sweep, d = 3, eps = (2,2,2).
-        ExperimentConfig::new("pareto-0.5/d3/eps2", Pareto { z: 0.5, dims: 3 }, vec![2.0; 3], 400.0, 12.0),
-        ExperimentConfig::new("pareto-1.0/d3/eps2", Pareto { z: 1.0, dims: 3 }, vec![2.0; 3], 400.0, 420.0),
-        ExperimentConfig::new("pareto-2.0/d3/eps2", Pareto { z: 2.0, dims: 3 }, vec![2.0; 3], 400.0, 3200.0),
+        ExperimentConfig::new(
+            "pareto-0.5/d3/eps2",
+            Pareto { z: 0.5, dims: 3 },
+            vec![2.0; 3],
+            400.0,
+            12.0,
+        ),
+        ExperimentConfig::new(
+            "pareto-1.0/d3/eps2",
+            Pareto { z: 1.0, dims: 3 },
+            vec![2.0; 3],
+            400.0,
+            420.0,
+        ),
+        ExperimentConfig::new(
+            "pareto-2.0/d3/eps2",
+            Pareto { z: 2.0, dims: 3 },
+            vec![2.0; 3],
+            400.0,
+            3200.0,
+        ),
         // 8-dimensional scalability rows.
-        ExperimentConfig::new("pareto-1.5/d8/eps20/100M", Pareto { z: 1.5, dims: 8 }, vec![20.0; 8], 100.0, 9.0),
-        ExperimentConfig::new("pareto-1.5/d8/eps20/200M", Pareto { z: 1.5, dims: 8 }, vec![20.0; 8], 200.0, 57.0),
-        ExperimentConfig::new("pareto-1.5/d8/eps20/400M", Pareto { z: 1.5, dims: 8 }, vec![20.0; 8], 400.0, 219.0),
-        ExperimentConfig::new("pareto-1.5/d8/eps20/800M", Pareto { z: 1.5, dims: 8 }, vec![20.0; 8], 800.0, 857.0),
+        ExperimentConfig::new(
+            "pareto-1.5/d8/eps20/100M",
+            Pareto { z: 1.5, dims: 8 },
+            vec![20.0; 8],
+            100.0,
+            9.0,
+        ),
+        ExperimentConfig::new(
+            "pareto-1.5/d8/eps20/200M",
+            Pareto { z: 1.5, dims: 8 },
+            vec![20.0; 8],
+            200.0,
+            57.0,
+        ),
+        ExperimentConfig::new(
+            "pareto-1.5/d8/eps20/400M",
+            Pareto { z: 1.5, dims: 8 },
+            vec![20.0; 8],
+            400.0,
+            219.0,
+        ),
+        ExperimentConfig::new(
+            "pareto-1.5/d8/eps20/800M",
+            Pareto { z: 1.5, dims: 8 },
+            vec![20.0; 8],
+            800.0,
+            857.0,
+        ),
         // Reverse Pareto rows (zero output).
-        ExperimentConfig::new("rv-pareto-1.5/d1/eps2", ReversePareto { z: 1.5, dims: 1 }, vec![2.0], 400.0, 0.0),
-        ExperimentConfig::new("rv-pareto-1.5/d1/eps1000", ReversePareto { z: 1.5, dims: 1 }, vec![1000.0], 400.0, 0.0),
-        ExperimentConfig::new("rv-pareto-1.5/d3/eps1000", ReversePareto { z: 1.5, dims: 3 }, vec![1000.0; 3], 400.0, 0.0),
-        ExperimentConfig::new("rv-pareto-1.5/d3/eps2000", ReversePareto { z: 1.5, dims: 3 }, vec![2000.0; 3], 400.0, 0.0),
+        ExperimentConfig::new(
+            "rv-pareto-1.5/d1/eps2",
+            ReversePareto { z: 1.5, dims: 1 },
+            vec![2.0],
+            400.0,
+            0.0,
+        ),
+        ExperimentConfig::new(
+            "rv-pareto-1.5/d1/eps1000",
+            ReversePareto { z: 1.5, dims: 1 },
+            vec![1000.0],
+            400.0,
+            0.0,
+        ),
+        ExperimentConfig::new(
+            "rv-pareto-1.5/d3/eps1000",
+            ReversePareto { z: 1.5, dims: 3 },
+            vec![1000.0; 3],
+            400.0,
+            0.0,
+        ),
+        ExperimentConfig::new(
+            "rv-pareto-1.5/d3/eps2000",
+            ReversePareto { z: 1.5, dims: 3 },
+            vec![2000.0; 3],
+            400.0,
+            0.0,
+        ),
         // ebird ⋈ cloud rows.
         ExperimentConfig::new("ebird-cloud/eps0", EbirdCloud, vec![0.0; 3], 890.0, 0.0),
         ExperimentConfig::new("ebird-cloud/eps1", EbirdCloud, vec![1.0; 3], 890.0, 320.0),
-        ExperimentConfig::new("ebird-cloud/eps1-1-5", EbirdCloud, vec![1.0, 1.0, 5.0], 890.0, 1164.0),
+        ExperimentConfig::new(
+            "ebird-cloud/eps1-1-5",
+            EbirdCloud,
+            vec![1.0, 1.0, 5.0],
+            890.0,
+            1164.0,
+        ),
         ExperimentConfig::new("ebird-cloud/eps2", EbirdCloud, vec![2.0; 3], 890.0, 2134.0),
         ExperimentConfig::new("ebird-cloud/eps4", EbirdCloud, vec![4.0; 3], 890.0, 16998.0),
         // PTF sky-survey rows (band widths of 1 and 3 arc seconds).
-        ExperimentConfig::new("ptf/eps1arcsec", PtfObjects, vec![2.78e-4; 2], 1198.0, 876.0),
-        ExperimentConfig::new("ptf/eps3arcsec", PtfObjects, vec![8.33e-4; 2], 1198.0, 1125.0),
+        ExperimentConfig::new(
+            "ptf/eps1arcsec",
+            PtfObjects,
+            vec![2.78e-4; 2],
+            1198.0,
+            876.0,
+        ),
+        ExperimentConfig::new(
+            "ptf/eps3arcsec",
+            PtfObjects,
+            vec![8.33e-4; 2],
+            1198.0,
+            1125.0,
+        ),
     ]
 }
 
@@ -410,6 +540,9 @@ mod tests {
                 }
             }
         }
-        assert_eq!(exact, 0, "reverse Pareto with eps=1000 must produce no output");
+        assert_eq!(
+            exact, 0,
+            "reverse Pareto with eps=1000 must produce no output"
+        );
     }
 }

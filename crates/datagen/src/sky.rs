@@ -115,8 +115,16 @@ mod tests {
         assert_eq!(r.len(), 2000);
         assert_eq!(r.dims(), 2);
         for key in r.iter() {
-            assert!((0.0..360.0).contains(&key[0]), "ra out of range: {}", key[0]);
-            assert!((-90.0..=90.0).contains(&key[1]), "dec out of range: {}", key[1]);
+            assert!(
+                (0.0..360.0).contains(&key[0]),
+                "ra out of range: {}",
+                key[0]
+            );
+            assert!(
+                (-90.0..=90.0).contains(&key[1]),
+                "dec out of range: {}",
+                key[1]
+            );
         }
     }
 

@@ -87,10 +87,7 @@ impl BirdObservationGenerator {
 
     /// Create the paired weather generator sharing (most of) this generator's hot spots,
     /// which is what produces the correlated density the real datasets exhibit.
-    pub fn paired_weather_generator<R: Rng + ?Sized>(
-        &self,
-        rng: &mut R,
-    ) -> WeatherReportGenerator {
+    pub fn paired_weather_generator<R: Rng + ?Sized>(&self, rng: &mut R) -> WeatherReportGenerator {
         // Weather stations cover the birding hot spots plus a few locations of their own.
         let mut hotspots = self.hotspots.clone();
         let extra = (self.config.hotspots / 4).max(1);

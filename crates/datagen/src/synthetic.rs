@@ -134,8 +134,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let samples: Vec<f64> = (0..50_000).map(|_| gaussian(&mut rng)).collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
-            / samples.len() as f64;
+        let var =
+            samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / samples.len() as f64;
         assert!(mean.abs() < 0.03, "mean {mean} too far from 0");
         assert!((var - 1.0).abs() < 0.05, "variance {var} too far from 1");
     }

@@ -105,6 +105,7 @@ impl CostModel {
 }
 
 /// Solve a 4×4 linear system by Gaussian elimination with partial pivoting.
+#[allow(clippy::needless_range_loop)] // index arithmetic across two rows of `a`
 fn solve4(mut a: [[f64; 4]; 4], mut b: [f64; 4]) -> Option<[f64; 4]> {
     for col in 0..4 {
         // Pivot.

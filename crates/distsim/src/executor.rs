@@ -20,10 +20,13 @@
 use crate::local_join::LocalJoinAlgorithm;
 use crate::machine::{MachineModel, WorkerWork};
 use crate::verify::{check_pairs, exact_join_count, PairCheck};
-use recpart::{BandCondition, LoadModel, PartitionId, Partitioner, PartitioningStats, Relation, WorkerLoad};
+use rayon::prelude::*;
+use recpart::{
+    BandCondition, LoadModel, PartitionId, Partitioner, PartitioningStats, Relation, WorkerLoad,
+};
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
-use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+use std::time::Instant;
 
 /// How thoroughly the executor validates the result of the distributed execution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
@@ -53,7 +56,10 @@ pub struct ExecutorConfig {
     pub machine: MachineModel,
     /// Verification level.
     pub verification: VerificationLevel,
-    /// Number of OS threads used for the local-join phase (0 = all available cores).
+    /// Parallelism of the local-join phase: `0` uses one rayon thread per available
+    /// core, `1` runs strictly sequentially (no thread pool at all), `n > 1` uses a
+    /// rayon pool of `n` threads. Results are bit-identical across all settings; only
+    /// wall-clock timing changes.
     pub threads: usize,
 }
 
@@ -93,6 +99,18 @@ impl ExecutorConfig {
     pub fn with_machine(mut self, machine: MachineModel) -> Self {
         self.machine = machine;
         self
+    }
+
+    /// Bound the local-join phase to `threads` OS threads (0 = all available cores).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Run the local-join phase strictly sequentially (equivalent to
+    /// `with_threads(1)`); useful as a baseline for the parallel backend.
+    pub fn sequential(self) -> Self {
+        self.with_threads(1)
     }
 }
 
@@ -135,6 +153,17 @@ pub struct ExecutionReport {
     pub total_comparisons: u64,
     /// Simulated end-to-end join time (seconds) under the machine model.
     pub simulated_join_seconds: f64,
+    /// Measured wall-clock seconds each partition's local join took on this machine.
+    pub per_partition_wall_seconds: Vec<f64>,
+    /// Measured wall-clock busy seconds per simulated worker: the sum of the local-join
+    /// times of the partitions mapped onto it. The spread across workers shows real
+    /// (not just modelled) load imbalance.
+    pub per_worker_wall_seconds: Vec<f64>,
+    /// Measured wall-clock seconds of the whole local-join phase (all partitions,
+    /// across however many threads the executor was configured with).
+    pub local_join_wall_seconds: f64,
+    /// Number of OS threads the local-join phase ran on (1 = sequential path).
+    pub threads_used: usize,
     /// Exact output size, when verification computed it.
     pub exact_output: Option<u64>,
     /// Whether the distributed output matched the exact result (per the verification
@@ -154,18 +183,51 @@ impl ExecutionReport {
     pub fn load_overhead(&self) -> f64 {
         self.stats.load_overhead()
     }
+
+    /// Measured wall-clock time of the slowest simulated worker (seconds): the
+    /// real-hardware analogue of the paper's `L_m`.
+    pub fn max_worker_wall_seconds(&self) -> f64 {
+        self.per_worker_wall_seconds
+            .iter()
+            .fold(0.0f64, |acc, &s| acc.max(s))
+    }
+}
+
+/// What one partition's local join produces: measured load, materialized pairs (empty
+/// unless pair verification is on), and wall-clock seconds.
+type PartitionJoinOutcome = (PartitionLoad, Vec<(u32, u32)>, f64);
+
+/// Everything produced by the local-join phase.
+struct LocalJoinPhase {
+    per_partition: Vec<PartitionLoad>,
+    per_partition_wall_seconds: Vec<f64>,
+    all_pairs: Option<Vec<(u32, u32)>>,
+    wall_seconds: f64,
+    threads_used: usize,
 }
 
 /// The simulated-cluster executor.
 #[derive(Debug, Clone)]
 pub struct Executor {
     config: ExecutorConfig,
+    /// Thread pool for an explicit `threads > 1` bound, built once per executor so
+    /// repeated `execute` calls do not pay pool construction. `threads == 0` uses the
+    /// ambient rayon context; `threads == 1` bypasses rayon entirely.
+    pool: Option<std::sync::Arc<rayon::ThreadPool>>,
 }
 
 impl Executor {
     /// Create an executor.
     pub fn new(config: ExecutorConfig) -> Self {
-        Executor { config }
+        let pool = (config.threads > 1).then(|| {
+            std::sync::Arc::new(
+                rayon::ThreadPoolBuilder::new()
+                    .num_threads(config.threads)
+                    .build()
+                    .expect("building the local-join thread pool"),
+            )
+        });
+        Executor { config, pool }
     }
 
     /// Convenience constructor with default configuration for `workers` machines.
@@ -209,10 +271,16 @@ impl Executor {
             }
         }
 
-        // --- Reduce: local joins per partition (parallel). ---
+        // --- Reduce: local joins per partition (rayon-parallel). ---
         let materialize = self.config.verification == VerificationLevel::FullPairs;
-        let (per_partition, all_pairs) =
-            self.run_local_joins(s, t, band, &s_parts, &t_parts, materialize);
+        let local = self.run_local_joins(s, t, band, &s_parts, &t_parts, materialize);
+        let LocalJoinPhase {
+            per_partition,
+            per_partition_wall_seconds,
+            all_pairs,
+            wall_seconds: local_join_wall_seconds,
+            threads_used,
+        } = local;
 
         // --- Partition → worker mapping (LPT on measured load). ---
         let partition_to_worker = self.map_partitions_to_workers(&per_partition);
@@ -220,12 +288,14 @@ impl Executor {
         // --- Aggregate per worker. ---
         let workers = self.config.workers;
         let mut per_worker_work = vec![WorkerWork::default(); workers];
+        let mut per_worker_wall_seconds = vec![0.0f64; workers];
         for (p, load) in per_partition.iter().enumerate() {
             let w = partition_to_worker[p] as usize;
             per_worker_work[w].input += load.input();
             per_worker_work[w].output += load.output;
             per_worker_work[w].comparisons += load.comparisons;
             per_worker_work[w].partitions += 1;
+            per_worker_wall_seconds[w] += per_partition_wall_seconds[p];
         }
 
         let output_count: u64 = per_partition.iter().map(|p| p.output).sum();
@@ -278,6 +348,10 @@ impl Executor {
             per_worker_work,
             total_comparisons,
             simulated_join_seconds,
+            per_partition_wall_seconds,
+            per_worker_wall_seconds,
+            local_join_wall_seconds,
+            threads_used,
             exact_output,
             correct,
             pair_check,
@@ -285,6 +359,13 @@ impl Executor {
     }
 
     /// Run the local joins of all partitions, optionally materializing output pairs.
+    ///
+    /// With `config.threads == 1` this is a plain sequential loop; otherwise the
+    /// partitions are joined on a rayon pool (dynamically scheduled, so heavy
+    /// partitions do not serialize behind a static chunking). Both paths visit
+    /// partitions with the same per-partition computation and collect results in
+    /// partition order, so the produced loads and pairs are identical — only the
+    /// wall-clock measurements differ.
     fn run_local_joins(
         &self,
         s: &Relation,
@@ -293,72 +374,66 @@ impl Executor {
         s_parts: &[Vec<u32>],
         t_parts: &[Vec<u32>],
         materialize: bool,
-    ) -> (Vec<PartitionLoad>, Option<Vec<(u32, u32)>>) {
+    ) -> LocalJoinPhase {
         let num_partitions = s_parts.len();
-        let threads = if self.config.threads == 0 {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        } else {
-            self.config.threads
-        }
-        .clamp(1, num_partitions.max(1));
         let algo = self.config.local_algorithm;
 
-        let next = AtomicUsize::new(0);
-        let mut thread_results: Vec<Vec<(usize, PartitionLoad, Vec<(u32, u32)>)>> = Vec::new();
-        crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for _ in 0..threads {
-                let next = &next;
-                handles.push(scope.spawn(move |_| {
-                    let mut local: Vec<(usize, PartitionLoad, Vec<(u32, u32)>)> = Vec::new();
-                    loop {
-                        let p = next.fetch_add(1, AtomicOrdering::Relaxed);
-                        if p >= num_partitions {
-                            break;
-                        }
-                        let mut pairs = Vec::new();
-                        let result = algo.join(
-                            s,
-                            t,
-                            &s_parts[p],
-                            &t_parts[p],
-                            band,
-                            materialize.then_some(&mut pairs),
-                        );
-                        local.push((
-                            p,
-                            PartitionLoad {
-                                s_input: s_parts[p].len() as u64,
-                                t_input: t_parts[p].len() as u64,
-                                output: result.output,
-                                comparisons: result.comparisons,
-                            },
-                            pairs,
-                        ));
-                    }
-                    local
-                }));
-            }
-            thread_results = handles
-                .into_iter()
-                .map(|h| h.join().expect("local-join worker thread panicked"))
-                .collect();
-        })
-        .expect("crossbeam scope failed");
+        let join_one = |p: usize| -> PartitionJoinOutcome {
+            let start = Instant::now();
+            let mut pairs = Vec::new();
+            let result = algo.join(
+                s,
+                t,
+                &s_parts[p],
+                &t_parts[p],
+                band,
+                materialize.then_some(&mut pairs),
+            );
+            let load = PartitionLoad {
+                s_input: s_parts[p].len() as u64,
+                t_input: t_parts[p].len() as u64,
+                output: result.output,
+                comparisons: result.comparisons,
+            };
+            (load, pairs, start.elapsed().as_secs_f64())
+        };
 
-        let mut per_partition = vec![PartitionLoad::default(); num_partitions];
+        let phase_start = Instant::now();
+        let (results, threads_used) = if self.config.threads == 1 {
+            ((0..num_partitions).map(join_one).collect::<Vec<_>>(), 1)
+        } else if self.config.threads == 0 {
+            // Ambient rayon context (the global pool with real rayon): no per-call
+            // pool construction on the hot path.
+            let threads = rayon::current_num_threads().clamp(1, num_partitions.max(1));
+            let results: Vec<PartitionJoinOutcome> =
+                (0..num_partitions).into_par_iter().map(join_one).collect();
+            (results, threads)
+        } else {
+            let pool = self.pool.as_ref().expect("pool exists when threads > 1");
+            let threads = pool.current_num_threads().clamp(1, num_partitions.max(1));
+            let results: Vec<PartitionJoinOutcome> =
+                pool.install(|| (0..num_partitions).into_par_iter().map(join_one).collect());
+            (results, threads)
+        };
+        let wall_seconds = phase_start.elapsed().as_secs_f64();
+
+        let mut per_partition = Vec::with_capacity(num_partitions);
+        let mut per_partition_wall_seconds = Vec::with_capacity(num_partitions);
         let mut all_pairs = materialize.then(Vec::new);
-        for chunk in thread_results {
-            for (p, load, pairs) in chunk {
-                per_partition[p] = load;
-                if let Some(all) = all_pairs.as_mut() {
-                    all.extend(pairs);
-                }
+        for (load, pairs, seconds) in results {
+            per_partition.push(load);
+            per_partition_wall_seconds.push(seconds);
+            if let Some(all) = all_pairs.as_mut() {
+                all.extend(pairs);
             }
         }
-        (per_partition, all_pairs)
+        LocalJoinPhase {
+            per_partition,
+            per_partition_wall_seconds,
+            all_pairs,
+            wall_seconds,
+            threads_used,
+        }
     }
 
     /// Map partitions onto workers: identity when there are at most `w` partitions,
@@ -375,8 +450,7 @@ impl Executor {
             return assignment;
         }
         let mut order: Vec<usize> = (0..n).collect();
-        let load_of =
-            |p: &PartitionLoad| lm.load(p.input() as f64, p.output as f64);
+        let load_of = |p: &PartitionLoad| lm.load(p.input() as f64, p.output as f64);
         order.sort_unstable_by(|&a, &b| {
             load_of(&per_partition[b])
                 .partial_cmp(&load_of(&per_partition[a]))
@@ -465,7 +539,11 @@ mod tests {
         let band = BandCondition::symmetric(&[1.0]);
         let exec = Executor::new(ExecutorConfig::new(4));
         let report = exec.execute(&BrokenPartitioner, &s, &t, &band);
-        assert_eq!(report.correct, Some(false), "verification must catch lost results");
+        assert_eq!(
+            report.correct,
+            Some(false),
+            "verification must catch lost results"
+        );
     }
 
     #[test]
@@ -473,9 +551,8 @@ mod tests {
         let s = random_relation(80, 1, 5);
         let t = random_relation(80, 1, 6);
         let band = BandCondition::symmetric(&[0.8]);
-        let exec = Executor::new(
-            ExecutorConfig::new(2).with_verification(VerificationLevel::FullPairs),
-        );
+        let exec =
+            Executor::new(ExecutorConfig::new(2).with_verification(VerificationLevel::FullPairs));
         let report = exec.execute(&SinglePartition, &s, &t, &band);
         let check = report.pair_check.unwrap();
         assert!(check.is_correct(), "{check:?}");
@@ -515,9 +592,7 @@ mod tests {
                 comparisons: 0,
             })
             .collect();
-        let exec = Executor::new(
-            ExecutorConfig::new(2).with_load_model(LoadModel::new(1.0, 1.0)),
-        );
+        let exec = Executor::new(ExecutorConfig::new(2).with_load_model(LoadModel::new(1.0, 1.0)));
         let mapping = exec.map_partitions_to_workers(&per_partition);
         let mut per_worker = [0u64; 2];
         for (p, &w) in mapping.iter().enumerate() {

@@ -114,8 +114,7 @@ impl LocalJoinAlgorithm {
                 t_sorted.sort_unstable_by(|&a, &b| {
                     t.value(a as usize, 0).total_cmp(&t.value(b as usize, 0))
                 });
-                let t_vals: Vec<f64> =
-                    t_sorted.iter().map(|&i| t.value(i as usize, 0)).collect();
+                let t_vals: Vec<f64> = t_sorted.iter().map(|&i| t.value(i as usize, 0)).collect();
                 let mut result = LocalJoinResult::default();
                 // Sliding window over T while advancing through sorted S.
                 let mut window_start = 0usize;
@@ -305,6 +304,9 @@ mod tests {
     fn names_are_distinct() {
         let names: std::collections::HashSet<&str> = ALGOS.iter().map(|a| a.name()).collect();
         assert_eq!(names.len(), 3);
-        assert_eq!(LocalJoinAlgorithm::default(), LocalJoinAlgorithm::IndexNestedLoop);
+        assert_eq!(
+            LocalJoinAlgorithm::default(),
+            LocalJoinAlgorithm::IndexNestedLoop
+        );
     }
 }

@@ -32,7 +32,8 @@ fn main() {
     );
 
     // RecPart with the full symmetric-partitioning extension.
-    let recpart = RecPart::new(RecPartConfig::new(workers)).optimize(&birds, &weather, &band, &mut rng);
+    let recpart =
+        RecPart::new(RecPartConfig::new(workers)).optimize(&birds, &weather, &band, &mut rng);
 
     // The Grid-ε baseline for comparison.
     let grid = GridPartitioner::build(&birds, &weather, &band, 1.0);
@@ -47,7 +48,11 @@ fn main() {
     );
     for (name, partitioner) in strategies {
         let report = executor.execute(partitioner, &birds, &weather, &band);
-        assert_eq!(report.correct, Some(true), "{name} produced an incorrect result");
+        assert_eq!(
+            report.correct,
+            Some(true),
+            "{name} produced an incorrect result"
+        );
         println!(
             "{:<10} {:>12} {:>10} {:>10} {:>11.1}% {:>11.1}% {:>9.1}s",
             name,

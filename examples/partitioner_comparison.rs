@@ -55,7 +55,11 @@ fn main() {
     );
     for (name, partitioner) in strategies {
         let report = executor.execute(partitioner, s, t, band);
-        assert_eq!(report.correct, Some(true), "{name} produced an incorrect result");
+        assert_eq!(
+            report.correct,
+            Some(true),
+            "{name} produced an incorrect result"
+        );
         println!(
             "{:<10} {:>10} {:>9} {:>9} {:>9.1}% {:>9.1}% {:>10.1}s",
             name,

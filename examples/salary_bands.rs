@@ -37,7 +37,10 @@ fn main() {
     let asymmetric = Band::try_asymmetric(&[250.0], &[100.0]).expect("valid band");
 
     let executor = Executor::with_workers(workers);
-    for (label, band) in [("symmetric ±$100", &symmetric), ("asymmetric -$250/+$100", &asymmetric)] {
+    for (label, band) in [
+        ("symmetric ±$100", &symmetric),
+        ("asymmetric -$250/+$100", &asymmetric),
+    ] {
         // A load model with cheap output (β₂/β₃ = 8) — e.g. results stream to a sink.
         let config = RecPartConfig::new(workers).with_load_model(LoadModel::new(8.0, 1.0));
         let result = RecPart::new(config).optimize(&engineers, &managers, band, &mut rng);
@@ -45,7 +48,10 @@ fn main() {
         assert_eq!(report.correct, Some(true));
         println!("== {label} ==");
         println!("  matching pairs      : {}", report.stats.output_len);
-        println!("  partitions          : {}", result.partitioner.num_partitions());
+        println!(
+            "  partitions          : {}",
+            result.partitioner.num_partitions()
+        );
         println!(
             "  duplication overhead: {:.2}%",
             100.0 * report.duplication_overhead()

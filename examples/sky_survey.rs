@@ -47,7 +47,11 @@ fn main() {
         ("1-Bucket", &one_bucket as &dyn Partitioner),
     ] {
         let report = executor.execute(partitioner, &detections_a, &detections_b, &band);
-        assert_eq!(report.correct, Some(true), "{name} produced an incorrect result");
+        assert_eq!(
+            report.correct,
+            Some(true),
+            "{name} produced an incorrect result"
+        );
         println!(
             "{:<10} {:>12} {:>10} {:>10} {:>11.1}% {:>11.1}%",
             name,

@@ -1,0 +1,373 @@
+//! Offline stand-in for the [`rayon`](https://crates.io/crates/rayon) crate.
+//!
+//! Implements the subset of rayon's API this workspace uses on top of
+//! `std::thread::scope`: parallel iterators over ranges, vectors, and slices with
+//! `map` / `for_each` / `sum` / `collect`, plus [`ThreadPoolBuilder`] /
+//! [`ThreadPool::install`] for bounding the thread count.
+//!
+//! Scheduling is dynamic: worker threads pull item indices from a shared atomic
+//! cursor, so skewed per-item costs (exactly the workload of a band-join with heavy
+//! partitions) still balance. Results are returned in input order, matching rayon's
+//! `IndexedParallelIterator` semantics for `collect`.
+
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Re-exports that mirror `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator};
+}
+
+thread_local! {
+    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Number of threads parallel operations will use in the current context.
+pub fn current_num_threads() -> usize {
+    POOL_THREADS
+        .with(|t| t.get())
+        .unwrap_or_else(default_threads)
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bound the number of worker threads (0 keeps the default, like rayon).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Build the pool. Infallible in this shim; the `Result` mirrors rayon.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads.unwrap_or_else(default_threads),
+        })
+    }
+}
+
+/// Error type mirroring rayon's (never produced by this shim).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A scope that bounds the parallelism of the operations run inside [`install`].
+///
+/// [`install`]: ThreadPool::install
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `op` with this pool's thread count governing nested parallel operations.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        // Restore the previous thread count even if `op` panics, so a caught panic
+        // cannot leave this thread stuck with a stale pool configuration.
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_THREADS.with(|t| t.set(self.0));
+            }
+        }
+        let _restore = Restore(POOL_THREADS.with(|t| t.replace(Some(self.num_threads))));
+        op()
+    }
+
+    /// This pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Apply `f` to every element of `items` on the current context's threads, returning
+/// results in input order. Scheduling is dynamic (shared atomic cursor), so skewed
+/// per-item costs balance across threads.
+fn par_map_vec<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
+    let n = items.len();
+    let threads = current_num_threads().clamp(1, n.max(1));
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Item cells the workers drain; the Mutex lets each worker `take` its item (the
+    // cursor guarantees every index is claimed exactly once, so locks never contend).
+    let cells: Vec<Mutex<Option<T>>> = items.into_iter().map(|x| Mutex::new(Some(x))).collect();
+    let cursor = AtomicUsize::new(0);
+    let f = &f;
+    let cells = &cells;
+    let cursor = &cursor;
+
+    let mut chunks: Vec<Vec<(usize, R)>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let item = cells[i]
+                            .lock()
+                            .expect("rayon shim: item mutex poisoned")
+                            .take()
+                            .expect("rayon shim: item taken twice");
+                        local.push((i, f(item)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        chunks = handles
+            .into_iter()
+            .map(|h| h.join().expect("rayon shim: worker thread panicked"))
+            .collect();
+    });
+
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for chunk in chunks {
+        for (i, r) in chunk {
+            out[i] = Some(r);
+        }
+    }
+    out.into_iter()
+        .map(|r| r.expect("rayon shim: missing result"))
+        .collect()
+}
+
+/// A parallel iterator: a materialized item list plus the composed per-item function.
+/// Adaptors compose the function; terminal operations run one parallel pass.
+pub struct ParIter<T, R, F>
+where
+    F: Fn(T) -> R + Sync,
+{
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, R: Send, F> ParIter<T, R, F>
+where
+    F: Fn(T) -> R + Sync,
+{
+    /// Map each element through `g` (lazily composed; still one parallel pass).
+    pub fn map<R2: Send>(
+        self,
+        g: impl Fn(R) -> R2 + Sync,
+    ) -> ParIter<T, R2, impl Fn(T) -> R2 + Sync> {
+        let f = self.f;
+        ParIter {
+            items: self.items,
+            f: move |t| g(f(t)),
+        }
+    }
+
+    /// Execute in parallel, returning results in input order.
+    pub fn run(self) -> Vec<R> {
+        par_map_vec(self.items, self.f)
+    }
+
+    /// Apply the composed function to every element in parallel, discarding results.
+    pub fn for_each(self, g: impl Fn(R) + Sync) {
+        let _ = self.map(g).run();
+    }
+
+    /// Sum all results in parallel.
+    pub fn sum<S: std::iter::Sum<R>>(self) -> S {
+        self.run().into_iter().sum()
+    }
+
+    /// Collect in-order results into `C`.
+    pub fn collect<C: FromParallelIterator<R>>(self) -> C {
+        C::from_par_results(self.run())
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether there are no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// A freshly created (not yet mapped) parallel iterator over `T`s.
+pub type BaseParIter<T> = ParIter<T, T, fn(T) -> T>;
+
+/// Types convertible into a parallel iterator (mirrors rayon's trait of the same name).
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> BaseParIter<Self::Item>;
+}
+
+/// `par_iter()` on references (mirrors rayon's `IntoParallelRefIterator`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type (a reference).
+    type Item: Send + 'a;
+    /// Parallel iterator over references.
+    fn par_iter(&'a self) -> BaseParIter<Self::Item>;
+}
+
+fn identity_iter<T: Send>(items: Vec<T>) -> BaseParIter<T> {
+    ParIter {
+        items,
+        f: std::convert::identity,
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> BaseParIter<usize> {
+        identity_iter(self.collect())
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<u32> {
+    type Item = u32;
+    fn into_par_iter(self) -> BaseParIter<u32> {
+        identity_iter(self.collect())
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> BaseParIter<T> {
+        identity_iter(self)
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> BaseParIter<&'a T> {
+        identity_iter(self.iter().collect())
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> BaseParIter<&'a T> {
+        identity_iter(self.iter().collect())
+    }
+}
+
+/// Collecting from a parallel iterator (mirrors rayon's trait of the same name).
+pub trait FromParallelIterator<T> {
+    /// Build the collection from in-order results.
+    fn from_par_results(results: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_par_results(results: Vec<T>) -> Self {
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chained_maps_compose() {
+        let out: Vec<usize> = (0..100usize)
+            .into_par_iter()
+            .map(|i| i + 1)
+            .map(|i| i * 3)
+            .collect();
+        assert_eq!(out[0], 3);
+        assert_eq!(out[99], 300);
+    }
+
+    #[test]
+    fn skewed_work_completes() {
+        // Heavily skewed per-item cost; dynamic scheduling must still finish.
+        let out: Vec<u64> = (0..64usize)
+            .into_par_iter()
+            .map(|i| {
+                let reps = if i == 0 { 200_000u64 } else { 100 };
+                (0..reps).sum::<u64>().wrapping_add(i as u64)
+            })
+            .collect();
+        assert_eq!(out.len(), 64);
+        assert_eq!(out[1], (0..100u64).sum::<u64>() + 1);
+    }
+
+    #[test]
+    fn pool_install_bounds_threads() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        pool.install(|| {
+            assert_eq!(current_num_threads(), 2);
+            let out: Vec<usize> = (0..100usize).into_par_iter().map(|i| i + 1).collect();
+            assert_eq!(out[99], 100);
+        });
+        assert_ne!(
+            POOL_THREADS.with(|t| t.get()),
+            Some(2),
+            "install must restore"
+        );
+    }
+
+    #[test]
+    fn par_iter_over_slice() {
+        let data = vec![1u64, 2, 3, 4];
+        let doubled: Vec<u64> = data.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let total: u64 = data.par_iter().map(|&x| x).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let out: Vec<usize> = pool.install(|| (0..10usize).into_par_iter().map(|i| i).collect());
+        assert_eq!(out, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn for_each_and_sum() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let hits = AtomicU64::new(0);
+        (0..50usize).into_par_iter().for_each(|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 50);
+        let s: usize = (0..10usize).into_par_iter().map(|i| i).sum();
+        assert_eq!(s, 45);
+    }
+}

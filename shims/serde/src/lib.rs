@@ -1,0 +1,421 @@
+//! Offline stand-in for the [`serde`](https://crates.io/crates/serde) crate.
+//!
+//! The build environment has no crate registry, so this shim implements serialization
+//! through a simple JSON-like value tree ([`Value`]) instead of serde's
+//! visitor/serializer architecture:
+//!
+//! * [`Serialize`] converts a value into a [`Value`];
+//! * [`Deserialize`] reconstructs a value from a [`Value`];
+//! * `#[derive(Serialize, Deserialize)]` is provided by the sibling `serde_derive`
+//!   proc-macro crate (re-exported here, like the real serde's `derive` feature) and
+//!   follows serde's externally-tagged representation for enums.
+//!
+//! Only the surface used by this workspace is provided. Swapping in the real serde
+//! later requires no source changes at the usage sites — only `Cargo.toml`.
+
+#![warn(missing_docs)]
+
+// Derive macros and traits live in different namespaces, so `serde::Serialize` works
+// both as a trait bound and inside `#[derive(..)]`, exactly like the real serde.
+pub use serde_derive::Deserialize;
+pub use serde_derive::Serialize;
+
+use std::fmt;
+
+/// A JSON-like tree: the data model all (de)serialization goes through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Unsigned integer (kept exact; not folded into `f64`).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Value>),
+    /// Object; insertion-ordered `(key, value)` pairs.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The entries of an object, if this is one.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The elements of an array, if this is one.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric value widened to `f64`, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::U64(v) => Some(v as f64),
+            Value::I64(v) => Some(v as f64),
+            Value::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Error raised during (de)serialization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error(String);
+
+impl Error {
+    /// Build an error with a custom message.
+    pub fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types convertible into the [`Value`] data model.
+pub trait Serialize {
+    /// Convert `self` into a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuild from a value tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Fetch a field from an object by key (helper used by derived code).
+pub fn __get<'a>(map: &'a [(String, Value)], key: &str) -> Result<&'a Value, Error> {
+    map.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| Error::custom(format!("missing field `{key}`")))
+}
+
+// --- Serialize impls for primitives and std containers. ---
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match *v {
+                    Value::U64(x) => <$t>::try_from(x).map_err(Error::custom),
+                    Value::I64(x) => <$t>::try_from(x).map_err(Error::custom),
+                    _ => Err(Error::custom(concat!("expected unsigned integer for ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::I64(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match *v {
+                    Value::I64(x) => <$t>::try_from(x).map_err(Error::custom),
+                    Value::U64(x) => <$t>::try_from(x).map_err(Error::custom),
+                    _ => Err(Error::custom(concat!("expected integer for ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+ser_int!(i8, i16, i32, i64, isize);
+
+// 128-bit integers exceed the JSON number range; represent them as decimal strings
+// (serde_json does the same under its `arbitrary_precision`-less default for i128 —
+// it errors — so a lossless string is the pragmatic shim choice).
+impl Serialize for u128 {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for u128 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => s.parse().map_err(Error::custom),
+            Value::U64(x) => Ok(*x as u128),
+            _ => Err(Error::custom("expected string or integer for u128")),
+        }
+    }
+}
+
+impl Serialize for i128 {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for i128 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => s.parse().map_err(Error::custom),
+            Value::U64(x) => Ok(*x as i128),
+            Value::I64(x) => Ok(*x as i128),
+            _ => Err(Error::custom("expected string or integer for i128")),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+            .ok_or_else(|| Error::custom("expected number for f64"))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+            .map(|x| x as f32)
+            .ok_or_else(|| Error::custom("expected number for f32"))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match *v {
+            Value::Bool(b) => Ok(b),
+            _ => Err(Error::custom("expected bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::custom("expected string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(Error::custom("expected single-character string")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_seq()
+            .ok_or_else(|| Error::custom("expected array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let s = v
+            .as_seq()
+            .ok_or_else(|| Error::custom("expected 2-tuple"))?;
+        if s.len() != 2 {
+            return Err(Error::custom("expected 2-tuple"));
+        }
+        Ok((A::from_value(&s[0])?, B::from_value(&s[1])?))
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let s = v
+            .as_seq()
+            .ok_or_else(|| Error::custom("expected 3-tuple"))?;
+        if s.len() != 3 {
+            return Err(Error::custom("expected 3-tuple"));
+        }
+        Ok((
+            A::from_value(&s[0])?,
+            B::from_value(&s[1])?,
+            C::from_value(&s[2])?,
+        ))
+    }
+}
+
+// Maps serialize as a sequence of `[key, value]` pairs: JSON objects require string
+// keys, and this workspace keys maps by compound values (e.g. `Vec<i64>` grid cells).
+impl<K: Serialize, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        Value::Seq(
+            self.iter()
+                .map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K, V> Deserialize for std::collections::HashMap<K, V>
+where
+    K: Deserialize + Eq + std::hash::Hash,
+    V: Deserialize,
+{
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_seq()
+            .ok_or_else(|| Error::custom("expected array of [key, value] pairs"))?
+            .iter()
+            .map(|entry| {
+                let pair = entry
+                    .as_seq()
+                    .filter(|s| s.len() == 2)
+                    .ok_or_else(|| Error::custom("expected [key, value] pair"))?;
+                Ok((K::from_value(&pair[0])?, V::from_value(&pair[1])?))
+            })
+            .collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Seq(
+            self.iter()
+                .map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K, V> Deserialize for std::collections::BTreeMap<K, V>
+where
+    K: Deserialize + Ord,
+    V: Deserialize,
+{
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_seq()
+            .ok_or_else(|| Error::custom("expected array of [key, value] pairs"))?
+            .iter()
+            .map(|entry| {
+                let pair = entry
+                    .as_seq()
+                    .filter(|s| s.len() == 2)
+                    .ok_or_else(|| Error::custom("expected [key, value] pair"))?;
+                Ok((K::from_value(&pair[0])?, V::from_value(&pair[1])?))
+            })
+            .collect()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}

@@ -1,0 +1,436 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline serde shim.
+//!
+//! The registry-less build environment has no `syn`/`quote`, so this macro parses the
+//! item's `TokenStream` by hand. It supports exactly the shapes present in this
+//! workspace:
+//!
+//! * structs with named fields, tuple structs (newtype and n-ary), unit structs;
+//! * enums with unit, tuple, and struct variants (externally tagged, like serde:
+//!   `"Variant"`, `{"Variant": value}`, `{"Variant": [..]}`, `{"Variant": {..}}`);
+//! * arbitrary attributes (doc comments, `#[default]`, …) are skipped;
+//! * **no generics** — deriving on a generic type is a compile error with a clear
+//!   message, which is fine for this workspace and keeps the parser honest.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derive the shim's `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().unwrap(),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derive the shim's `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item).parse().unwrap(),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+// --- Parsing ------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip outer attributes and visibility.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde shim derive does not support generics (on type `{name}`)"
+            ));
+        }
+    }
+
+    match kind.as_str() {
+        "struct" => {
+            let shape = match tokens.next() {
+                None => Shape::Unit,
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(count_tuple_fields(g.stream()))
+                }
+                other => return Err(format!("unexpected token after struct name: {other:?}")),
+            };
+            Ok(Item::Struct { name, shape })
+        }
+        "enum" => {
+            let body = match tokens.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => return Err(format!("expected enum body, found {other:?}")),
+            };
+            Ok(Item::Enum {
+                name,
+                variants: parse_variants(body)?,
+            })
+        }
+        other => Err(format!("expected `struct` or `enum`, found `{other}`")),
+    }
+}
+
+/// Field names of a named-field body, in declaration order.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(tree) = tokens.next() else { break };
+        let TokenTree::Ident(field) = tree else {
+            return Err(format!("expected field name, found {tree:?}"));
+        };
+        fields.push(field.to_string());
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field, found {other:?}")),
+        }
+        // Consume the type up to the next top-level comma (angle-bracket aware).
+        let mut angle_depth = 0i32;
+        for tree in tokens.by_ref() {
+            match &tree {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    Ok(fields)
+}
+
+/// Number of fields of a tuple body (top-level comma count, trailing comma aware).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut saw_tokens = false;
+    let mut angle_depth = 0i32;
+    let mut last_was_comma = false;
+    for tree in stream {
+        saw_tokens = true;
+        last_was_comma = false;
+        match &tree {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                last_was_comma = true;
+            }
+            _ => {}
+        }
+    }
+    if !saw_tokens {
+        0
+    } else if last_was_comma {
+        count
+    } else {
+        count + 1
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip attributes before the variant name (doc comments, #[default], …).
+        while let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == '#' {
+                tokens.next();
+                tokens.next();
+            } else {
+                break;
+            }
+        }
+        let Some(tree) = tokens.next() else { break };
+        let TokenTree::Ident(name) = tree else {
+            return Err(format!("expected variant name, found {tree:?}"));
+        };
+        let shape = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                tokens.next();
+                Shape::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                tokens.next();
+                Shape::Named(fields)
+            }
+            _ => Shape::Unit,
+        };
+        variants.push(Variant {
+            name: name.to_string(),
+            shape,
+        });
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            None => break,
+            other => return Err(format!("expected `,` between variants, found {other:?}")),
+        }
+    }
+    Ok(variants)
+}
+
+// --- Code generation ----------------------------------------------------------------
+
+/// `serde::Value::Map(vec![(name, value), ..])` expression for named fields accessed
+/// through `accessor(field)`.
+fn map_expr(fields: &[String], accessor: impl Fn(&str) -> String) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "({f:?}.to_string(), serde::Serialize::to_value(&{access}))",
+                access = accessor(f)
+            )
+        })
+        .collect();
+    format!("serde::Value::Map(vec![{}])", entries.join(", "))
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => "serde::Value::Null".to_string(),
+                Shape::Tuple(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+                Shape::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("serde::Value::Seq(vec![{}])", elems.join(", "))
+                }
+                Shape::Named(fields) => map_expr(fields, |f| format!("self.{f}")),
+            };
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        Shape::Unit => format!(
+                            "{name}::{vname} => serde::Value::Str({vname:?}.to_string()),"
+                        ),
+                        Shape::Tuple(n) => {
+                            let binders: Vec<String> =
+                                (0..*n).map(|i| format!("__f{i}")).collect();
+                            let inner = if *n == 1 {
+                                "serde::Serialize::to_value(__f0)".to_string()
+                            } else {
+                                let elems: Vec<String> = binders
+                                    .iter()
+                                    .map(|b| format!("serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!("serde::Value::Seq(vec![{}])", elems.join(", "))
+                            };
+                            format!(
+                                "{name}::{vname}({binds}) => serde::Value::Map(vec![({vname:?}.to_string(), {inner})]),",
+                                binds = binders.join(", ")
+                            )
+                        }
+                        Shape::Named(fields) => {
+                            let inner = map_expr(fields, |f| format!("(*{f})"));
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => serde::Value::Map(vec![({vname:?}.to_string(), {inner})]),",
+                                binds = fields.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         match self {{\n{}\n}}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+/// Expression rebuilding named fields `{ f: .., .. }` from a map expression `__map`.
+fn named_ctor(fields: &[String]) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| format!("{f}: serde::Deserialize::from_value(serde::__get(__map, {f:?})?)?"))
+        .collect();
+    format!("{{ {} }}", inits.join(", "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => format!("let _ = __v; Ok({name})"),
+                Shape::Tuple(1) => {
+                    format!("Ok({name}(serde::Deserialize::from_value(__v)?))")
+                }
+                Shape::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|i| format!("serde::Deserialize::from_value(&__seq[{i}])?"))
+                        .collect();
+                    format!(
+                        "let __seq = __v.as_seq().ok_or_else(|| serde::Error::custom(\"expected array for {name}\"))?;\n\
+                         if __seq.len() != {n} {{ return Err(serde::Error::custom(\"wrong arity for {name}\")); }}\n\
+                         Ok({name}({}))",
+                        elems.join(", ")
+                    )
+                }
+                Shape::Named(fields) => format!(
+                    "let __map = __v.as_map().ok_or_else(|| serde::Error::custom(\"expected map for {name}\"))?;\n\
+                     Ok({name} {})",
+                    named_ctor(fields)
+                ),
+            };
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &serde::Value) -> Result<Self, serde::Error> {{\n{body}\n}}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, Shape::Unit))
+                .map(|v| format!("{vn:?} => Ok({name}::{vn}),", vn = v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        Shape::Unit => None,
+                        Shape::Tuple(1) => Some(format!(
+                            "{vn:?} => Ok({name}::{vn}(serde::Deserialize::from_value(__inner)?)),"
+                        )),
+                        Shape::Tuple(n) => {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| format!("serde::Deserialize::from_value(&__seq[{i}])?"))
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => {{\n\
+                                     let __seq = __inner.as_seq().ok_or_else(|| serde::Error::custom(\"expected array for {name}::{vn}\"))?;\n\
+                                     if __seq.len() != {n} {{ return Err(serde::Error::custom(\"wrong arity for {name}::{vn}\")); }}\n\
+                                     Ok({name}::{vn}({}))\n\
+                                 }}",
+                                elems.join(", ")
+                            ))
+                        }
+                        Shape::Named(fields) => Some(format!(
+                            "{vn:?} => {{\n\
+                                 let __map = __inner.as_map().ok_or_else(|| serde::Error::custom(\"expected map for {name}::{vn}\"))?;\n\
+                                 Ok({name}::{vn} {})\n\
+                             }}",
+                            named_ctor(fields)
+                        )),
+                    }
+                })
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                         match __v {{\n\
+                             serde::Value::Str(__s) => match __s.as_str() {{\n\
+                                 {unit}\n\
+                                 __other => Err(serde::Error::custom(format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                             }},\n\
+                             serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+                                 let (__tag, __inner) = &__entries[0];\n\
+                                 match __tag.as_str() {{\n\
+                                     {data}\n\
+                                     __other => Err(serde::Error::custom(format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             _ => Err(serde::Error::custom(\"expected string or single-entry map for enum {name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                unit = unit_arms.join("\n"),
+                data = data_arms.join("\n")
+            )
+        }
+    }
+}

@@ -1,0 +1,374 @@
+//! Offline stand-in for [`serde_json`](https://crates.io/crates/serde_json).
+//!
+//! Serializes the shim serde's [`Value`] tree to JSON text and parses it back. The
+//! functions used by this workspace (`to_string`, `to_string_pretty`, `from_str`)
+//! match the real crate's signatures.
+
+#![warn(missing_docs)]
+
+pub use serde::Error;
+use serde::{Deserialize, Serialize, Value};
+
+/// Serialize `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0)?;
+    Ok(out)
+}
+
+/// Serialize `value` as pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0)?;
+    Ok(out)
+}
+
+/// Parse a value of type `T` from JSON text.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut parser = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error::custom("trailing characters after JSON value"));
+    }
+    T::from_value(&value)
+}
+
+// --- Writer -------------------------------------------------------------------------
+
+fn write_value(
+    out: &mut String,
+    v: &Value,
+    indent: Option<usize>,
+    level: usize,
+) -> Result<(), Error> {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(x) => {
+            if !x.is_finite() {
+                return Err(Error::custom("JSON cannot represent NaN or infinity"));
+            }
+            // `{:?}` prints the shortest representation that round-trips through
+            // `str::parse::<f64>`, and always includes a `.` or exponent.
+            out.push_str(&format!("{x:?}"));
+        }
+        Value::Str(s) => write_json_string(out, s),
+        Value::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return Ok(());
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_value(out, item, indent, level + 1)?;
+            }
+            newline_indent(out, indent, level);
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return Ok(());
+            }
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_json_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, indent, level + 1)?;
+            }
+            newline_indent(out, indent, level);
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * level {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// --- Parser -------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.bump() == Some(b) {
+            Ok(())
+        } else {
+            Err(Error::custom(format!(
+                "expected `{}` at byte {}",
+                b as char,
+                self.pos.saturating_sub(1)
+            )))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> Result<(), Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(Error::custom(format!(
+                "invalid literal at byte {}",
+                self.pos
+            )))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => {
+                self.eat_literal("null")?;
+                Ok(Value::Null)
+            }
+            Some(b't') => {
+                self.eat_literal("true")?;
+                Ok(Value::Bool(true))
+            }
+            Some(b'f') => {
+                self.eat_literal("false")?;
+                Ok(Value::Bool(false))
+            }
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => {
+                self.bump();
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.bump();
+                    return Ok(Value::Seq(items));
+                }
+                loop {
+                    items.push(self.parse_value()?);
+                    self.skip_ws();
+                    match self.bump() {
+                        Some(b',') => continue,
+                        Some(b']') => return Ok(Value::Seq(items)),
+                        _ => return Err(Error::custom("expected `,` or `]` in array")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.bump();
+                let mut entries = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.bump();
+                    return Ok(Value::Map(entries));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    let value = self.parse_value()?;
+                    entries.push((key, value));
+                    self.skip_ws();
+                    match self.bump() {
+                        Some(b',') => continue,
+                        Some(b'}') => return Ok(Value::Map(entries)),
+                        _ => return Err(Error::custom("expected `,` or `}` in object")),
+                    }
+                }
+            }
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            _ => Err(Error::custom(format!("unexpected byte at {}", self.pos))),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(Error::custom("unterminated string")),
+                Some(b'"') => return Ok(s),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => s.push('"'),
+                    Some(b'\\') => s.push('\\'),
+                    Some(b'/') => s.push('/'),
+                    Some(b'n') => s.push('\n'),
+                    Some(b'r') => s.push('\r'),
+                    Some(b't') => s.push('\t'),
+                    Some(b'b') => s.push('\u{8}'),
+                    Some(b'f') => s.push('\u{c}'),
+                    Some(b'u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self
+                                .bump()
+                                .and_then(|b| (b as char).to_digit(16))
+                                .ok_or_else(|| Error::custom("bad \\u escape"))?;
+                            code = code * 16 + d;
+                        }
+                        // Surrogate pairs are not produced by our writer; reject them.
+                        let c = char::from_u32(code)
+                            .ok_or_else(|| Error::custom("invalid \\u escape"))?;
+                        s.push(c);
+                    }
+                    _ => return Err(Error::custom("invalid escape")),
+                },
+                Some(b) if b < 0x80 => s.push(b as char),
+                Some(b) => {
+                    // Re-assemble the multi-byte UTF-8 sequence starting at `b`.
+                    let start = self.pos - 1;
+                    let len = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let end = (start + len).min(self.bytes.len());
+                    let chunk = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| Error::custom("invalid UTF-8 in string"))?;
+                    s.push_str(chunk);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.bump();
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => {
+                    self.bump();
+                }
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::custom("invalid number"))?;
+        if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::U64(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::I64(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error::custom(format!("invalid number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(to_string(&42u64).unwrap(), "42");
+        assert_eq!(from_str::<u64>("42").unwrap(), 42);
+        assert_eq!(to_string(&-7i32).unwrap(), "-7");
+        assert_eq!(from_str::<i32>("-7").unwrap(), -7);
+        assert!(from_str::<bool>("true").unwrap());
+        assert_eq!(from_str::<Option<u32>>("null").unwrap(), None);
+        let x = 0.1f64 + 0.2;
+        let json = to_string(&x).unwrap();
+        assert_eq!(
+            from_str::<f64>(&json).unwrap(),
+            x,
+            "f64 must round-trip exactly"
+        );
+    }
+
+    #[test]
+    fn strings_escape_and_round_trip() {
+        let s = "hé \"quoted\"\n\tline\\end \u{1F600}".to_string();
+        let json = to_string(&s).unwrap();
+        assert_eq!(from_str::<String>(&json).unwrap(), s);
+    }
+
+    #[test]
+    fn nested_containers_round_trip() {
+        let v: Vec<(String, Vec<f64>)> = vec![("a".into(), vec![1.0, 2.5]), ("b".into(), vec![])];
+        let json = to_string_pretty(&v).unwrap();
+        let back: Vec<(String, Vec<f64>)> = from_str(&json).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn pretty_output_is_indented() {
+        let json = to_string_pretty(&vec![1u32, 2]).unwrap();
+        assert!(json.contains('\n'));
+        assert!(json.contains("  1"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<u64>("4 2").is_err());
+        assert!(from_str::<u64>("{").is_err());
+        assert!(from_str::<String>("\"open").is_err());
+        assert!(to_string(&f64::NAN).is_err());
+    }
+}

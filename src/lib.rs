@@ -48,15 +48,18 @@ pub use recpart;
 
 /// One-stop imports for applications.
 pub mod prelude {
-    pub use baselines::{CsioConfig, CsioPartitioner, GridPartitioner, GridStarPartitioner, IEJoinPartitioner, OneBucket};
+    pub use baselines::{
+        CsioConfig, CsioPartitioner, GridPartitioner, GridStarPartitioner, IEJoinPartitioner,
+        OneBucket,
+    };
     pub use datagen;
     pub use distsim::{
-        exact_join_count, CostModel, ExecutionReport, Executor, ExecutorConfig,
-        LocalJoinAlgorithm, MachineModel, VerificationLevel,
+        exact_join_count, CostModel, ExecutionReport, Executor, ExecutorConfig, LocalJoinAlgorithm,
+        MachineModel, VerificationLevel,
     };
     pub use recpart::{
-        BandCondition, LoadModel, OptimizationReport, PartitionId, Partitioner,
-        PartitioningStats, RecPart, RecPartConfig, RecPartResult, Relation, SampleConfig,
-        SplitTreePartitioner, Termination,
+        BandCondition, LoadModel, OptimizationReport, PartitionId, Partitioner, PartitioningStats,
+        RecPart, RecPartConfig, RecPartResult, Relation, SampleConfig, SplitTreePartitioner,
+        Termination,
     };
 }

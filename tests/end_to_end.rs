@@ -17,7 +17,12 @@ fn workloads() -> Vec<(&'static str, Relation, Relation, BandCondition)> {
     // 3-D Pareto workload with a wider band.
     let s = datagen::pareto_relation(1_500, 3, 1.5, &mut rng);
     let t = datagen::pareto_relation(1_500, 3, 1.5, &mut rng);
-    out.push(("pareto-3d", s, t, BandCondition::symmetric(&[1.0, 1.0, 1.0])));
+    out.push((
+        "pareto-3d",
+        s,
+        t,
+        BandCondition::symmetric(&[1.0, 1.0, 1.0]),
+    ));
 
     // Anti-correlated (reverse Pareto) workload: output is empty but partitioning must
     // still be correct and every tuple assigned.
@@ -98,7 +103,8 @@ fn every_partitioner_produces_the_exact_result_on_every_workload() {
         for partitioner in all_partitioners(&s, &t, &band, workers, 7) {
             let report = executor.execute(partitioner.as_ref(), &s, &t, &band);
             assert_eq!(
-                report.stats.output_len, exact,
+                report.stats.output_len,
+                exact,
                 "strategy {} lost or duplicated results on workload {name}",
                 partitioner.name()
             );

@@ -1,0 +1,135 @@
+//! Sequential vs. rayon-parallel executor equivalence: the parallel backend must be a
+//! pure wall-clock optimization — same join output (byte-identical pairs), same stats,
+//! same per-partition loads — while surfacing real per-worker wall-clock timing.
+
+use band_join::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn workload() -> (Relation, Relation, BandCondition) {
+    let mut rng = StdRng::seed_from_u64(2020);
+    let s = datagen::pareto_relation(4_000, 1, 1.5, &mut rng);
+    let t = datagen::pareto_relation(4_000, 1, 1.5, &mut rng);
+    (s, t, BandCondition::symmetric(&[0.01]))
+}
+
+fn recpart_partitioner(
+    s: &Relation,
+    t: &Relation,
+    band: &BandCondition,
+    workers: usize,
+) -> SplitTreePartitioner {
+    let mut rng = StdRng::seed_from_u64(7);
+    RecPart::new(RecPartConfig::new(workers).with_seed(7))
+        .optimize(s, t, band, &mut rng)
+        .partitioner
+}
+
+#[test]
+fn parallel_executor_matches_sequential_bit_for_bit() {
+    let workers = 8;
+    let (s, t, band) = workload();
+    let partitioner = recpart_partitioner(&s, &t, &band, workers);
+
+    let sequential = Executor::new(
+        ExecutorConfig::new(workers)
+            .with_verification(VerificationLevel::FullPairs)
+            .sequential(),
+    )
+    .execute(&partitioner, &s, &t, &band);
+    let parallel =
+        Executor::new(ExecutorConfig::new(workers).with_verification(VerificationLevel::FullPairs))
+            .execute(&partitioner, &s, &t, &band);
+
+    // Both paths are exact.
+    assert_eq!(sequential.correct, Some(true));
+    assert_eq!(parallel.correct, Some(true));
+
+    // Identical success measures and per-partition accounting.
+    assert_eq!(sequential.stats, parallel.stats);
+    assert_eq!(sequential.per_partition, parallel.per_partition);
+    assert_eq!(sequential.partition_to_worker, parallel.partition_to_worker);
+    assert_eq!(sequential.total_comparisons, parallel.total_comparisons);
+    assert_eq!(sequential.exact_output, parallel.exact_output);
+
+    // Byte-identical join results: the materialized pair lists match exactly
+    // (same pairs, same order), not just as multisets.
+    let seq_pairs = sequential.pair_check.as_ref().expect("pairs materialized");
+    let par_pairs = parallel.pair_check.as_ref().expect("pairs materialized");
+    assert_eq!(seq_pairs, par_pairs);
+
+    // The sequential path reports exactly one thread; the parallel path reports
+    // however many the machine offers (at least one).
+    assert_eq!(sequential.threads_used, 1);
+    assert!(parallel.threads_used >= 1);
+}
+
+#[test]
+fn executor_reports_wall_clock_per_worker() {
+    let workers = 4;
+    let (s, t, band) = workload();
+    let partitioner = recpart_partitioner(&s, &t, &band, workers);
+    let report = Executor::with_workers(workers).execute(&partitioner, &s, &t, &band);
+
+    // One wall-clock measurement per partition and per worker.
+    assert_eq!(report.per_partition_wall_seconds.len(), report.partitions);
+    assert_eq!(report.per_worker_wall_seconds.len(), workers);
+    assert!(report
+        .per_partition_wall_seconds
+        .iter()
+        .all(|&s| s.is_finite() && s >= 0.0));
+
+    // Per-worker busy time is the sum of its partitions' times.
+    let mut expected = vec![0.0f64; workers];
+    for (p, &w) in report.partition_to_worker.iter().enumerate() {
+        expected[w as usize] += report.per_partition_wall_seconds[p];
+    }
+    for (w, &got) in report.per_worker_wall_seconds.iter().enumerate() {
+        assert!(
+            (got - expected[w]).abs() < 1e-12,
+            "worker {w}: {got} != {}",
+            expected[w]
+        );
+    }
+
+    // The phase wall time covers at least the busiest worker's single longest
+    // partition (it ran somewhere within the phase), and the total busy time is at
+    // least the slowest worker's busy time.
+    assert!(report.local_join_wall_seconds > 0.0);
+    assert!(report.max_worker_wall_seconds() <= report.per_worker_wall_seconds.iter().sum::<f64>());
+
+    // Executing a non-trivial partitioning must spread work over several workers.
+    let busy_workers = report
+        .per_worker_wall_seconds
+        .iter()
+        .filter(|&&s| s > 0.0)
+        .count();
+    assert!(busy_workers > 1, "only {busy_workers} busy workers");
+}
+
+#[test]
+fn explicit_thread_counts_agree() {
+    let workers = 4;
+    let (s, t, band) = workload();
+    let partitioner = recpart_partitioner(&s, &t, &band, workers);
+
+    let mut baseline: Option<band_join::distsim::ExecutionReport> = None;
+    for threads in [1usize, 2, 3] {
+        let report = Executor::new(ExecutorConfig::new(workers).with_threads(threads)).execute(
+            &partitioner,
+            &s,
+            &t,
+            &band,
+        );
+        assert_eq!(report.correct, Some(true));
+        if let Some(base) = &baseline {
+            assert_eq!(base.stats, report.stats, "threads={threads} changed stats");
+            assert_eq!(
+                base.per_partition, report.per_partition,
+                "threads={threads} changed per-partition loads"
+            );
+        } else {
+            baseline = Some(report);
+        }
+    }
+}
