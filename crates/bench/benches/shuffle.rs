@@ -1,0 +1,83 @@
+//! Criterion benchmark of the executor's parallel phases: the map/shuffle tuple-routing
+//! fan-out, the exact verification join, and the end-to-end `execute` pipeline, each
+//! timed with `threads = 1` (strictly sequential) vs. `threads = 0` (all cores) vs. a
+//! bounded 4-thread pool. On a multi-core machine the `threads = 0` rows demonstrate
+//! the speedup; on a single core they show the (bounded) overhead of the chunked
+//! fan-out.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use distsim::{exact_join_count_on, Executor, ExecutorConfig, VerificationLevel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use recpart::{BandCondition, RecPart, RecPartConfig, Relation, SplitTreePartitioner};
+
+const WORKERS: usize = 64;
+
+fn workload(per_side: usize) -> (Relation, Relation, BandCondition) {
+    let mut rng = StdRng::seed_from_u64(0x5817_FF1E);
+    let s = datagen::pareto_relation(per_side, 1, 1.5, &mut rng);
+    let t = datagen::pareto_relation(per_side, 1, 1.5, &mut rng);
+    (s, t, BandCondition::symmetric(&[0.001]))
+}
+
+fn partitioner(s: &Relation, t: &Relation, band: &BandCondition) -> SplitTreePartitioner {
+    let mut rng = StdRng::seed_from_u64(9);
+    RecPart::new(RecPartConfig::new(WORKERS).with_seed(9))
+        .optimize(s, t, band, &mut rng)
+        .partitioner
+}
+
+/// `(label, threads)` rows every benchmark compares.
+const THREAD_ROWS: [(&str, usize); 3] = [("seq", 1), ("all-cores", 0), ("pool-4", 4)];
+
+fn bench_map_shuffle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("map_shuffle");
+    group.sample_size(10);
+    let (s, t, band) = workload(120_000);
+    let part = partitioner(&s, &t, &band);
+    for (label, threads) in THREAD_ROWS {
+        let exec = Executor::new(ExecutorConfig::new(WORKERS).with_threads(threads));
+        group.bench_function(BenchmarkId::new(label, s.len() + t.len()), |b| {
+            b.iter(|| exec.map_shuffle(&part, &s, &t).total_input())
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact_verify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_verify_join");
+    group.sample_size(10);
+    let (s, t, band) = workload(60_000);
+    for (label, pieces) in [("seq", 1usize), ("chunked-4", 4), ("chunked-16", 16)] {
+        group.bench_function(BenchmarkId::new(label, s.len() + t.len()), |b| {
+            b.iter(|| exact_join_count_on(&s, &t, &band, pieces))
+        });
+    }
+    group.finish();
+}
+
+fn bench_execute_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("execute_end_to_end");
+    group.sample_size(5);
+    let (s, t, band) = workload(120_000);
+    let part = partitioner(&s, &t, &band);
+    for (label, threads) in THREAD_ROWS {
+        let exec = Executor::new(
+            ExecutorConfig::new(WORKERS)
+                .with_verification(VerificationLevel::None)
+                .with_threads(threads),
+        );
+        group.bench_function(BenchmarkId::new(label, s.len() + t.len()), |b| {
+            b.iter(|| exec.execute(&part, &s, &t, &band).stats.output_len)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_map_shuffle,
+    bench_exact_verify,
+    bench_execute_end_to_end
+);
+criterion_main!(benches);

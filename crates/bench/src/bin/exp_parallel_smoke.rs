@@ -1,0 +1,176 @@
+//! Parallel-executor scaling smoke check (CI-guarding, not a paper table).
+//!
+//! Runs one mid-size pareto-1d workload (≥200 k tuples, ≥64 partitions) through the
+//! full `Executor::execute` pipeline with `threads = 1` (strictly sequential) and
+//! `threads = 0` (all cores), prints the measured per-phase wall-clock breakdown, and
+//! **fails** (non-zero exit) if
+//!
+//! * any result differs between the two runs (they must be bit-identical), or
+//! * the parallel `map_shuffle + local_join` wall-clock regresses above the
+//!   sequential time (guards against the rayon shim's scheduler silently
+//!   serializing again), or
+//! * on a 4+-core machine, end-to-end parallel `execute` is not ≥1.5× faster than
+//!   sequential.
+//!
+//! Timing checks take the best of up to three measurement rounds, so a noisy
+//! neighbour on a shared CI runner cannot fail the gate spuriously.
+//!
+//! ```text
+//! cargo run -p bench --release --bin exp_parallel_smoke [-- --quick]
+//! ```
+
+use bench::harness::{build_partitioner, run_strategy, HarnessConfig, Strategy, StrategyOutcome};
+use bench::{print_phase_breakdown, ExperimentArgs, TableRow};
+use datagen::pareto_relation;
+use distsim::{ExecutionReport, Executor, ExecutorConfig, VerificationLevel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use recpart::BandCondition;
+use std::time::Instant;
+
+/// Measurement rounds for the timing gates (best result wins).
+const MAX_ATTEMPTS: usize = 3;
+
+fn main() {
+    let args = ExperimentArgs::from_env();
+    let per_side: usize = if args.quick { 20_000 } else { 120_000 };
+    let workers = args.workers_or(64);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let s = pareto_relation(per_side, 1, 1.5, &mut rng);
+    let t = pareto_relation(per_side, 1, 1.5, &mut rng);
+    let band = BandCondition::symmetric(&[0.001]);
+    println!(
+        "workload: pareto-1d, |S|+|T| = {}, eps = 0.001, {workers} workers, {cores} cores",
+        s.len() + t.len(),
+    );
+
+    let cfg = HarnessConfig::new(workers).with_verification(VerificationLevel::Count);
+    let run = |threads: usize| -> StrategyOutcome {
+        run_strategy(
+            Strategy::RecPartS,
+            &s,
+            &t,
+            &band,
+            &cfg.clone().with_threads(threads),
+        )
+    };
+
+    let sequential = run(1);
+    let parallel = run(0);
+    // A bounded 4-thread pool exercises the chunked claiming scheduler even when the
+    // ambient context has a single core.
+    let pooled = run(4);
+
+    print_phase_breakdown(
+        "parallel smoke (RecPart-S, pareto-1d)",
+        &[
+            TableRow {
+                config: "threads=1".into(),
+                outcomes: vec![sequential.clone()],
+            },
+            TableRow {
+                config: "threads=0".into(),
+                outcomes: vec![parallel.clone()],
+            },
+            TableRow {
+                config: "threads=4".into(),
+                outcomes: vec![pooled.clone()],
+            },
+        ],
+    );
+
+    let mut failures = Vec::new();
+
+    // The partitioning must be non-trivial for the check to mean anything.
+    if !args.quick && sequential.report.partitions < 64 {
+        failures.push(format!(
+            "expected >= 64 partitions, got {}",
+            sequential.report.partitions
+        ));
+    }
+
+    // Bit-identical results across thread counts.
+    for (label, other) in [("threads=0", &parallel), ("threads=4", &pooled)] {
+        if sequential.report.stats != other.report.stats {
+            failures.push(format!("stats differ between threads=1 and {label}"));
+        }
+        if sequential.report.per_partition != other.report.per_partition {
+            failures.push(format!(
+                "per-partition loads differ between threads=1 and {label}"
+            ));
+        }
+        if other.report.correct != Some(true) {
+            failures.push(format!("verification failed for {label}"));
+        }
+    }
+    if sequential.report.correct != Some(true) {
+        failures.push("verification failed for threads=1".into());
+    }
+
+    // Timing gates, best of up to MAX_ATTEMPTS rounds. The parallel map+join phases
+    // must never regress above sequential (on a single core the parallel path
+    // degenerates to chunked sequential work, so only fan-out/merge overhead is
+    // tolerated); on real multi-core hardware the whole pipeline must scale.
+    let slack = if cores == 1 { 1.35 } else { 1.05 };
+    // Retry rounds re-time `execute` on a partitioner built once — re-running the
+    // (single-threaded) RecPart optimization would only add untimed overhead.
+    let (retry_partitioner, _) = build_partitioner(Strategy::RecPartS, &s, &t, &band, &cfg);
+    let retime = |threads: usize| -> (f64, ExecutionReport) {
+        let executor = Executor::new(
+            ExecutorConfig::new(workers)
+                .with_verification(VerificationLevel::Count)
+                .with_threads(threads),
+        );
+        let start = Instant::now();
+        let report = executor.execute(retry_partitioner.as_ref(), &s, &t, &band);
+        (start.elapsed().as_secs_f64(), report)
+    };
+    let mut best_phase_ratio = f64::INFINITY;
+    let mut best_speedup = 0.0f64;
+    let mut seq_timed = (sequential.execute_seconds, sequential.report.clone());
+    let mut par_timed = (parallel.execute_seconds, parallel.report.clone());
+    for attempt in 1..=MAX_ATTEMPTS {
+        let seq_phases = seq_timed.1.map_shuffle_wall_seconds + seq_timed.1.local_join_wall_seconds;
+        let par_phases = par_timed.1.map_shuffle_wall_seconds + par_timed.1.local_join_wall_seconds;
+        let ratio = par_phases / seq_phases;
+        let speedup = seq_timed.0 / par_timed.0;
+        best_phase_ratio = best_phase_ratio.min(ratio);
+        best_speedup = best_speedup.max(speedup);
+        println!(
+            "round {attempt}: map_shuffle+local_join sequential {seq_phases:.4}s vs parallel \
+             {par_phases:.4}s (ratio {ratio:.2}, allowed {slack}); end-to-end execute \
+             {:.4}s vs {:.4}s ({speedup:.2}x on {} threads)",
+            seq_timed.0, par_timed.0, par_timed.1.threads_used
+        );
+        let phases_ok = best_phase_ratio <= slack;
+        let speedup_ok = cores < 4 || best_speedup >= 1.5;
+        if (phases_ok && speedup_ok) || attempt == MAX_ATTEMPTS {
+            break;
+        }
+        seq_timed = retime(1);
+        par_timed = retime(0);
+    }
+    if best_phase_ratio > slack {
+        failures.push(format!(
+            "parallel map_shuffle+local_join regressed: best ratio {best_phase_ratio:.2} > {slack} \
+             over {MAX_ATTEMPTS} rounds"
+        ));
+    }
+    if cores >= 4 && best_speedup < 1.5 {
+        failures.push(format!(
+            "end-to-end speedup {best_speedup:.2}x < 1.5x on a {cores}-core machine \
+             over {MAX_ATTEMPTS} rounds"
+        ));
+    }
+
+    if failures.is_empty() {
+        println!("parallel smoke: OK");
+    } else {
+        for f in &failures {
+            eprintln!("parallel smoke FAILURE: {f}");
+        }
+        std::process::exit(1);
+    }
+}

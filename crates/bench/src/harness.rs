@@ -87,6 +87,9 @@ pub struct StrategyOutcome {
     pub join_seconds: f64,
     /// Join time predicted by the linear cost model, in seconds.
     pub predicted_join_seconds: f64,
+    /// Measured wall-clock seconds of the whole `Executor::execute` call
+    /// (map/shuffle + local joins + verification + accounting) on this machine.
+    pub execute_seconds: f64,
     /// The full execution report.
     pub report: ExecutionReport,
 }
@@ -95,6 +98,21 @@ impl StrategyOutcome {
     /// Total (optimization + simulated join) time.
     pub fn total_seconds(&self) -> f64 {
         self.optimization_seconds + self.join_seconds
+    }
+
+    /// Measured wall-clock of the map/shuffle phase, in seconds.
+    pub fn map_shuffle_seconds(&self) -> f64 {
+        self.report.map_shuffle_wall_seconds
+    }
+
+    /// Measured wall-clock of the local-join phase, in seconds.
+    pub fn local_join_seconds(&self) -> f64 {
+        self.report.local_join_wall_seconds
+    }
+
+    /// Measured wall-clock of the verification phase, in seconds.
+    pub fn verify_seconds(&self) -> f64 {
+        self.report.verify_wall_seconds
     }
 }
 
@@ -113,6 +131,9 @@ pub struct HarnessConfig {
     pub seed: u64,
     /// Sample configuration for RecPart.
     pub sample: SampleConfig,
+    /// Executor parallelism: `0` = all cores, `1` = strictly sequential, `n` = a
+    /// bounded pool (see [`ExecutorConfig::threads`]).
+    pub threads: usize,
 }
 
 impl HarnessConfig {
@@ -125,14 +146,28 @@ impl HarnessConfig {
             verification: VerificationLevel::Count,
             seed: 0x00C0FFEE,
             sample: SampleConfig::default(),
+            threads: 0,
         }
+    }
+
+    /// Override the executor parallelism.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Override the verification level.
+    pub fn with_verification(mut self, verification: VerificationLevel) -> Self {
+        self.verification = verification;
+        self
     }
 
     fn executor(&self) -> Executor {
         Executor::new(
             ExecutorConfig::new(self.workers)
                 .with_load_model(self.load_model)
-                .with_verification(self.verification),
+                .with_verification(self.verification)
+                .with_threads(self.threads),
         )
     }
 }
@@ -198,7 +233,11 @@ pub fn run_strategy(
     cfg: &HarnessConfig,
 ) -> StrategyOutcome {
     let (partitioner, optimization_seconds) = build_partitioner(strategy, s, t, band, cfg);
-    let report = cfg.executor().execute(partitioner.as_ref(), s, t, band);
+    // Built outside the timed window: pool construction is not part of execute.
+    let executor = cfg.executor();
+    let execute_start = Instant::now();
+    let report = executor.execute(partitioner.as_ref(), s, t, band);
+    let execute_seconds = execute_start.elapsed().as_secs_f64();
     if let Some(false) = report.correct {
         panic!(
             "strategy {} produced an incorrect result ({} vs exact {:?})",
@@ -218,6 +257,7 @@ pub fn run_strategy(
         optimization_seconds,
         join_seconds: report.simulated_join_seconds,
         predicted_join_seconds,
+        execute_seconds,
         report,
     }
 }
@@ -318,6 +358,36 @@ mod tests {
             assert!(outcome.optimization_seconds >= 0.0);
             assert!(outcome.join_seconds > 0.0);
             assert!(outcome.total_seconds() >= outcome.join_seconds);
+        }
+    }
+
+    #[test]
+    fn thread_bound_executor_matches_default_and_reports_phases() {
+        let (s, t, band) = workload();
+        let base = HarnessConfig::new(4);
+        let seq = run_strategy(
+            Strategy::OneBucket,
+            &s,
+            &t,
+            &band,
+            &base.clone().with_threads(1),
+        );
+        let par = run_strategy(Strategy::OneBucket, &s, &t, &band, &base.with_threads(0));
+        // Thread count is a pure wall-clock knob.
+        assert_eq!(seq.report.stats, par.report.stats);
+        assert_eq!(seq.report.per_partition, par.report.per_partition);
+        // Phase wall-clocks are measured and contained in the execute wall-clock.
+        for o in [&seq, &par] {
+            assert!(o.execute_seconds > 0.0);
+            assert!(o.map_shuffle_seconds() > 0.0);
+            assert!(o.local_join_seconds() > 0.0);
+            assert!(o.verify_seconds() > 0.0, "Count verification is timed");
+            let phases = o.report.measured_phase_seconds();
+            assert!(
+                phases <= o.execute_seconds,
+                "phases {phases} > execute {}",
+                o.execute_seconds
+            );
         }
     }
 

@@ -18,6 +18,13 @@ pub type PartitionId = u32;
 /// satisfying the band condition, exactly one partition receives both `s` and `t`.
 /// This is what allows each worker to run an unfiltered local band-join on the input it
 /// receives without producing duplicate results or missing results.
+///
+/// The `Send + Sync` supertraits are load-bearing: the executor's parallel map/shuffle
+/// phase calls [`assign_s`](Partitioner::assign_s) / [`assign_t`](Partitioner::assign_t)
+/// concurrently from many threads on one shared `&self`. Assignments must therefore be
+/// pure functions of `(key, tuple_id)` and the partitioner's immutable state — no
+/// interior mutability in the assignment path — which also keeps routing deterministic
+/// for every thread count.
 pub trait Partitioner: Send + Sync {
     /// Total number of logical partitions created by this partitioner.
     fn num_partitions(&self) -> usize;

@@ -16,14 +16,23 @@
 //!    [`PartitioningStats`] (`I`, `I_m`, `O_m`, `L_m`, overheads vs. lower bounds), the
 //!    simulated wall-clock join time from the [`MachineModel`], and optional correctness
 //!    verification against an exact single-node join.
+//!
+//! Every phase — map/shuffle (see [`crate::shuffle`]), the local joins, and the exact
+//! verification join (see [`crate::verify`]) — honours [`ExecutorConfig::threads`] and
+//! runs on the same rayon context, so end-to-end `execute` wall-clock scales with
+//! cores while its results stay bit-identical to the sequential path. The measured
+//! wall-clock of each phase is reported separately
+//! ([`ExecutionReport::map_shuffle_wall_seconds`],
+//! [`ExecutionReport::local_join_wall_seconds`],
+//! [`ExecutionReport::verify_wall_seconds`]).
 
 use crate::local_join::LocalJoinAlgorithm;
 use crate::machine::{MachineModel, WorkerWork};
-use crate::verify::{check_pairs, exact_join_count, PairCheck};
+use crate::parallel::Parallelism;
+use crate::shuffle::{shuffle, ShuffledInputs};
+use crate::verify::{check_pairs_against, exact_join_count_on, exact_join_pairs_on, PairCheck};
 use rayon::prelude::*;
-use recpart::{
-    BandCondition, LoadModel, PartitionId, Partitioner, PartitioningStats, Relation, WorkerLoad,
-};
+use recpart::{BandCondition, LoadModel, Partitioner, PartitioningStats, Relation, WorkerLoad};
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::time::Instant;
@@ -56,10 +65,10 @@ pub struct ExecutorConfig {
     pub machine: MachineModel,
     /// Verification level.
     pub verification: VerificationLevel,
-    /// Parallelism of the local-join phase: `0` uses one rayon thread per available
-    /// core, `1` runs strictly sequentially (no thread pool at all), `n > 1` uses a
-    /// rayon pool of `n` threads. Results are bit-identical across all settings; only
-    /// wall-clock timing changes.
+    /// Parallelism of every measured phase (map/shuffle, local joins, verification):
+    /// `0` uses one rayon thread per available core, `1` runs strictly sequentially
+    /// (no thread pool at all), `n > 1` uses a rayon pool of `n` threads. Results are
+    /// bit-identical across all settings; only wall-clock timing changes.
     pub threads: usize,
 }
 
@@ -101,14 +110,14 @@ impl ExecutorConfig {
         self
     }
 
-    /// Bound the local-join phase to `threads` OS threads (0 = all available cores).
+    /// Bound every parallel phase to `threads` OS threads (0 = all available cores).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
     }
 
-    /// Run the local-join phase strictly sequentially (equivalent to
-    /// `with_threads(1)`); useful as a baseline for the parallel backend.
+    /// Run every phase strictly sequentially (equivalent to `with_threads(1)`);
+    /// useful as a baseline for the parallel backend.
     pub fn sequential(self) -> Self {
         self.with_threads(1)
     }
@@ -162,7 +171,13 @@ pub struct ExecutionReport {
     /// Measured wall-clock seconds of the whole local-join phase (all partitions,
     /// across however many threads the executor was configured with).
     pub local_join_wall_seconds: f64,
-    /// Number of OS threads the local-join phase ran on (1 = sequential path).
+    /// Measured wall-clock seconds of the map/shuffle phase (routing every tuple
+    /// through the partitioner and materializing per-partition index lists).
+    pub map_shuffle_wall_seconds: f64,
+    /// Measured wall-clock seconds spent verifying the result against an exact
+    /// single-node join (0 when verification is disabled).
+    pub verify_wall_seconds: f64,
+    /// Number of OS threads the parallel phases ran on (1 = sequential path).
     pub threads_used: usize,
     /// Exact output size, when verification computed it.
     pub exact_output: Option<u64>,
@@ -190,6 +205,12 @@ impl ExecutionReport {
         self.per_worker_wall_seconds
             .iter()
             .fold(0.0f64, |acc, &s| acc.max(s))
+    }
+
+    /// Sum of the measured wall-clock seconds of all phases (map/shuffle + local
+    /// joins + verification) — the part of `execute` that scales with `threads`.
+    pub fn measured_phase_seconds(&self) -> f64 {
+        self.map_shuffle_wall_seconds + self.local_join_wall_seconds + self.verify_wall_seconds
     }
 }
 
@@ -240,6 +261,29 @@ impl Executor {
         &self.config
     }
 
+    /// The parallelism context every phase runs under.
+    fn parallelism(&self) -> Parallelism<'_> {
+        match self.config.threads {
+            1 => Parallelism::Sequential,
+            0 => Parallelism::Ambient,
+            _ => Parallelism::Pool(self.pool.as_ref().expect("pool exists when threads > 1")),
+        }
+    }
+
+    /// Run the map/shuffle phase alone: route every tuple of `s` and `t` through the
+    /// partitioner and materialize per-partition input index lists, under this
+    /// executor's `threads` setting. The index lists are bit-identical for every
+    /// thread count (parallel routing merges contiguous chunks in input order).
+    pub fn map_shuffle<P: Partitioner + ?Sized>(
+        &self,
+        partitioner: &P,
+        s: &Relation,
+        t: &Relation,
+    ) -> ShuffledInputs {
+        let num_partitions = partitioner.num_partitions().max(1);
+        shuffle(partitioner, s, t, num_partitions, &self.parallelism())
+    }
+
     /// Execute the band-join of `s` and `t` under `partitioner` and measure everything.
     pub fn execute<P: Partitioner + ?Sized>(
         &self,
@@ -251,25 +295,11 @@ impl Executor {
         let num_partitions = partitioner.num_partitions().max(1);
 
         // --- Map & shuffle: materialize per-partition input index lists. ---
-        let mut s_parts: Vec<Vec<u32>> = vec![Vec::new(); num_partitions];
-        let mut t_parts: Vec<Vec<u32>> = vec![Vec::new(); num_partitions];
-        let mut buf: Vec<PartitionId> = Vec::new();
-        for (i, key) in s.iter().enumerate() {
-            buf.clear();
-            partitioner.assign_s(key, i as u64, &mut buf);
-            debug_assert!(!buf.is_empty(), "partitioner dropped an S-tuple");
-            for &p in &buf {
-                s_parts[p as usize].push(i as u32);
-            }
-        }
-        for (i, key) in t.iter().enumerate() {
-            buf.clear();
-            partitioner.assign_t(key, i as u64, &mut buf);
-            debug_assert!(!buf.is_empty(), "partitioner dropped a T-tuple");
-            for &p in &buf {
-                t_parts[p as usize].push(i as u32);
-            }
-        }
+        let ShuffledInputs {
+            s_parts,
+            t_parts,
+            wall_seconds: map_shuffle_wall_seconds,
+        } = shuffle(partitioner, s, t, num_partitions, &self.parallelism());
 
         // --- Reduce: local joins per partition (rayon-parallel). ---
         let materialize = self.config.verification == VerificationLevel::FullPairs;
@@ -324,19 +354,38 @@ impl Executor {
             .machine
             .join_seconds(total_input, &per_worker_work);
 
-        // --- Verification. ---
+        // --- Verification (exact join chunked on the same rayon context). ---
+        let par = self.parallelism();
+        // Over-decompose so the dynamic scheduler can balance probe chunks with
+        // skewed per-tuple candidate counts (a dense head would otherwise gate the
+        // whole phase as one static chunk per thread).
+        let pieces = match par {
+            Parallelism::Sequential => 1,
+            _ => par.threads() * 4,
+        };
+        let verify_start = Instant::now();
         let (exact_output, correct, pair_check) = match self.config.verification {
             VerificationLevel::None => (None, None, None),
             VerificationLevel::Count => {
-                let exact = exact_join_count(s, t, band);
+                let exact = par.run(|| exact_join_count_on(s, t, band, pieces));
                 (Some(exact), Some(exact == output_count), None)
             }
             VerificationLevel::FullPairs => {
                 let pairs = all_pairs.expect("pairs were materialized");
-                let check = check_pairs(s, t, band, &pairs);
-                let exact = exact_join_count(s, t, band);
+                // One exact join serves both the pair-level check and the exact
+                // output count (the exact result never contains duplicates).
+                let (check, exact) = par.run(|| {
+                    let exact_pairs = exact_join_pairs_on(s, t, band, pieces);
+                    let check = check_pairs_against(&exact_pairs, &pairs);
+                    (check, exact_pairs.len() as u64)
+                });
                 (Some(exact), Some(check.is_correct()), Some(check))
             }
+        };
+        let verify_wall_seconds = if self.config.verification == VerificationLevel::None {
+            0.0
+        } else {
+            verify_start.elapsed().as_secs_f64()
         };
 
         ExecutionReport {
@@ -351,6 +400,8 @@ impl Executor {
             per_partition_wall_seconds,
             per_worker_wall_seconds,
             local_join_wall_seconds,
+            map_shuffle_wall_seconds,
+            verify_wall_seconds,
             threads_used,
             exact_output,
             correct,
@@ -399,21 +450,15 @@ impl Executor {
         };
 
         let phase_start = Instant::now();
-        let (results, threads_used) = if self.config.threads == 1 {
-            ((0..num_partitions).map(join_one).collect::<Vec<_>>(), 1)
-        } else if self.config.threads == 0 {
-            // Ambient rayon context (the global pool with real rayon): no per-call
-            // pool construction on the hot path.
-            let threads = rayon::current_num_threads().clamp(1, num_partitions.max(1));
-            let results: Vec<PartitionJoinOutcome> =
-                (0..num_partitions).into_par_iter().map(join_one).collect();
-            (results, threads)
-        } else {
-            let pool = self.pool.as_ref().expect("pool exists when threads > 1");
-            let threads = pool.current_num_threads().clamp(1, num_partitions.max(1));
-            let results: Vec<PartitionJoinOutcome> =
-                pool.install(|| (0..num_partitions).into_par_iter().map(join_one).collect());
-            (results, threads)
+        let par = self.parallelism();
+        let (results, threads_used) = match par {
+            Parallelism::Sequential => ((0..num_partitions).map(join_one).collect::<Vec<_>>(), 1),
+            _ => {
+                let threads = par.threads().clamp(1, num_partitions.max(1));
+                let results: Vec<PartitionJoinOutcome> =
+                    par.run(|| (0..num_partitions).into_par_iter().map(join_one).collect());
+                (results, threads)
+            }
         };
         let wall_seconds = phase_start.elapsed().as_secs_f64();
 
@@ -478,6 +523,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
     use recpart::partition::SinglePartition;
+    use recpart::PartitionId;
 
     fn random_relation(n: usize, dims: usize, seed: u64) -> Relation {
         let mut rng = StdRng::seed_from_u64(seed);

@@ -12,7 +12,11 @@
 //!   [`recpart::Partitioner`], materializes per-partition inputs, maps partitions onto
 //!   workers (modelling the dynamic scheduler with a longest-processing-time heuristic),
 //!   runs the local joins, and reports the paper's success measures (`I`, `I_m`, `O_m`,
-//!   `L_m`, overheads vs. lower bounds);
+//!   `L_m`, overheads vs. lower bounds). Every phase — map/shuffle ([`shuffle`]),
+//!   local joins, verification — is rayon-parallel under one `threads` knob and
+//!   reports its own measured wall-clock;
+//! * [`shuffle`] — the chunked parallel tuple-routing fan-out whose merged
+//!   per-partition index lists are bit-identical to sequential routing;
 //! * [`cost_model`] — the running-time model `M(I, I_m, O_m) = β₀ + β₁I + β₂I_m + β₃O_m`
 //!   of Li et al. [24], with least-squares fitting over a calibration benchmark;
 //! * [`machine`] — the synthetic "ground truth" cluster timing model used in place of
@@ -28,10 +32,13 @@ pub mod cost_model;
 pub mod executor;
 pub mod local_join;
 pub mod machine;
+mod parallel;
+pub mod shuffle;
 pub mod verify;
 
 pub use cost_model::{CalibrationPoint, CostModel};
 pub use executor::{ExecutionReport, Executor, ExecutorConfig, VerificationLevel};
-pub use local_join::LocalJoinAlgorithm;
+pub use local_join::{probe_sorted, LocalJoinAlgorithm, LocalJoinResult, SortedProbeSide};
 pub use machine::MachineModel;
-pub use verify::{exact_join_count, exact_join_pairs};
+pub use shuffle::ShuffledInputs;
+pub use verify::{exact_join_count, exact_join_count_on, exact_join_pairs, exact_join_pairs_on};

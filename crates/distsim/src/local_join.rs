@@ -36,6 +36,57 @@ pub struct LocalJoinResult {
     pub comparisons: u64,
 }
 
+/// The T side of an index-nested-loop band-join, sorted once on dimension 0 so that
+/// several probe passes — e.g. the chunked parallel verification join — can share one
+/// sort instead of re-sorting per pass.
+#[derive(Debug, Clone)]
+pub struct SortedProbeSide {
+    sorted: Vec<u32>,
+    vals: Vec<f64>,
+}
+
+impl SortedProbeSide {
+    /// Sort the selected T-tuples on dimension 0.
+    pub fn build(t: &Relation, t_idx: &[u32]) -> SortedProbeSide {
+        let mut sorted: Vec<u32> = t_idx.to_vec();
+        sorted.sort_unstable_by(|&a, &b| t.value(a as usize, 0).total_cmp(&t.value(b as usize, 0)));
+        let vals: Vec<f64> = sorted.iter().map(|&i| t.value(i as usize, 0)).collect();
+        SortedProbeSide { sorted, vals }
+    }
+}
+
+/// Probe every S-tuple of `s_idx` (in the given order) against a pre-sorted T side:
+/// binary-search the ε-range on dimension 0, then evaluate the full band condition on
+/// each candidate. This is the inner loop of [`LocalJoinAlgorithm::IndexNestedLoop`];
+/// pairs are emitted in probe order, so chunking `s_idx` and concatenating the chunk
+/// outputs in order reproduces the unchunked result exactly.
+pub fn probe_sorted(
+    s: &Relation,
+    t: &Relation,
+    side: &SortedProbeSide,
+    band: &BandCondition,
+    s_idx: impl IntoIterator<Item = u32>,
+    mut pairs: Option<&mut Vec<(u32, u32)>>,
+) -> LocalJoinResult {
+    let mut result = LocalJoinResult::default();
+    for si in s_idx {
+        let sk = s.key(si as usize);
+        let (lo, hi) = band.range_around_s(0, sk[0]);
+        let start = side.vals.partition_point(|&v| v < lo);
+        let end = side.vals.partition_point(|&v| v <= hi);
+        for &ti in &side.sorted[start..end] {
+            result.comparisons += 1;
+            if band.matches(sk, t.key(ti as usize)) {
+                result.output += 1;
+                if let Some(p) = pairs.as_deref_mut() {
+                    p.push((si, ti));
+                }
+            }
+        }
+    }
+    result
+}
+
 impl LocalJoinAlgorithm {
     /// Human-readable name.
     pub fn name(&self) -> &'static str {
@@ -81,29 +132,16 @@ impl LocalJoinAlgorithm {
                 result
             }
             LocalJoinAlgorithm::IndexNestedLoop => {
-                // Sort the T side of this partition on dimension 0.
-                let mut sorted: Vec<u32> = t_idx.to_vec();
-                sorted.sort_unstable_by(|&a, &b| {
-                    t.value(a as usize, 0).total_cmp(&t.value(b as usize, 0))
-                });
-                let t_vals: Vec<f64> = sorted.iter().map(|&i| t.value(i as usize, 0)).collect();
-                let mut result = LocalJoinResult::default();
-                for &si in s_idx {
-                    let sk = s.key(si as usize);
-                    let (lo, hi) = band.range_around_s(0, sk[0]);
-                    let start = t_vals.partition_point(|&v| v < lo);
-                    let end = t_vals.partition_point(|&v| v <= hi);
-                    for &ti in &sorted[start..end] {
-                        result.comparisons += 1;
-                        if band.matches(sk, t.key(ti as usize)) {
-                            result.output += 1;
-                            if let Some(p) = pairs.as_deref_mut() {
-                                p.push((si, ti));
-                            }
-                        }
-                    }
-                }
-                result
+                // Sort the T side of this partition on dimension 0, then probe.
+                let side = SortedProbeSide::build(t, t_idx);
+                probe_sorted(
+                    s,
+                    t,
+                    &side,
+                    band,
+                    s_idx.iter().copied(),
+                    pairs.as_deref_mut(),
+                )
             }
             LocalJoinAlgorithm::SortMerge => {
                 let mut s_sorted: Vec<u32> = s_idx.to_vec();
@@ -298,6 +336,28 @@ mod tests {
             let res = algo.join_full(&s, &t, &band, None);
             assert_eq!(res.output, 3, "{}", algo.name()); // (2,2), (2,2), (5,5)
         }
+    }
+
+    #[test]
+    fn chunked_probes_concatenate_to_the_full_result() {
+        let s = random_relation(500, 1, 20);
+        let t = random_relation(400, 1, 21);
+        let band = BandCondition::symmetric(&[0.4]);
+        let mut full_pairs = Vec::new();
+        let full =
+            LocalJoinAlgorithm::IndexNestedLoop.join_full(&s, &t, &band, Some(&mut full_pairs));
+
+        let t_idx: Vec<u32> = (0..t.len() as u32).collect();
+        let side = SortedProbeSide::build(&t, &t_idx);
+        let mut chunked = LocalJoinResult::default();
+        let mut chunked_pairs = Vec::new();
+        for chunk in [0u32..123, 123..124, 124..500] {
+            let r = probe_sorted(&s, &t, &side, &band, chunk, Some(&mut chunked_pairs));
+            chunked.output += r.output;
+            chunked.comparisons += r.comparisons;
+        }
+        assert_eq!(chunked, full);
+        assert_eq!(chunked_pairs, full_pairs, "same pairs in the same order");
     }
 
     #[test]

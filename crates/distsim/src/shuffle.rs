@@ -1,0 +1,222 @@
+//! The map/shuffle phase: route every input tuple through the partitioner and
+//! materialize per-partition input index lists.
+//!
+//! The parallel path splits each relation into contiguous index chunks; every chunk is
+//! routed independently into chunk-local buckets (one reused routing buffer per chunk,
+//! no per-tuple allocation), and the chunk buckets are merged **in chunk order**, so
+//! the per-partition index lists are bit-identical to the sequential path no matter how
+//! many threads ran the fan-out. Downstream local joins and verification therefore see
+//! exactly the same inputs for every `threads` setting.
+
+use crate::parallel::{chunk_ranges, Parallelism};
+use rayon::prelude::*;
+use recpart::{PartitionId, Partitioner, Relation};
+use std::time::Instant;
+
+/// Below this many tuples a side is routed sequentially even in parallel mode: the
+/// chunk fan-out and merge would cost more than they save.
+const MIN_PARALLEL_TUPLES: usize = 4_096;
+
+/// Contiguous chunks handed to each routing thread: a few per thread so the dynamic
+/// scheduler can balance partitioners with non-uniform per-tuple cost (e.g. deep
+/// split-tree paths in dense regions).
+const CHUNKS_PER_THREAD: usize = 4;
+
+/// The materialized result of the map/shuffle phase.
+#[derive(Debug, Clone)]
+pub struct ShuffledInputs {
+    /// For each partition, the indices of the S-tuples routed to it (ascending).
+    pub s_parts: Vec<Vec<u32>>,
+    /// For each partition, the indices of the T-tuples routed to it (ascending).
+    pub t_parts: Vec<Vec<u32>>,
+    /// Measured wall-clock seconds of the whole phase (both sides).
+    pub wall_seconds: f64,
+}
+
+impl ShuffledInputs {
+    /// Total number of partition assignments, the paper's total input `I`.
+    pub fn total_input(&self) -> u64 {
+        let count = |parts: &[Vec<u32>]| parts.iter().map(|p| p.len() as u64).sum::<u64>();
+        count(&self.s_parts) + count(&self.t_parts)
+    }
+}
+
+/// Route both sides of the join under the given parallelism context.
+pub(crate) fn shuffle<P: Partitioner + ?Sized>(
+    partitioner: &P,
+    s: &Relation,
+    t: &Relation,
+    num_partitions: usize,
+    par: &Parallelism<'_>,
+) -> ShuffledInputs {
+    let start = Instant::now();
+    let s_parts = route_side(s, num_partitions, par, |key, id, out| {
+        partitioner.assign_s(key, id, out)
+    });
+    let t_parts = route_side(t, num_partitions, par, |key, id, out| {
+        partitioner.assign_t(key, id, out)
+    });
+    ShuffledInputs {
+        s_parts,
+        t_parts,
+        wall_seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Route one relation into per-partition index lists.
+fn route_side<F>(
+    rel: &Relation,
+    num_partitions: usize,
+    par: &Parallelism<'_>,
+    assign: F,
+) -> Vec<Vec<u32>>
+where
+    F: Fn(&[f64], u64, &mut Vec<PartitionId>) + Sync,
+{
+    let n = rel.len();
+    let threads = par.threads().min(n.max(1));
+    if threads <= 1 || n < MIN_PARALLEL_TUPLES {
+        return route_range(rel, num_partitions, 0, n, &assign);
+    }
+
+    let ranges = chunk_ranges(n, threads * CHUNKS_PER_THREAD);
+
+    let assign = &assign;
+    let per_chunk: Vec<Vec<Vec<u32>>> = par.run(|| {
+        ranges
+            .into_par_iter()
+            .map(|(lo, hi)| route_range(rel, num_partitions, lo, hi, assign))
+            .collect()
+    });
+
+    // Merge chunk buckets in chunk order (chunks are contiguous ascending index
+    // ranges, so this reproduces the sequential order exactly), pre-sizing each
+    // partition list to its exact final length.
+    let mut parts = Vec::with_capacity(num_partitions);
+    for p in 0..num_partitions {
+        let total: usize = per_chunk.iter().map(|c| c[p].len()).sum();
+        let mut merged = Vec::with_capacity(total);
+        for c in &per_chunk {
+            merged.extend_from_slice(&c[p]);
+        }
+        parts.push(merged);
+    }
+    parts
+}
+
+/// Route the tuples `lo..hi` of `rel` into fresh buckets, reusing one routing buffer
+/// for the whole range.
+fn route_range<F>(
+    rel: &Relation,
+    num_partitions: usize,
+    lo: usize,
+    hi: usize,
+    assign: &F,
+) -> Vec<Vec<u32>>
+where
+    F: Fn(&[f64], u64, &mut Vec<PartitionId>) + Sync,
+{
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); num_partitions];
+    let mut buf: Vec<PartitionId> = Vec::new();
+    for i in lo..hi {
+        buf.clear();
+        assign(rel.key(i), i as u64, &mut buf);
+        debug_assert!(!buf.is_empty(), "partitioner dropped a tuple");
+        for &p in &buf {
+            buckets[p as usize].push(i as u32);
+        }
+    }
+    buckets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recpart::partition::SinglePartition;
+
+    fn relation(n: usize) -> Relation {
+        let mut r = Relation::with_capacity(1, n);
+        for i in 0..n {
+            r.push(&[i as f64]);
+        }
+        r
+    }
+
+    /// Routes tuple `i` to partition `i % m`, plus partition `0` for multiples of 7 —
+    /// exercises multi-partition assignments.
+    struct ModPartitioner(usize);
+    impl Partitioner for ModPartitioner {
+        fn num_partitions(&self) -> usize {
+            self.0
+        }
+        fn assign_s(&self, _key: &[f64], tuple_id: u64, out: &mut Vec<PartitionId>) {
+            out.push((tuple_id % self.0 as u64) as PartitionId);
+            if tuple_id.is_multiple_of(7) && !tuple_id.is_multiple_of(self.0 as u64) {
+                out.push(0);
+            }
+        }
+        fn assign_t(&self, key: &[f64], tuple_id: u64, out: &mut Vec<PartitionId>) {
+            self.assign_s(key, tuple_id, out);
+        }
+        fn name(&self) -> &str {
+            "Mod"
+        }
+    }
+
+    /// A pool with more than one thread, so the chunked routing path runs even on a
+    /// single-core machine (where the ambient context degenerates to one thread and
+    /// would silently take the sequential path).
+    fn four_thread_pool() -> rayon::ThreadPool {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn parallel_routing_is_bit_identical_to_sequential() {
+        let s = relation(10_000);
+        let t = relation(9_000);
+        let p = ModPartitioner(13);
+        let pool = four_thread_pool();
+        let seq = shuffle(&p, &s, &t, 13, &Parallelism::Sequential);
+        let par = shuffle(&p, &s, &t, 13, &Parallelism::Pool(&pool));
+        assert_eq!(seq.s_parts, par.s_parts);
+        assert_eq!(seq.t_parts, par.t_parts);
+    }
+
+    #[test]
+    fn index_lists_are_ascending() {
+        let s = relation(8_192);
+        let t = relation(8_192);
+        let pool = four_thread_pool();
+        let shuffled = shuffle(&ModPartitioner(5), &s, &t, 5, &Parallelism::Pool(&pool));
+        for parts in [&shuffled.s_parts, &shuffled.t_parts] {
+            for list in parts.iter() {
+                assert!(list.windows(2).all(|w| w[0] < w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn every_tuple_is_routed_at_least_once() {
+        let s = relation(5_000);
+        let t = relation(5_000);
+        let pool = four_thread_pool();
+        let shuffled = shuffle(&SinglePartition, &s, &t, 1, &Parallelism::Pool(&pool));
+        assert_eq!(shuffled.s_parts[0].len(), 5_000);
+        assert_eq!(shuffled.t_parts[0].len(), 5_000);
+        assert_eq!(shuffled.total_input(), 10_000);
+        assert!(shuffled.wall_seconds >= 0.0);
+    }
+
+    #[test]
+    fn small_inputs_take_the_sequential_path() {
+        let s = relation(10);
+        let t = relation(10);
+        let shuffled = shuffle(&ModPartitioner(3), &s, &t, 3, &Parallelism::Ambient);
+        let seq = shuffle(&ModPartitioner(3), &s, &t, 3, &Parallelism::Sequential);
+        assert_eq!(shuffled.s_parts, seq.s_parts);
+        assert_eq!(shuffled.t_parts, seq.t_parts);
+    }
+}

@@ -4,25 +4,85 @@
 //! one* local join. The helpers here compute the exact result on a single node so that
 //! the executor (and the test suites of every partitioner) can check both directions:
 //! no result is lost, and no result is produced twice.
+//!
+//! The exact join is itself parallel: the probe (S) side is split into contiguous
+//! chunks that are joined independently on the current rayon context and merged in
+//! chunk order, so counts and pair sets are identical for every chunking. The
+//! `*_on(…, pieces)` variants take an explicit chunk count (`1` = strictly
+//! sequential); the plain functions chunk by [`rayon::current_num_threads`]. Without
+//! this, [`crate::executor::VerificationLevel::Count`] is a hidden single-threaded
+//! exact join dominating the executor's wall-clock.
 
-use crate::local_join::LocalJoinAlgorithm;
+use crate::local_join::{probe_sorted, LocalJoinAlgorithm, SortedProbeSide};
+use crate::parallel::chunk_ranges;
+use rayon::prelude::*;
 use recpart::{BandCondition, Relation};
 use std::collections::HashSet;
 
-/// Exact number of band-join results `|S ⋈ T|`, computed on a single node with the
-/// index-nested-loop algorithm.
+/// Below this probe-side size the exact join runs sequentially even in parallel mode.
+const MIN_PARALLEL_PROBE: usize = 2_048;
+
+/// Exact number of band-join results `|S ⋈ T|`, computed with the index-nested-loop
+/// algorithm on the current rayon context (probe side chunked across threads).
 pub fn exact_join_count(s: &Relation, t: &Relation, band: &BandCondition) -> u64 {
-    LocalJoinAlgorithm::IndexNestedLoop
-        .join_full(s, t, band, None)
-        .output
+    exact_join_count_on(s, t, band, rayon::current_num_threads())
 }
 
-/// Exact set of matching `(s index, t index)` pairs. Only use for small inputs — the
-/// result is materialized in memory.
+/// [`exact_join_count`] with an explicit probe-side chunk count; `pieces <= 1` runs
+/// strictly sequentially. The count is identical for every `pieces`.
+pub fn exact_join_count_on(s: &Relation, t: &Relation, band: &BandCondition, pieces: usize) -> u64 {
+    if pieces <= 1 || s.len() < MIN_PARALLEL_PROBE {
+        return LocalJoinAlgorithm::IndexNestedLoop
+            .join_full(s, t, band, None)
+            .output;
+    }
+    // Sort the T side once; every probe chunk shares it.
+    let t_idx: Vec<u32> = (0..t.len() as u32).collect();
+    let side = SortedProbeSide::build(t, &t_idx);
+    let side = &side;
+    chunk_ranges(s.len(), pieces)
+        .into_par_iter()
+        .map(|(lo, hi)| probe_sorted(s, t, side, band, lo as u32..hi as u32, None).output)
+        .sum()
+}
+
+/// Exact set of matching `(s index, t index)` pairs, computed on the current rayon
+/// context. Only use for small inputs — the result is materialized in memory.
 pub fn exact_join_pairs(s: &Relation, t: &Relation, band: &BandCondition) -> HashSet<(u32, u32)> {
-    let mut pairs = Vec::new();
-    LocalJoinAlgorithm::IndexNestedLoop.join_full(s, t, band, Some(&mut pairs));
-    pairs.into_iter().collect()
+    exact_join_pairs_on(s, t, band, rayon::current_num_threads())
+}
+
+/// [`exact_join_pairs`] with an explicit probe-side chunk count; `pieces <= 1` runs
+/// strictly sequentially. The resulting set is identical for every `pieces`.
+pub fn exact_join_pairs_on(
+    s: &Relation,
+    t: &Relation,
+    band: &BandCondition,
+    pieces: usize,
+) -> HashSet<(u32, u32)> {
+    if pieces <= 1 || s.len() < MIN_PARALLEL_PROBE {
+        let mut pairs = Vec::new();
+        LocalJoinAlgorithm::IndexNestedLoop.join_full(s, t, band, Some(&mut pairs));
+        return pairs.into_iter().collect();
+    }
+    // Sort the T side once; every probe chunk shares it.
+    let t_idx: Vec<u32> = (0..t.len() as u32).collect();
+    let side = SortedProbeSide::build(t, &t_idx);
+    let side = &side;
+    let per_chunk: Vec<Vec<(u32, u32)>> = chunk_ranges(s.len(), pieces)
+        .into_par_iter()
+        .map(|(lo, hi)| {
+            let mut pairs = Vec::new();
+            probe_sorted(s, t, side, band, lo as u32..hi as u32, Some(&mut pairs));
+            pairs
+        })
+        .collect();
+    let total: usize = per_chunk.iter().map(|c| c.len()).sum();
+    let mut set = HashSet::with_capacity(total);
+    for chunk in per_chunk {
+        set.extend(chunk);
+    }
+    set
 }
 
 /// Outcome of comparing a distributed execution's materialized pairs against the exact
@@ -46,14 +106,30 @@ impl PairCheck {
 }
 
 /// Compare the concatenated per-partition outputs of a distributed execution against the
-/// exact join result.
+/// exact join result (exact join computed on the current rayon context).
 pub fn check_pairs(
     s: &Relation,
     t: &Relation,
     band: &BandCondition,
     produced: &[(u32, u32)],
 ) -> PairCheck {
-    let exact = exact_join_pairs(s, t, band);
+    check_pairs_on(s, t, band, produced, rayon::current_num_threads())
+}
+
+/// [`check_pairs`] with an explicit probe-side chunk count for the exact join.
+pub fn check_pairs_on(
+    s: &Relation,
+    t: &Relation,
+    band: &BandCondition,
+    produced: &[(u32, u32)],
+    pieces: usize,
+) -> PairCheck {
+    check_pairs_against(&exact_join_pairs_on(s, t, band, pieces), produced)
+}
+
+/// Compare produced pairs against an already-computed exact pair set. Lets callers
+/// that also need the exact output count reuse one exact join for both.
+pub fn check_pairs_against(exact: &HashSet<(u32, u32)>, produced: &[(u32, u32)]) -> PairCheck {
     let mut seen: HashSet<(u32, u32)> = HashSet::with_capacity(produced.len());
     let mut check = PairCheck::default();
     for &pair in produced {
@@ -71,6 +147,8 @@ pub fn check_pairs(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
     fn tiny_inputs() -> (Relation, Relation, BandCondition) {
         // Example 2 of the paper: S = {1,2,3,5,6,8,9,10}, T = {1,5,6,10}, ε = 1.
@@ -80,12 +158,35 @@ mod tests {
         (s, t, band)
     }
 
+    fn random_relation(n: usize, seed: u64) -> Relation {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut r = Relation::with_capacity(1, n);
+        for _ in 0..n {
+            r.push(&[rng.gen_range(0.0..100.0)]);
+        }
+        r
+    }
+
     #[test]
     fn exact_count_matches_paper_example() {
         let (s, t, band) = tiny_inputs();
         // Matches: (1,1),(2,1),(5,5),(6,5),(5,6),(6,6),(9,10),(10,10) → 8 pairs.
         assert_eq!(exact_join_count(&s, &t, &band), 8);
         assert_eq!(exact_join_pairs(&s, &t, &band).len(), 8);
+    }
+
+    #[test]
+    fn chunked_exact_join_matches_sequential() {
+        let s = random_relation(5_000, 1);
+        let t = random_relation(3_000, 2);
+        let band = BandCondition::symmetric(&[0.6]);
+        let seq_count = exact_join_count_on(&s, &t, &band, 1);
+        let seq_pairs = exact_join_pairs_on(&s, &t, &band, 1);
+        assert!(seq_count > 0, "test needs non-empty output");
+        for pieces in [2, 3, 8, 64] {
+            assert_eq!(exact_join_count_on(&s, &t, &band, pieces), seq_count);
+            assert_eq!(exact_join_pairs_on(&s, &t, &band, pieces), seq_pairs);
+        }
     }
 
     #[test]
@@ -116,5 +217,14 @@ mod tests {
         assert_eq!(check.missing, 1);
         assert_eq!(check.spurious, 1);
         assert!(!check.is_correct());
+    }
+
+    #[test]
+    fn check_pairs_against_reuses_exact_set() {
+        let (s, t, band) = tiny_inputs();
+        let exact = exact_join_pairs(&s, &t, &band);
+        let produced: Vec<(u32, u32)> = exact.iter().copied().collect();
+        assert!(check_pairs_against(&exact, &produced).is_correct());
+        assert_eq!(check_pairs_against(&exact, &[]).missing, exact.len());
     }
 }

@@ -5,10 +5,14 @@
 //! `map` / `for_each` / `sum` / `collect`, plus [`ThreadPoolBuilder`] /
 //! [`ThreadPool::install`] for bounding the thread count.
 //!
-//! Scheduling is dynamic: worker threads pull item indices from a shared atomic
-//! cursor, so skewed per-item costs (exactly the workload of a band-join with heavy
-//! partitions) still balance. Results are returned in input order, matching rayon's
-//! `IndexedParallelIterator` semantics for `collect`.
+//! Scheduling is dynamic with chunked atomic-counter work claiming: items are
+//! pre-split into contiguous chunks (a few per thread) and worker threads claim whole
+//! chunks from a shared atomic cursor. A worker takes exactly one uncontended lock per
+//! chunk it claims — never one per item — so a par_iter-hot caller (e.g. the
+//! executor's tuple-routing fan-out) does not serialize on locks, while skewed
+//! per-item costs (band-joins with heavy partitions) still balance across threads.
+//! Results are returned in input order with exact-size preallocation, matching
+//! rayon's `IndexedParallelIterator` semantics for `collect`.
 
 #![warn(missing_docs)]
 
@@ -105,9 +109,31 @@ impl ThreadPool {
     }
 }
 
+/// Contiguous chunks handed out per claim: a few per thread, so the dynamic scheduler
+/// can still balance skewed per-item costs while paying only one claim (and one
+/// uncontended lock) per chunk instead of per item.
+const CHUNKS_PER_THREAD: usize = 8;
+
+/// Split `items` into `num_chunks` contiguous chunks of near-equal size, preserving
+/// order. Every chunk is non-empty.
+fn split_into_chunks<T>(mut items: Vec<T>, num_chunks: usize) -> Vec<Vec<T>> {
+    let n = items.len();
+    let chunk_size = n.div_ceil(num_chunks);
+    let mut chunks = Vec::with_capacity(num_chunks);
+    // Split off from the back so each chunk is a single memcpy-sized allocation.
+    let mut tail = Vec::new();
+    while items.len() > chunk_size {
+        tail.push(items.split_off(items.len() - chunk_size));
+    }
+    chunks.push(items);
+    chunks.extend(tail.into_iter().rev());
+    chunks
+}
+
 /// Apply `f` to every element of `items` on the current context's threads, returning
-/// results in input order. Scheduling is dynamic (shared atomic cursor), so skewed
-/// per-item costs balance across threads.
+/// results in input order. Scheduling is dynamic: items are pre-split into contiguous
+/// chunks and workers claim chunk indices from a shared atomic cursor (chunked
+/// work claiming — one uncontended lock per claimed chunk, never one per item).
 fn par_map_vec<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
     let n = items.len();
     let threads = current_num_threads().clamp(1, n.max(1));
@@ -115,51 +141,62 @@ fn par_map_vec<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Ve
         return items.into_iter().map(f).collect();
     }
 
-    // Item cells the workers drain; the Mutex lets each worker `take` its item (the
-    // cursor guarantees every index is claimed exactly once, so locks never contend).
-    let cells: Vec<Mutex<Option<T>>> = items.into_iter().map(|x| Mutex::new(Some(x))).collect();
+    let num_chunks = (threads * CHUNKS_PER_THREAD).min(n);
+    let chunks = split_into_chunks(items, num_chunks);
+    let num_chunks = chunks.len();
+    debug_assert_eq!(chunks.iter().map(Vec::len).sum::<usize>(), n);
+
+    // One cell per chunk; the cursor guarantees each chunk index is claimed by exactly
+    // one worker, so the single `take` lock per chunk never contends.
+    let cells: Vec<Mutex<Option<Vec<T>>>> =
+        chunks.into_iter().map(|c| Mutex::new(Some(c))).collect();
     let cursor = AtomicUsize::new(0);
     let f = &f;
     let cells = &cells;
     let cursor = &cursor;
 
-    let mut chunks: Vec<Vec<(usize, R)>> = Vec::with_capacity(threads);
+    let mut per_worker: Vec<Vec<(usize, Vec<R>)>> = Vec::with_capacity(threads);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(move || {
                     let mut local = Vec::new();
                     loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
+                        let c = cursor.fetch_add(1, Ordering::Relaxed);
+                        if c >= num_chunks {
                             break;
                         }
-                        let item = cells[i]
+                        let chunk = cells[c]
                             .lock()
-                            .expect("rayon shim: item mutex poisoned")
+                            .expect("rayon shim: chunk mutex poisoned")
                             .take()
-                            .expect("rayon shim: item taken twice");
-                        local.push((i, f(item)));
+                            .expect("rayon shim: chunk claimed twice");
+                        let results: Vec<R> = chunk.into_iter().map(f).collect();
+                        local.push((c, results));
                     }
                     local
                 })
             })
             .collect();
-        chunks = handles
+        per_worker = handles
             .into_iter()
             .map(|h| h.join().expect("rayon shim: worker thread panicked"))
             .collect();
     });
 
-    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    for chunk in chunks {
-        for (i, r) in chunk {
-            out[i] = Some(r);
-        }
+    // Reassemble in chunk order with exact-size preallocation (chunks are contiguous
+    // input ranges, so chunk order is input order).
+    let mut slots: Vec<Option<Vec<R>>> = (0..num_chunks).map(|_| None).collect();
+    for (c, results) in per_worker.into_iter().flatten() {
+        debug_assert!(slots[c].is_none(), "rayon shim: chunk produced twice");
+        slots[c] = Some(results);
     }
-    out.into_iter()
-        .map(|r| r.expect("rayon shim: missing result"))
-        .collect()
+    let mut out: Vec<R> = Vec::with_capacity(n);
+    for slot in slots {
+        out.extend(slot.expect("rayon shim: missing chunk result"));
+    }
+    debug_assert_eq!(out.len(), n);
+    out
 }
 
 /// A parallel iterator: a materialized item list plus the composed per-item function.
@@ -357,6 +394,73 @@ mod tests {
         let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
         let out: Vec<usize> = pool.install(|| (0..10usize).into_par_iter().map(|i| i).collect());
         assert_eq!(out, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_into_chunks_preserves_order_and_covers_everything() {
+        for (n, pieces) in [(10usize, 3usize), (4, 4), (7, 16), (1, 2), (1000, 7)] {
+            let chunks = split_into_chunks((0..n).collect::<Vec<_>>(), pieces);
+            assert!(chunks.len() <= pieces.max(1));
+            assert!(
+                chunks.iter().all(|c| !c.is_empty()),
+                "n={n} pieces={pieces}"
+            );
+            let flat: Vec<usize> = chunks.into_iter().flatten().collect();
+            assert_eq!(flat, (0..n).collect::<Vec<_>>(), "n={n} pieces={pieces}");
+        }
+    }
+
+    /// Forces the chunked claiming path even on a single-core machine (where the
+    /// default context has one thread and `par_map_vec` would run inline).
+    fn with_four_threads(op: impl FnOnce()) {
+        ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap()
+            .install(op);
+    }
+
+    #[test]
+    fn chunked_claiming_visits_every_item_exactly_once() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let n: usize = 10_000;
+        let visits: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+        with_four_threads(|| {
+            let out: Vec<usize> = (0..n)
+                .into_par_iter()
+                .map(|i| {
+                    visits[i].fetch_add(1, Ordering::Relaxed);
+                    i
+                })
+                .collect();
+            assert_eq!(out.len(), n);
+        });
+        for (i, v) in visits.iter().enumerate() {
+            assert_eq!(v.load(Ordering::Relaxed), 1, "item {i} visited wrong count");
+        }
+    }
+
+    #[test]
+    fn collected_order_is_stable_across_runs() {
+        let expected: Vec<usize> = (0..5_000).map(|i| i * 3 + 1).collect();
+        with_four_threads(|| {
+            for _ in 0..5 {
+                let out: Vec<usize> = (0..5_000usize).into_par_iter().map(|i| i * 3 + 1).collect();
+                assert_eq!(out, expected);
+            }
+        });
+    }
+
+    #[test]
+    fn collect_len_matches_input_len_for_awkward_sizes() {
+        // Sizes around chunk boundaries: primes, one-more-than-multiples, tiny.
+        with_four_threads(|| {
+            for n in [1usize, 2, 3, 31, 64, 65, 127, 1009] {
+                let out: Vec<usize> = (0..n).into_par_iter().map(|i| i).collect();
+                assert_eq!(out.len(), n);
+                assert_eq!(out, (0..n).collect::<Vec<_>>());
+            }
+        });
     }
 
     #[test]

@@ -54,8 +54,8 @@ pub mod prelude {
     };
     pub use datagen;
     pub use distsim::{
-        exact_join_count, CostModel, ExecutionReport, Executor, ExecutorConfig, LocalJoinAlgorithm,
-        MachineModel, VerificationLevel,
+        exact_join_count, exact_join_count_on, CostModel, ExecutionReport, Executor,
+        ExecutorConfig, LocalJoinAlgorithm, MachineModel, ShuffledInputs, VerificationLevel,
     };
     pub use recpart::{
         BandCondition, LoadModel, OptimizationReport, PartitionId, Partitioner, PartitioningStats,
