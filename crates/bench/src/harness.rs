@@ -131,8 +131,10 @@ pub struct HarnessConfig {
     pub seed: u64,
     /// Sample configuration for RecPart.
     pub sample: SampleConfig,
-    /// Executor parallelism: `0` = all cores, `1` = strictly sequential, `n` = a
-    /// bounded pool (see [`ExecutorConfig::threads`]).
+    /// Parallelism of the executor phases **and** the RecPart split search:
+    /// `0` = all cores, `1` = strictly sequential, `n` = a bounded pool (see
+    /// [`ExecutorConfig::threads`] and `RecPartConfig::threads`). Results are
+    /// bit-identical across all settings.
     pub threads: usize,
 }
 
@@ -187,7 +189,8 @@ pub fn build_partitioner(
             let mut rp_cfg = RecPartConfig::new(cfg.workers)
                 .with_load_model(cfg.load_model)
                 .with_sample(cfg.sample)
-                .with_seed(cfg.seed);
+                .with_seed(cfg.seed)
+                .with_threads(cfg.threads);
             if matches!(strategy, Strategy::RecPartS | Strategy::RecPartTheoretical) {
                 rp_cfg = rp_cfg.without_symmetric();
             }

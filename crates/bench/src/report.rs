@@ -64,10 +64,11 @@ pub fn print_phase_breakdown(title: &str, rows: &[TableRow]) {
     println!();
     println!("=== {title} — measured phase wall-clock ===");
     println!(
-        "{:<28} {:<12} {:>7} {:>14} {:>14} {:>12} {:>12}",
+        "{:<28} {:<12} {:>7} {:>12} {:>14} {:>14} {:>12} {:>12}",
         "config",
         "strategy",
         "threads",
+        "optimize[s]",
         "map+shuffle[s]",
         "local-join[s]",
         "verify[s]",
@@ -76,10 +77,11 @@ pub fn print_phase_breakdown(title: &str, rows: &[TableRow]) {
     for row in rows {
         for (i, o) in row.outcomes.iter().enumerate() {
             println!(
-                "{:<28} {:<12} {:>7} {:>14.4} {:>14.4} {:>12.4} {:>12.4}",
+                "{:<28} {:<12} {:>7} {:>12.4} {:>14.4} {:>14.4} {:>12.4} {:>12.4}",
                 if i == 0 { row.config.as_str() } else { "" },
                 o.label,
                 o.report.threads_used,
+                o.optimization_seconds,
                 o.map_shuffle_seconds(),
                 o.local_join_seconds(),
                 o.verify_seconds(),

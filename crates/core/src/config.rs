@@ -34,6 +34,25 @@ impl Default for Termination {
     }
 }
 
+/// Which implementation scores the candidate hyperplane splits of a regular leaf.
+///
+/// Both scorers evaluate the identical candidate set with identical arithmetic and
+/// pick **bit-identical** best splits; they differ only in asymptotic cost. The
+/// binary-search variant is kept as the measured baseline for `benches/optimize.rs`
+/// and as the oracle of the sweep-line property tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum SplitScorer {
+    /// One merged sweep over cached, incrementally maintained sorted projections:
+    /// scoring every candidate boundary of a dimension is a single `O(n)` pass with
+    /// zero per-candidate binary searches. The default.
+    #[default]
+    SweepLine,
+    /// The original implementation: re-collect and re-sort the leaf's projections on
+    /// every visit and answer each candidate boundary with 4–6 `partition_point`
+    /// binary searches (`O(n log n)` per leaf·dimension).
+    BinarySearch,
+}
+
 /// Configuration of a RecPart optimization run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RecPartConfig {
@@ -59,6 +78,14 @@ pub struct RecPartConfig {
     pub max_iterations: usize,
     /// Seed for all randomized choices (sampling, 1-Bucket row/column assignment).
     pub seed: u64,
+    /// Parallelism of the split search: `0` uses one rayon thread per available core,
+    /// `1` runs strictly sequentially (no thread pool at all), `n > 1` uses a bounded
+    /// pool of `n` threads built once per [`crate::RecPart`]. The optimization result
+    /// is bit-identical across all settings; only wall-clock timing changes.
+    pub threads: usize,
+    /// Split-search implementation (see [`SplitScorer`]); both variants choose
+    /// bit-identical splits.
+    pub scorer: SplitScorer,
 }
 
 impl RecPartConfig {
@@ -75,6 +102,8 @@ impl RecPartConfig {
             termination: Termination::default(),
             max_iterations: (workers * 64).max(512),
             seed: 0x5EED_0001,
+            threads: 0,
+            scorer: SplitScorer::default(),
         }
     }
 
@@ -130,6 +159,20 @@ impl RecPartConfig {
         self
     }
 
+    /// Bound the split search to `threads` OS threads (`0` = all available cores,
+    /// `1` = strictly sequential). Results are bit-identical for every setting.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Override the split-search implementation (the binary-search variant is the
+    /// measured baseline; both choose bit-identical splits).
+    pub fn with_scorer(mut self, scorer: SplitScorer) -> Self {
+        self.scorer = scorer;
+        self
+    }
+
     /// The name the resulting partitioner reports: `"RecPart"` or `"RecPart-S"`.
     pub fn strategy_name(&self) -> &'static str {
         if self.symmetric {
@@ -158,6 +201,8 @@ mod tests {
         let c = RecPartConfig::new(30);
         assert_eq!(c.workers, 30);
         assert!(c.symmetric);
+        assert_eq!(c.threads, 0, "all cores by default");
+        assert_eq!(c.scorer, SplitScorer::SweepLine);
         assert_eq!(c.strategy_name(), "RecPart");
         assert!(c.max_iterations >= 30);
         assert_eq!(
@@ -176,8 +221,12 @@ mod tests {
             .with_seed(99)
             .with_max_iterations(10)
             .with_shuffle_weights(5.0, 2.0)
-            .with_load_model(LoadModel::new(3.0, 1.0));
+            .with_load_model(LoadModel::new(3.0, 1.0))
+            .with_threads(3)
+            .with_scorer(SplitScorer::BinarySearch);
         assert!(!c.symmetric);
+        assert_eq!(c.threads, 3);
+        assert_eq!(c.scorer, SplitScorer::BinarySearch);
         assert_eq!(c.strategy_name(), "RecPart-S");
         assert_eq!(c.termination, Termination::Theoretical);
         assert_eq!(c.seed, 99);

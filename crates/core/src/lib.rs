@@ -21,6 +21,7 @@
 //! | [`geometry`] | [`Rect`] — axis-aligned hyper-rectangles of the attribute space |
 //! | [`load`] | [`LoadModel`] (β coefficients), per-worker loads, lower bounds |
 //! | [`metrics`] | [`PartitioningStats`] — I, Im, Om, Lm and overhead-vs-lower-bound measures |
+//! | [`parallel`] | the shared sequential / ambient / bounded-pool dispatch every `threads` knob uses |
 //! | [`partition`] | the [`Partitioner`] trait every partitioning strategy implements |
 //! | [`sample`] | input sampling and band-join output sampling |
 //! | [`split_tree`] | the recursive split tree grown by RecPart |
@@ -66,6 +67,7 @@ pub mod error;
 pub mod geometry;
 pub mod load;
 pub mod metrics;
+pub mod parallel;
 pub mod partition;
 pub mod recpart;
 pub mod relation;
@@ -75,11 +77,12 @@ pub mod small;
 pub mod split_tree;
 
 pub use band::BandCondition;
-pub use config::{RecPartConfig, Termination};
+pub use config::{RecPartConfig, SplitScorer, Termination};
 pub use error::RecPartError;
 pub use geometry::Rect;
 pub use load::LoadModel;
-pub use metrics::{PartitioningStats, WorkerLoad};
+pub use metrics::{PartitioningStats, SplitSearchCounters, WorkerLoad};
+pub use parallel::Parallelism;
 pub use partition::{PartitionId, Partitioner};
 pub use recpart::{OptimizationReport, RecPart, RecPartResult, SplitTreePartitioner};
 pub use relation::Relation;
@@ -88,7 +91,7 @@ pub use sample::{InputSample, OutputSample, SampleConfig};
 /// Convenience re-exports for downstream users.
 pub mod prelude {
     pub use crate::band::BandCondition;
-    pub use crate::config::{RecPartConfig, Termination};
+    pub use crate::config::{RecPartConfig, SplitScorer, Termination};
     pub use crate::geometry::Rect;
     pub use crate::load::LoadModel;
     pub use crate::metrics::PartitioningStats;

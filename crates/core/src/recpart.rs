@@ -16,20 +16,32 @@
 //! configured [`Termination`] rule.
 
 use crate::band::BandCondition;
-use crate::config::{RecPartConfig, Termination};
+use crate::config::{RecPartConfig, SplitScorer, Termination};
 use crate::error::RecPartError;
 use crate::geometry::Rect;
+use crate::metrics::SplitSearchCounters;
+use crate::parallel::{chunk_ranges, Parallelism};
 use crate::partition::{PartitionId, Partitioner};
 use crate::relation::Relation;
 use crate::sample::{InputSample, OutputSample};
 use crate::scoring::{partition_load, variance_term, SplitScore};
 use crate::small::BucketGrid;
-use crate::split_tree::{Node, NodeId, SplitKind, SplitTree};
+use crate::split_tree::{NodeId, SplitKind, SplitTree};
 use rand::Rng;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::time::Instant;
+
+/// Below this many sample points (S + T + output) in a refresh batch, leaves are
+/// scored sequentially even in parallel mode: the fan-out overhead would exceed the
+/// scoring work. Purely a wall-clock knob — results are identical either way.
+const MIN_PARALLEL_POINTS: usize = 4_096;
+
+/// Minimum number of candidate boundaries per parallel scoring chunk; smaller
+/// dimensions are swept as a single chunk.
+const MIN_CANDIDATES_PER_CHUNK: usize = 2_048;
 
 /// The action chosen for a leaf by `best_split`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -64,6 +76,30 @@ impl BestSplit {
     }
 }
 
+/// One dimension's cached sorted projections of a leaf's sample points.
+///
+/// Each array holds sample indices ordered ascending by the key value in that
+/// dimension (`f64::total_cmp` order): `s`/`t` index the input samples, `o_s`/`o_t`
+/// index output pairs by their S-side / T-side key (`o_t` stays empty unless symmetric
+/// partitioning is enabled — only S-splits score against the T-side order).
+#[derive(Debug, Clone, Default)]
+struct DimProjection {
+    s: Vec<u32>,
+    t: Vec<u32>,
+    o_s: Vec<u32>,
+    o_t: Vec<u32>,
+}
+
+/// Cached per-dimension sorted projections of a leaf (sweep-line scorer only).
+///
+/// Built exactly once per leaf: at the root by argsorting the samples, at every plane
+/// split by a stable linear partition of the parent's arrays — so no leaf visit ever
+/// re-sorts, and the work per split is proportional to the leaf's sample size.
+#[derive(Debug, Clone, Default)]
+struct LeafProjections {
+    dims: Vec<DimProjection>,
+}
+
 /// Per-leaf working state of the optimizer: the sample points that fall into the leaf
 /// and the cached best split.
 #[derive(Debug, Clone)]
@@ -73,10 +109,119 @@ struct LeafWork {
     t_pts: Vec<u32>,
     /// Indices of output-sample pairs routed to this leaf.
     o_pts: Vec<u32>,
+    /// Cached sorted projections (`None` for small leaves, which never plane-split,
+    /// and under the reference [`SplitScorer::BinarySearch`], which re-sorts per visit).
+    proj: Option<LeafProjections>,
     grid: BucketGrid,
     is_small: bool,
     best: BestSplit,
     version: u32,
+}
+
+impl LeafWork {
+    /// Total sample points in the leaf (used to gate parallel fan-outs).
+    fn points(&self) -> usize {
+        self.s_pts.len() + self.t_pts.len() + self.o_pts.len()
+    }
+}
+
+/// Stable partition of a sorted index array into the two children of an exclusive
+/// split: every index goes to exactly one side, relative order is preserved, so both
+/// outputs stay sorted by whatever key ordered the input.
+fn partition_exclusive(src: &[u32], goes_left: impl Fn(u32) -> bool) -> (Vec<u32>, Vec<u32>) {
+    let mut left = Vec::with_capacity(src.len());
+    let mut right = Vec::with_capacity(src.len());
+    for &i in src {
+        if goes_left(i) {
+            left.push(i);
+        } else {
+            right.push(i);
+        }
+    }
+    (left, right)
+}
+
+/// Stable partition of a sorted index array under a duplicating split: an index may go
+/// to the left child, the right child, or both (tuples within band width of the
+/// boundary). Relative order is preserved on both sides.
+fn partition_duplicating(
+    src: &[u32],
+    membership: impl Fn(u32) -> (bool, bool),
+) -> (Vec<u32>, Vec<u32>) {
+    let mut left = Vec::with_capacity(src.len());
+    let mut right = Vec::with_capacity(src.len());
+    for &i in src {
+        let (l, r) = membership(i);
+        if l {
+            left.push(i);
+        }
+        if r {
+            right.push(i);
+        }
+    }
+    (left, right)
+}
+
+/// Merge two individually sorted (by `f64::total_cmp`) value arrays into their sorted
+/// sequence of *distinct* values, replicating `sort_unstable_by(total_cmp)` followed
+/// by `dedup()` (which removes consecutive `==`-equal values) on the concatenation.
+fn merge_dedup(a: &[f64], b: &[f64]) -> Vec<f64> {
+    let mut out: Vec<f64> = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() || j < b.len() {
+        let take_a = j >= b.len() || (i < a.len() && a[i].total_cmp(&b[j]).is_le());
+        let v = if take_a {
+            i += 1;
+            a[i - 1]
+        } else {
+            j += 1;
+            b[j - 1]
+        };
+        match out.last() {
+            Some(&last) if last == v => {}
+            _ => out.push(v),
+        }
+    }
+    out
+}
+
+/// Advance a sweep pointer so that `*p == arr.partition_point(|&v| v < x)` for a
+/// sorted (non-decreasing) array and a candidate value `x` that never decreases
+/// between calls.
+#[inline]
+fn advance(arr: &[f64], p: &mut usize, x: f64) {
+    while *p < arr.len() && arr[*p] < x {
+        *p += 1;
+    }
+}
+
+/// The per-dimension value arrays one sweep pass runs over, derived from a leaf's
+/// cached projections. All arrays are sorted ascending; the shifted copies
+/// (`t_minus` = `t − ε_lo`, `t_plus` = `t + ε_hi`, and the S-side counterparts under
+/// symmetric partitioning) let the sweep answer the reference scorer's shifted
+/// `partition_point` predicates with plain `< x` pointer advances.
+struct DimArrays {
+    dim: usize,
+    /// The leaf region's bounds in `dim`.
+    lo: f64,
+    hi: f64,
+    s_vals: Vec<f64>,
+    t_vals: Vec<f64>,
+    t_minus: Vec<f64>,
+    t_plus: Vec<f64>,
+    o_s: Vec<f64>,
+    s_minus: Vec<f64>,
+    s_plus: Vec<f64>,
+    o_t: Vec<f64>,
+    /// Candidate boundaries: distinct values of the combined input sample in `dim`.
+    bounds: Vec<f64>,
+}
+
+impl DimArrays {
+    /// Number of candidate windows (consecutive distinct-value pairs).
+    fn windows(&self) -> usize {
+        self.bounds.len().saturating_sub(1)
+    }
 }
 
 /// Entry of the leaf priority queue, ordered by split score.
@@ -151,6 +296,13 @@ pub struct OptimizationReport {
     pub predicted_time: f64,
     /// Wall-clock optimization time in seconds (sampling + tree growth).
     pub optimization_seconds: f64,
+    /// Wall-clock seconds spent scoring candidate splits (a subset of
+    /// [`OptimizationReport::optimization_seconds`]).
+    pub split_search_seconds: f64,
+    /// Split-search work counters. Deterministic functions of the samples and the
+    /// configuration — identical across every `threads` setting and both
+    /// [`crate::config::SplitScorer`] implementations.
+    pub split_search: SplitSearchCounters,
     /// Human-readable reason the loop stopped.
     pub termination_reason: String,
 }
@@ -234,17 +386,38 @@ pub struct RecPartResult {
 #[derive(Debug, Clone)]
 pub struct RecPart {
     config: RecPartConfig,
+    /// Thread pool for an explicit `threads > 1` bound, built once per optimizer so
+    /// repeated `optimize` calls do not pay pool construction. `threads == 0` uses the
+    /// ambient rayon context; `threads == 1` bypasses rayon entirely.
+    pool: Option<std::sync::Arc<rayon::ThreadPool>>,
 }
 
 impl RecPart {
     /// Create an optimizer with the given configuration.
     pub fn new(config: RecPartConfig) -> Self {
-        RecPart { config }
+        let pool = (config.threads > 1).then(|| {
+            std::sync::Arc::new(
+                rayon::ThreadPoolBuilder::new()
+                    .num_threads(config.threads)
+                    .build()
+                    .expect("building the split-search thread pool"),
+            )
+        });
+        RecPart { config, pool }
     }
 
     /// The configuration this optimizer runs with.
     pub fn config(&self) -> &RecPartConfig {
         &self.config
+    }
+
+    /// The parallelism context the split search runs under.
+    fn parallelism(&self) -> Parallelism<'_> {
+        match self.config.threads {
+            1 => Parallelism::Sequential,
+            0 => Parallelism::Ambient,
+            _ => Parallelism::Pool(self.pool.as_ref().expect("pool exists when threads > 1")),
+        }
     }
 
     /// Validate inputs, draw samples, and run the optimization (panicking convenience
@@ -291,20 +464,29 @@ impl RecPart {
         let t_sample = InputSample::draw(t, total - s_share, rng);
         let o_sample = OutputSample::draw(s, t, band, &self.config.sample, rng);
 
-        Ok(self.optimize_with_samples(s.len(), t.len(), band, s_sample, t_sample, o_sample, start))
+        Ok(self.optimize_with_samples(
+            s.len(),
+            t.len(),
+            band,
+            &s_sample,
+            &t_sample,
+            &o_sample,
+            start,
+        ))
     }
 
     /// Run the optimization on pre-drawn samples. Exposed so that optimization-time
-    /// benchmarks can exclude the sampling cost and so callers can reuse samples.
+    /// benchmarks can exclude the sampling cost and so callers can reuse samples
+    /// across repeated runs.
     #[allow(clippy::too_many_arguments)]
     pub fn optimize_with_samples(
         &self,
         s_len: usize,
         t_len: usize,
         band: &BandCondition,
-        s_sample: InputSample,
-        t_sample: InputSample,
-        o_sample: OutputSample,
+        s_sample: &InputSample,
+        t_sample: &InputSample,
+        o_sample: &OutputSample,
         start: Instant,
     ) -> RecPartResult {
         let cfg = &self.config;
@@ -322,6 +504,7 @@ impl RecPart {
             s_sample,
             t_sample,
             o_sample,
+            par: self.parallelism(),
         };
         state.run(start)
     }
@@ -338,9 +521,10 @@ struct OptimizerState<'a> {
     wt: f64,
     wo: f64,
     est_output: f64,
-    s_sample: InputSample,
-    t_sample: InputSample,
-    o_sample: OutputSample,
+    s_sample: &'a InputSample,
+    t_sample: &'a InputSample,
+    o_sample: &'a OutputSample,
+    par: Parallelism<'a>,
 }
 
 impl<'a> OptimizerState<'a> {
@@ -353,18 +537,25 @@ impl<'a> OptimizerState<'a> {
 
         // Leaf working state, indexed by node id.
         let mut works: Vec<Option<LeafWork>> = Vec::new();
+        let mut counters = SplitSearchCounters::default();
+        let mut split_search_seconds = 0.0f64;
+        let root_small = self.is_small(&tree, tree.root(), &domain);
         let root_work = LeafWork {
             node: tree.root(),
             s_pts: (0..self.s_sample.len() as u32).collect(),
             t_pts: (0..self.t_sample.len() as u32).collect(),
             o_pts: (0..self.o_sample.len() as u32).collect(),
+            proj: (cfg.scorer == SplitScorer::SweepLine && !root_small)
+                .then(|| self.build_root_projections()),
             grid: BucketGrid::default(),
-            is_small: self.is_small(&tree, tree.root(), &domain),
+            is_small: root_small,
             best: BestSplit::none(),
             version: 0,
         };
         Self::store_work(&mut works, root_work);
-        self.refresh_best(&mut works, &tree, tree.root(), &domain);
+        let t0 = Instant::now();
+        counters.merge(self.refresh_leaves(&mut works, &tree, &[tree.root()], &domain));
+        split_search_seconds += t0.elapsed().as_secs_f64();
 
         let mut heap: BinaryHeap<QueueEntry> = BinaryHeap::new();
         Self::push_entry(&mut heap, &works, tree.root());
@@ -418,13 +609,12 @@ impl<'a> OptimizerState<'a> {
 
             match best.action {
                 SplitAction::Plane { dim, value, kind } => {
-                    self.apply_plane_split(
+                    let (l, r) = self.apply_plane_split(
                         &mut tree, &mut works, leaf_id, dim, value, kind, &domain,
                     );
-                    let (l, r) = match tree.node(leaf_id) {
-                        Node::Inner(inner) => (inner.left, inner.right),
-                        Node::Leaf(_) => unreachable!("leaf was just split"),
-                    };
+                    let t0 = Instant::now();
+                    counters.merge(self.refresh_leaves(&mut works, &tree, &[l, r], &domain));
+                    split_search_seconds += t0.elapsed().as_secs_f64();
                     Self::push_entry(&mut heap, &works, l);
                     Self::push_entry(&mut heap, &works, r);
                 }
@@ -437,7 +627,9 @@ impl<'a> OptimizerState<'a> {
                     }
                     work.version += 1;
                     tree.set_leaf_grid(leaf_id, work.grid);
-                    self.refresh_best(&mut works, &tree, leaf_id, &domain);
+                    let t0 = Instant::now();
+                    counters.merge(self.refresh_leaves(&mut works, &tree, &[leaf_id], &domain));
+                    split_search_seconds += t0.elapsed().as_secs_f64();
                     Self::push_entry(&mut heap, &works, leaf_id);
                 }
                 SplitAction::None => {
@@ -494,7 +686,14 @@ impl<'a> OptimizerState<'a> {
         }
 
         let winner = winner.expect("at least the initial evaluation is recorded");
-        self.finalize(winner, iterations, termination_reason, start)
+        self.finalize(
+            winner,
+            iterations,
+            termination_reason,
+            start,
+            counters,
+            split_search_seconds,
+        )
     }
 
     fn domain_box(&self) -> Rect {
@@ -553,22 +752,155 @@ impl<'a> OptimizerState<'a> {
         )
     }
 
-    /// Recompute and cache the best split of a leaf (Algorithm 2 `best_split`).
+    /// Old partition load variance of a leaf (the term a split would replace).
+    fn leaf_variance(&self, work: &LeafWork) -> f64 {
+        let lm = &self.cfg.load_model;
+        let (s_in, t_in, out) = self.leaf_estimates(work);
+        let old_load = partition_load(lm.beta_input, lm.beta_output, s_in + t_in, out);
+        variance_term(self.cfg.workers, old_load)
+    }
+
+    /// Recompute and cache the best split of one leaf (Algorithm 2 `best_split`),
+    /// returning the scoring-work counters.
     fn refresh_best(
         &self,
         works: &mut [Option<LeafWork>],
         tree: &SplitTree,
         leaf: NodeId,
         domain: &Rect,
-    ) {
+    ) -> SplitSearchCounters {
         let work = works[leaf as usize].as_ref().expect("leaf work must exist");
-        let best = if work.is_small {
-            self.best_grid_increment(work)
+        let (best, counters) = if work.is_small {
+            (
+                self.best_grid_increment(work),
+                SplitSearchCounters {
+                    leaves_scored: 1,
+                    ..SplitSearchCounters::default()
+                },
+            )
         } else {
-            self.best_plane_split(tree, work, domain)
+            match self.cfg.scorer {
+                SplitScorer::SweepLine => self.best_plane_split_sweep(tree, work, domain),
+                SplitScorer::BinarySearch => self.best_plane_split_reference(tree, work, domain),
+            }
         };
         let work = works[leaf as usize].as_mut().expect("leaf work must exist");
         work.best = best;
+        counters
+    }
+
+    /// Refresh the cached best splits of a batch of leaves — the optimizer's frontier
+    /// update after one split. Under a parallel context and the sweep-line scorer,
+    /// (leaf, dimension) projections are built and candidate chunks scored
+    /// concurrently; the reduction walks the results in (leaf, dimension, candidate)
+    /// order with the same strict-`>` comparison the sequential scan uses, so the
+    /// chosen splits are bit-identical for every thread count.
+    fn refresh_leaves(
+        &self,
+        works: &mut [Option<LeafWork>],
+        tree: &SplitTree,
+        leaves: &[NodeId],
+        domain: &Rect,
+    ) -> SplitSearchCounters {
+        let mut counters = SplitSearchCounters::default();
+        let parallel_sweep = self.cfg.scorer == SplitScorer::SweepLine
+            && self.par.is_parallel()
+            && leaves.iter().any(|&leaf| {
+                works[leaf as usize]
+                    .as_ref()
+                    .is_some_and(|w| !w.is_small && w.points() >= MIN_PARALLEL_POINTS)
+            });
+        if !parallel_sweep {
+            for &leaf in leaves {
+                counters.merge(self.refresh_best(works, tree, leaf, domain));
+            }
+            return counters;
+        }
+
+        // Small leaves score their 1-Bucket grid in O(1); only regular leaves join
+        // the parallel sweep.
+        let mut plane: Vec<(NodeId, f64)> = Vec::new();
+        for &leaf in leaves {
+            let work = works[leaf as usize].as_ref().expect("leaf work must exist");
+            counters.leaves_scored += 1;
+            if work.is_small {
+                let best = self.best_grid_increment(work);
+                works[leaf as usize].as_mut().expect("leaf work").best = best;
+            } else {
+                plane.push((leaf, self.leaf_variance(work)));
+            }
+        }
+        if plane.is_empty() {
+            return counters;
+        }
+
+        // (leaf, dimension) tasks, leaf-major with ascending dimensions — the order
+        // the sequential scan evaluates them in.
+        let mut tasks: Vec<(usize, usize)> = Vec::new();
+        for (pi, &(leaf, _)) in plane.iter().enumerate() {
+            for d in 0..self.dims {
+                if self.dim_allowed(tree, leaf, domain, d) {
+                    tasks.push((pi, d));
+                }
+            }
+        }
+
+        // Phase A: derive every task's sorted value arrays from the cached
+        // projections (one O(n) pass each, no sorting).
+        let works_ro: &[Option<LeafWork>] = works;
+        let arrays: Vec<DimArrays> = self.par.run(|| {
+            tasks
+                .par_iter()
+                .map(|&(pi, d)| {
+                    let leaf = plane[pi].0;
+                    let work = works_ro[leaf as usize].as_ref().expect("leaf work");
+                    let region = &tree.leaf(leaf).region;
+                    self.build_dim_arrays(work, region, d)
+                })
+                .collect()
+        });
+        counters.dims_scanned += tasks.len() as u64;
+        for a in &arrays {
+            counters.candidates_scored += a.windows() as u64;
+        }
+
+        // Phase B: sweep candidate chunks concurrently. Chunk boundaries only
+        // partition the work — every candidate's counts are pure functions of its
+        // boundary value — so the chunking cannot change the chosen split.
+        let threads = self.par.threads();
+        let mut chunk_tasks: Vec<(usize, usize, usize)> = Vec::new();
+        for (ai, a) in arrays.iter().enumerate() {
+            let wins = a.windows();
+            if wins == 0 {
+                continue;
+            }
+            let pieces = (wins / MIN_CANDIDATES_PER_CHUNK).clamp(1, threads * 2);
+            for (lo, hi) in chunk_ranges(wins, pieces) {
+                chunk_tasks.push((ai, lo, hi));
+            }
+        }
+        let chunk_bests: Vec<BestSplit> = self.par.run(|| {
+            chunk_tasks
+                .par_iter()
+                .map(|&(ai, lo, hi)| {
+                    let old_var = plane[tasks[ai].0].1;
+                    self.score_chunk(&arrays[ai], old_var, lo, hi)
+                })
+                .collect()
+        });
+
+        // Deterministic reduction in task/chunk order (= sequential candidate order).
+        let mut bests: Vec<BestSplit> = vec![BestSplit::none(); plane.len()];
+        for (&(ai, _, _), cand) in chunk_tasks.iter().zip(&chunk_bests) {
+            let pi = tasks[ai].0;
+            if cand.score > bests[pi].score {
+                bests[pi] = *cand;
+            }
+        }
+        for (pi, &(leaf, _)) in plane.iter().enumerate() {
+            works[leaf as usize].as_mut().expect("leaf work").best = bests[pi];
+        }
+        counters
     }
 
     /// Best 1-Bucket increment for a small leaf.
@@ -597,22 +929,362 @@ impl<'a> OptimizerState<'a> {
         }
     }
 
-    /// Best hyperplane split of a regular leaf over all allowed dimensions, considering
-    /// both T-splits and (if enabled) S-splits.
-    fn best_plane_split(&self, tree: &SplitTree, work: &LeafWork, domain: &Rect) -> BestSplit {
+    /// Build the root leaf's cached projections by argsorting the samples once per
+    /// dimension (every later leaf inherits its arrays through stable partitions).
+    fn build_root_projections(&self) -> LeafProjections {
+        let build = |d: usize| DimProjection {
+            s: self.s_sample.argsort_by_dim(d),
+            t: self.t_sample.argsort_by_dim(d),
+            o_s: self.o_sample.argsort_by_s_dim(d),
+            o_t: if self.cfg.symmetric {
+                self.o_sample.argsort_by_t_dim(d)
+            } else {
+                Vec::new()
+            },
+        };
+        let points = self.s_sample.len() + self.t_sample.len() + self.o_sample.len();
+        let dims = if self.par.is_parallel() && self.dims > 1 && points >= MIN_PARALLEL_POINTS {
+            self.par
+                .run(|| (0..self.dims).into_par_iter().map(build).collect())
+        } else {
+            (0..self.dims).map(build).collect()
+        };
+        LeafProjections { dims }
+    }
+
+    /// Distribute a leaf's cached projections to the two children of a plane split
+    /// with stable linear partitions: every output array stays sorted by its
+    /// dimension's key, and the work is proportional to the leaf's sample size.
+    fn split_projections(
+        &self,
+        proj: &LeafProjections,
+        dim: usize,
+        value: f64,
+        kind: SplitKind,
+        parallel: bool,
+    ) -> (LeafProjections, LeafProjections) {
+        let split_dim = |d: usize| -> (DimProjection, DimProjection) {
+            let src = &proj.dims[d];
+            match kind {
+                SplitKind::TSplit => {
+                    let (sl, sr) =
+                        partition_exclusive(&src.s, |i| self.s_sample.key(i as usize)[dim] < value);
+                    let (tl, tr) = partition_duplicating(&src.t, |i| {
+                        let v = self.t_sample.key(i as usize)[dim];
+                        let (lo, hi) = self.band.range_around_t(dim, v);
+                        (lo < value, hi >= value)
+                    });
+                    let o_left = |i: u32| self.o_sample.s_key(i as usize)[dim] < value;
+                    let (osl, osr) = partition_exclusive(&src.o_s, o_left);
+                    let (otl, otr) = partition_exclusive(&src.o_t, o_left);
+                    (
+                        DimProjection {
+                            s: sl,
+                            t: tl,
+                            o_s: osl,
+                            o_t: otl,
+                        },
+                        DimProjection {
+                            s: sr,
+                            t: tr,
+                            o_s: osr,
+                            o_t: otr,
+                        },
+                    )
+                }
+                SplitKind::SSplit => {
+                    let (tl, tr) =
+                        partition_exclusive(&src.t, |i| self.t_sample.key(i as usize)[dim] < value);
+                    let (sl, sr) = partition_duplicating(&src.s, |i| {
+                        let v = self.s_sample.key(i as usize)[dim];
+                        let (lo, hi) = self.band.range_around_s(dim, v);
+                        (lo < value, hi >= value)
+                    });
+                    let o_left = |i: u32| self.o_sample.t_key(i as usize)[dim] < value;
+                    let (osl, osr) = partition_exclusive(&src.o_s, o_left);
+                    let (otl, otr) = partition_exclusive(&src.o_t, o_left);
+                    (
+                        DimProjection {
+                            s: sl,
+                            t: tl,
+                            o_s: osl,
+                            o_t: otl,
+                        },
+                        DimProjection {
+                            s: sr,
+                            t: tr,
+                            o_s: osr,
+                            o_t: otr,
+                        },
+                    )
+                }
+            }
+        };
+        let pairs: Vec<(DimProjection, DimProjection)> = if parallel && self.dims > 1 {
+            self.par
+                .run(|| (0..self.dims).into_par_iter().map(split_dim).collect())
+        } else {
+            (0..self.dims).map(split_dim).collect()
+        };
+        let mut left = LeafProjections {
+            dims: Vec::with_capacity(self.dims),
+        };
+        let mut right = LeafProjections {
+            dims: Vec::with_capacity(self.dims),
+        };
+        for (l, r) in pairs {
+            left.dims.push(l);
+            right.dims.push(r);
+        }
+        (left, right)
+    }
+
+    /// Derive one dimension's sweep arrays from a leaf's cached projections: sorted
+    /// value arrays, their band-shifted copies, and the candidate boundaries.
+    fn build_dim_arrays(&self, work: &LeafWork, region: &Rect, dim: usize) -> DimArrays {
+        let proj = work
+            .proj
+            .as_ref()
+            .expect("sweep scorer requires cached projections");
+        let src = &proj.dims[dim];
+        let eps_lo = self.band.eps_low(dim);
+        let eps_hi = self.band.eps_high(dim);
+        let s_vals: Vec<f64> = src
+            .s
+            .iter()
+            .map(|&i| self.s_sample.key(i as usize)[dim])
+            .collect();
+        let t_vals: Vec<f64> = src
+            .t
+            .iter()
+            .map(|&i| self.t_sample.key(i as usize)[dim])
+            .collect();
+        let o_s: Vec<f64> = src
+            .o_s
+            .iter()
+            .map(|&i| self.o_sample.s_key(i as usize)[dim])
+            .collect();
+        // Shifting by a constant is monotone under IEEE rounding, so the shifted
+        // copies of a sorted array are sorted and answer the reference scorer's
+        // shifted predicates (`v − ε_lo < x` etc.) with plain `< x` comparisons.
+        let t_minus: Vec<f64> = t_vals.iter().map(|&v| v - eps_lo).collect();
+        let t_plus: Vec<f64> = t_vals.iter().map(|&v| v + eps_hi).collect();
+        let (s_minus, s_plus, o_t) = if self.cfg.symmetric {
+            (
+                s_vals.iter().map(|&v| v - eps_hi).collect(),
+                s_vals.iter().map(|&v| v + eps_lo).collect(),
+                src.o_t
+                    .iter()
+                    .map(|&i| self.o_sample.t_key(i as usize)[dim])
+                    .collect(),
+            )
+        } else {
+            (Vec::new(), Vec::new(), Vec::new())
+        };
+        let bounds = merge_dedup(&s_vals, &t_vals);
+        DimArrays {
+            dim,
+            lo: region.lo(dim),
+            hi: region.hi(dim),
+            s_vals,
+            t_vals,
+            t_minus,
+            t_plus,
+            o_s,
+            s_minus,
+            s_plus,
+            o_t,
+            bounds,
+        }
+    }
+
+    /// Score the candidate windows `[win_lo, win_hi)` of one dimension in a single
+    /// sweep: every left/right count is maintained by a pointer that advances
+    /// monotonically with the (non-decreasing) candidate values, so the whole chunk
+    /// costs O(windows + points) with zero per-candidate binary searches. The counts,
+    /// the arithmetic, and the strict-`>` comparison replicate the reference scorer
+    /// exactly, so the returned best split is bit-identical to its choice.
+    fn score_chunk(&self, a: &DimArrays, old_var: f64, win_lo: usize, win_hi: usize) -> BestSplit {
+        let mut best = BestSplit::none();
+        if win_lo >= win_hi {
+            return best;
+        }
         let lm = &self.cfg.load_model;
         let w = self.cfg.workers;
-        let (s_in, t_in, out) = self.leaf_estimates(work);
-        let old_load = partition_load(lm.beta_input, lm.beta_output, s_in + t_in, out);
-        let old_var = variance_term(w, old_load);
+        let symmetric = self.cfg.symmetric;
+        let ns = a.s_vals.len() as f64;
+        let nt = a.t_vals.len() as f64;
+        let no = a.o_s.len() as f64;
+
+        // Initialize every pointer at the chunk's first candidate value; from there
+        // each only advances (candidate midpoints never decrease).
+        let x0 = 0.5 * (a.bounds[win_lo] + a.bounds[win_lo + 1]);
+        let mut ps = a.s_vals.partition_point(|&v| v < x0);
+        let mut ptm = a.t_minus.partition_point(|&v| v < x0);
+        let mut ptp = a.t_plus.partition_point(|&v| v < x0);
+        let mut pos = a.o_s.partition_point(|&v| v < x0);
+        let (mut pt, mut psm, mut psp, mut pot) = if symmetric {
+            (
+                a.t_vals.partition_point(|&v| v < x0),
+                a.s_minus.partition_point(|&v| v < x0),
+                a.s_plus.partition_point(|&v| v < x0),
+                a.o_t.partition_point(|&v| v < x0),
+            )
+        } else {
+            (0, 0, 0, 0)
+        };
+
+        for k in win_lo..win_hi {
+            let (b_lo, b_hi) = (a.bounds[k], a.bounds[k + 1]);
+            let x = 0.5 * (b_lo + b_hi);
+            if x <= a.lo || x >= a.hi || x <= b_lo || x >= b_hi {
+                continue;
+            }
+            advance(&a.s_vals, &mut ps, x);
+            advance(&a.t_minus, &mut ptm, x);
+            advance(&a.t_plus, &mut ptp, x);
+            advance(&a.o_s, &mut pos, x);
+
+            // --- T-split: S partitioned at x, T duplicated near x. ---
+            {
+                let nsl = ps as f64;
+                let nsr = ns - nsl;
+                // T goes left iff t − ε_lo < x, right iff t + ε_hi ≥ x.
+                let ntl = ptm as f64;
+                let ntr = nt - ptp as f64;
+                let nol = pos as f64;
+                let nor = no - nol;
+                let dup = self.wt * (ntl + ntr - nt);
+                let l1 = partition_load(
+                    lm.beta_input,
+                    lm.beta_output,
+                    self.ws * nsl + self.wt * ntl,
+                    self.wo * nol,
+                );
+                let l2 = partition_load(
+                    lm.beta_input,
+                    lm.beta_output,
+                    self.ws * nsr + self.wt * ntr,
+                    self.wo * nor,
+                );
+                let reduction = old_var - variance_term(w, l1) - variance_term(w, l2);
+                let score = SplitScore::new(reduction, dup);
+                if score > best.score {
+                    best = BestSplit {
+                        score,
+                        action: SplitAction::Plane {
+                            dim: a.dim,
+                            value: x,
+                            kind: SplitKind::TSplit,
+                        },
+                        dup_increase: dup.max(0.0),
+                    };
+                }
+            }
+
+            // --- S-split: T partitioned at x, S duplicated near x. ---
+            if symmetric {
+                advance(&a.t_vals, &mut pt, x);
+                advance(&a.s_minus, &mut psm, x);
+                advance(&a.s_plus, &mut psp, x);
+                advance(&a.o_t, &mut pot, x);
+                let ntl = pt as f64;
+                let ntr = nt - ntl;
+                // S goes left iff s − ε_hi < x, right iff s + ε_lo ≥ x.
+                let nsl = psm as f64;
+                let nsr = ns - psp as f64;
+                let nol = pot as f64;
+                let nor = no - nol;
+                let dup = self.ws * (nsl + nsr - ns);
+                let l1 = partition_load(
+                    lm.beta_input,
+                    lm.beta_output,
+                    self.ws * nsl + self.wt * ntl,
+                    self.wo * nol,
+                );
+                let l2 = partition_load(
+                    lm.beta_input,
+                    lm.beta_output,
+                    self.ws * nsr + self.wt * ntr,
+                    self.wo * nor,
+                );
+                let reduction = old_var - variance_term(w, l1) - variance_term(w, l2);
+                let score = SplitScore::new(reduction, dup);
+                if score > best.score {
+                    best = BestSplit {
+                        score,
+                        action: SplitAction::Plane {
+                            dim: a.dim,
+                            value: x,
+                            kind: SplitKind::SSplit,
+                        },
+                        dup_increase: dup.max(0.0),
+                    };
+                }
+            }
+        }
+        best
+    }
+
+    /// Best hyperplane split via the sweep-line scorer: one merged pass per allowed
+    /// dimension over the leaf's cached projections.
+    fn best_plane_split_sweep(
+        &self,
+        tree: &SplitTree,
+        work: &LeafWork,
+        domain: &Rect,
+    ) -> (BestSplit, SplitSearchCounters) {
+        let old_var = self.leaf_variance(work);
+        let region = &tree.leaf(work.node).region;
+        let mut best = BestSplit::none();
+        let mut counters = SplitSearchCounters {
+            leaves_scored: 1,
+            ..SplitSearchCounters::default()
+        };
+        for dim in 0..self.dims {
+            if !self.dim_allowed(tree, work.node, domain, dim) {
+                continue;
+            }
+            let arrays = self.build_dim_arrays(work, region, dim);
+            counters.dims_scanned += 1;
+            counters.candidates_scored += arrays.windows() as u64;
+            if arrays.windows() == 0 {
+                continue;
+            }
+            let cand = self.score_chunk(&arrays, old_var, 0, arrays.windows());
+            if cand.score > best.score {
+                best = cand;
+            }
+        }
+        (best, counters)
+    }
+
+    /// Best hyperplane split via the original binary-search implementation: the
+    /// measured baseline of `benches/optimize.rs` and the oracle of the sweep-line
+    /// property tests. Re-collects and sorts the leaf's projections on every visit
+    /// and answers each candidate boundary with `partition_point` searches.
+    fn best_plane_split_reference(
+        &self,
+        tree: &SplitTree,
+        work: &LeafWork,
+        domain: &Rect,
+    ) -> (BestSplit, SplitSearchCounters) {
+        let lm = &self.cfg.load_model;
+        let w = self.cfg.workers;
+        let old_var = self.leaf_variance(work);
 
         let mut best = BestSplit::none();
+        let mut counters = SplitSearchCounters {
+            leaves_scored: 1,
+            ..SplitSearchCounters::default()
+        };
         let region = &tree.leaf(work.node).region;
 
         for dim in 0..self.dims {
             if !self.dim_allowed(tree, work.node, domain, dim) {
                 continue;
             }
+            counters.dims_scanned += 1;
             // Sorted per-dimension value arrays for the leaf's sample points.
             let mut s_vals: Vec<f64> = work
                 .s_pts
@@ -646,6 +1318,7 @@ impl<'a> OptimizerState<'a> {
             combined.extend_from_slice(&t_vals);
             combined.sort_unstable_by(f64::total_cmp);
             combined.dedup();
+            counters.candidates_scored += combined.len().saturating_sub(1) as u64;
             if combined.len() < 2 {
                 continue;
             }
@@ -737,11 +1410,14 @@ impl<'a> OptimizerState<'a> {
                 }
             }
         }
-        best
+        (best, counters)
     }
 
-    /// Apply a hyperplane split: update the tree and distribute the parent's sample
-    /// points over the two new leaves.
+    /// Apply a hyperplane split: update the tree, distribute the parent's sample
+    /// points over the two new leaves (plain lists and, under the sweep-line scorer,
+    /// the cached sorted projections — both with stable linear partitions, so the
+    /// work per split is proportional to the leaf's sample size). Returns the ids of
+    /// the two new leaves; the caller refreshes their best splits.
     #[allow(clippy::too_many_arguments)]
     fn apply_plane_split(
         &self,
@@ -752,7 +1428,7 @@ impl<'a> OptimizerState<'a> {
         value: f64,
         kind: SplitKind,
         domain: &Rect,
-    ) {
+    ) -> (NodeId, NodeId) {
         let parent = works[leaf_id as usize]
             .take()
             .expect("parent leaf work must exist");
@@ -763,6 +1439,7 @@ impl<'a> OptimizerState<'a> {
             s_pts: Vec::new(),
             t_pts: Vec::new(),
             o_pts: Vec::new(),
+            proj: None,
             grid: BucketGrid::default(),
             is_small: false,
             best: BestSplit::none(),
@@ -773,6 +1450,7 @@ impl<'a> OptimizerState<'a> {
             s_pts: Vec::new(),
             t_pts: Vec::new(),
             o_pts: Vec::new(),
+            proj: None,
             grid: BucketGrid::default(),
             is_small: false,
             best: BestSplit::none(),
@@ -836,10 +1514,23 @@ impl<'a> OptimizerState<'a> {
 
         left.is_small = self.is_small(tree, left_id, domain);
         right.is_small = self.is_small(tree, right_id, domain);
+
+        // Distribute the cached projections to the non-small children (small leaves
+        // never plane-split, so their arrays would be dead weight).
+        if self.cfg.scorer == SplitScorer::SweepLine && !(left.is_small && right.is_small) {
+            let proj = parent
+                .proj
+                .as_ref()
+                .expect("regular leaf has cached projections");
+            let parallel = self.par.is_parallel() && parent.points() >= MIN_PARALLEL_POINTS;
+            let (lp, rp) = self.split_projections(proj, dim, value, kind, parallel);
+            left.proj = (!left.is_small).then_some(lp);
+            right.proj = (!right.is_small).then_some(rp);
+        }
+
         Self::store_work(works, left);
         Self::store_work(works, right);
-        self.refresh_best(works, tree, left_id, domain);
-        self.refresh_best(works, tree, right_id, domain);
+        (left_id, right_id)
     }
 
     /// Estimate per-cell loads, map cells onto the workers (longest-processing-time
@@ -847,9 +1538,11 @@ impl<'a> OptimizerState<'a> {
     fn evaluate(&self, tree: &SplitTree, works: &[Option<LeafWork>]) -> Evaluation {
         let lm = &self.cfg.load_model;
         let mut cells: Vec<CellEst> = Vec::new();
-        for leaf_id in tree.leaf_ids() {
+        // Depth-first leaf order without materializing an id list — this runs after
+        // every applied split.
+        tree.for_each_leaf(|leaf_id, _| {
             let Some(Some(work)) = works.get(leaf_id as usize) else {
-                continue;
+                return;
             };
             let (s_in, t_in, out) = self.leaf_estimates(work);
             let grid = work.grid;
@@ -868,7 +1561,7 @@ impl<'a> OptimizerState<'a> {
                     });
                 }
             }
-        }
+        });
 
         // LPT mapping of cells onto workers.
         let w = self.cfg.workers;
@@ -948,6 +1641,8 @@ impl<'a> OptimizerState<'a> {
         iterations: usize,
         termination_reason: String,
         start: Instant,
+        split_search: SplitSearchCounters,
+        split_search_seconds: f64,
     ) -> RecPartResult {
         let mut tree = winner.tree;
         tree.assign_partition_ids();
@@ -986,6 +1681,8 @@ impl<'a> OptimizerState<'a> {
             estimated_output: self.est_output,
             predicted_time: winner.eval.predicted_time,
             optimization_seconds: start.elapsed().as_secs_f64(),
+            split_search_seconds,
+            split_search,
             termination_reason,
         };
         let partitioner = SplitTreePartitioner {
@@ -1007,6 +1704,7 @@ mod tests {
     use super::*;
     use crate::load::LoadModel;
     use crate::sample::SampleConfig;
+    use crate::split_tree::Node;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -1276,5 +1974,200 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(37);
         let result = RecPart::new(cfg).optimize(&s, &t, &band, &mut rng);
         assert!(result.report.predicted_time > 0.0);
+    }
+
+    /// Everything of two optimization results that must be bit-identical across
+    /// scorers and thread counts (wall-clock fields are excluded by construction).
+    fn assert_results_bit_identical(a: &RecPartResult, b: &RecPartResult, label: &str) {
+        assert_eq!(a.partitioner.tree(), b.partitioner.tree(), "{label}: tree");
+        assert_eq!(
+            a.partitioner.num_partitions(),
+            b.partitioner.num_partitions(),
+            "{label}: partitions"
+        );
+        assert_eq!(
+            a.partitioner.estimated_partition_loads(),
+            b.partitioner.estimated_partition_loads(),
+            "{label}: estimated loads"
+        );
+        assert_eq!(a.report.iterations, b.report.iterations, "{label}");
+        assert_eq!(
+            a.report.winning_iteration, b.report.winning_iteration,
+            "{label}"
+        );
+        assert_eq!(a.report.leaves, b.report.leaves, "{label}");
+        assert_eq!(a.report.split_search, b.report.split_search, "{label}");
+        assert_eq!(
+            a.report.estimated_total_input.to_bits(),
+            b.report.estimated_total_input.to_bits(),
+            "{label}: total input"
+        );
+        assert_eq!(
+            a.report.predicted_time.to_bits(),
+            b.report.predicted_time.to_bits(),
+            "{label}: predicted time"
+        );
+        assert_eq!(
+            a.report.termination_reason, b.report.termination_reason,
+            "{label}"
+        );
+    }
+
+    #[test]
+    fn sweep_scorer_matches_binary_search_scorer_end_to_end() {
+        let s = pareto_relation(3000, 2, 1.3, 40);
+        let t = pareto_relation(3000, 2, 1.3, 41);
+        let band = BandCondition::symmetric(&[0.3, 0.3]);
+        for symmetric in [true, false] {
+            let mut cfg = RecPartConfig::new(8)
+                .with_sample(small_sample_config())
+                .with_threads(1);
+            cfg.symmetric = symmetric;
+            let run = |scorer: SplitScorer| {
+                let mut rng = StdRng::seed_from_u64(42);
+                RecPart::new(cfg.clone().with_scorer(scorer)).optimize(&s, &t, &band, &mut rng)
+            };
+            let sweep = run(SplitScorer::SweepLine);
+            let reference = run(SplitScorer::BinarySearch);
+            assert_results_bit_identical(&sweep, &reference, "sweep vs binary-search");
+            assert!(sweep.report.split_search.leaves_scored > 0);
+            assert!(sweep.report.split_search.candidates_scored > 0);
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_result() {
+        let s = pareto_relation(4000, 1, 1.5, 50);
+        let t = pareto_relation(4000, 1, 1.5, 51);
+        let band = BandCondition::symmetric(&[0.05]);
+        let cfg = RecPartConfig::new(16).with_sample(small_sample_config());
+        let run = |threads: usize| {
+            let mut rng = StdRng::seed_from_u64(7);
+            RecPart::new(cfg.clone().with_threads(threads)).optimize(&s, &t, &band, &mut rng)
+        };
+        let sequential = run(1);
+        for threads in [0usize, 4] {
+            let parallel = run(threads);
+            assert_results_bit_identical(&sequential, &parallel, "threads");
+        }
+    }
+
+    mod sweep_property {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Build an optimizer state over drawn samples and compare the sweep-line and
+        /// binary-search scorers on the root leaf and (after applying the chosen
+        /// split) on both children, exercising the incremental projection split.
+        fn compare_scorers(
+            s: &Relation,
+            t: &Relation,
+            band: &BandCondition,
+            symmetric: bool,
+            sample_seed: u64,
+        ) {
+            let mut cfg = RecPartConfig::new(6).with_sample(SampleConfig {
+                input_sample_size: 400,
+                output_sample_size: 200,
+                output_probe_count: 200,
+            });
+            cfg.symmetric = symmetric;
+            let mut rng = StdRng::seed_from_u64(sample_seed);
+            let s_sample = InputSample::draw(s, 200, &mut rng);
+            let t_sample = InputSample::draw(t, 200, &mut rng);
+            let o_sample = OutputSample::draw(s, t, band, &cfg.sample, &mut rng);
+            let state = OptimizerState {
+                cfg: &cfg,
+                band,
+                dims: band.dims(),
+                s_len: s.len(),
+                t_len: t.len(),
+                ws: s_sample.weight(),
+                wt: t_sample.weight(),
+                wo: o_sample.weight(),
+                est_output: o_sample.estimated_output(),
+                s_sample: &s_sample,
+                t_sample: &t_sample,
+                o_sample: &o_sample,
+                par: Parallelism::Sequential,
+            };
+
+            let mut tree = SplitTree::new(band.dims());
+            let domain = state.domain_box();
+            let root = tree.root();
+            let root_small = state.is_small(&tree, root, &domain);
+            let mut works: Vec<Option<LeafWork>> = Vec::new();
+            OptimizerState::store_work(
+                &mut works,
+                LeafWork {
+                    node: root,
+                    s_pts: (0..s_sample.len() as u32).collect(),
+                    t_pts: (0..t_sample.len() as u32).collect(),
+                    o_pts: (0..o_sample.len() as u32).collect(),
+                    proj: (!root_small).then(|| state.build_root_projections()),
+                    grid: BucketGrid::default(),
+                    is_small: root_small,
+                    best: BestSplit::none(),
+                    version: 0,
+                },
+            );
+            if root_small {
+                return;
+            }
+
+            let work = works[root as usize].as_ref().unwrap();
+            let (sweep, sweep_counters) = state.best_plane_split_sweep(&tree, work, &domain);
+            let (reference, reference_counters) =
+                state.best_plane_split_reference(&tree, work, &domain);
+            prop_assert_eq!(sweep, reference, "root best split differs");
+            prop_assert_eq!(sweep_counters, reference_counters, "root counters differ");
+
+            // Apply the chosen split and compare the children, whose projections were
+            // distributed incrementally rather than argsorted from scratch.
+            if let SplitAction::Plane { dim, value, kind } = sweep.action {
+                let (l, r) =
+                    state.apply_plane_split(&mut tree, &mut works, root, dim, value, kind, &domain);
+                for child in [l, r] {
+                    let work = works[child as usize].as_ref().unwrap();
+                    if work.is_small {
+                        continue;
+                    }
+                    let (sweep, _) = state.best_plane_split_sweep(&tree, work, &domain);
+                    let (reference, _) = state.best_plane_split_reference(&tree, work, &domain);
+                    prop_assert_eq!(sweep, reference, "child best split differs");
+                }
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            /// The sweep-line scorer returns the exact `BestSplit` (same score bits,
+            /// same action, same duplication estimate) as the binary-search scorer on
+            /// random leaves — skewed and uniform data, 1–3 dimensions, symmetric and
+            /// asymmetric-role configurations, varying band widths.
+            #[test]
+            fn sweep_equals_binary_search_on_random_leaves(
+                seed in 0u64..5_000,
+                dims in 1usize..4,
+                eps in 0.02f64..6.0,
+                skewed in 0u32..2,
+                symmetric in 0u32..2,
+            ) {
+                let (s, t) = if skewed == 1 {
+                    (
+                        pareto_relation(800, dims, 1.4, seed),
+                        pareto_relation(800, dims, 1.4, seed ^ 0xA5),
+                    )
+                } else {
+                    (
+                        uniform_relation(800, dims, 0.0, 60.0, seed),
+                        uniform_relation(800, dims, 0.0, 60.0, seed ^ 0xA5),
+                    )
+                };
+                let band = BandCondition::symmetric(&vec![eps; dims]);
+                compare_scorers(&s, &t, &band, symmetric == 1, seed ^ 0x5EED);
+            }
+        }
     }
 }

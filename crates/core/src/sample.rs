@@ -120,6 +120,17 @@ impl InputSample {
         self.relation_len
     }
 
+    /// Indices `0..len` sorted ascending by the key value in dimension `dim`
+    /// (`f64::total_cmp`, so the order is deterministic even for NaNs and ±0.0).
+    /// Seeds the optimizer's cached per-dimension projections.
+    pub fn argsort_by_dim(&self, dim: usize) -> Vec<u32> {
+        let mut order: Vec<u32> = (0..self.len() as u32).collect();
+        order.sort_unstable_by(|&a, &b| {
+            self.key(a as usize)[dim].total_cmp(&self.key(b as usize)[dim])
+        });
+        order
+    }
+
     /// Scale factor converting a sample count into a full-relation estimate
     /// (`|R| / sample size`); 0 for an empty sample.
     pub fn weight(&self) -> f64 {
@@ -269,6 +280,26 @@ impl OutputSample {
         self.estimated_output
     }
 
+    /// Pair indices `0..len` sorted ascending by the **S-side** key value in
+    /// dimension `dim` (`f64::total_cmp`).
+    pub fn argsort_by_s_dim(&self, dim: usize) -> Vec<u32> {
+        let mut order: Vec<u32> = (0..self.len() as u32).collect();
+        order.sort_unstable_by(|&a, &b| {
+            self.s_key(a as usize)[dim].total_cmp(&self.s_key(b as usize)[dim])
+        });
+        order
+    }
+
+    /// Pair indices `0..len` sorted ascending by the **T-side** key value in
+    /// dimension `dim` (`f64::total_cmp`).
+    pub fn argsort_by_t_dim(&self, dim: usize) -> Vec<u32> {
+        let mut order: Vec<u32> = (0..self.len() as u32).collect();
+        order.sort_unstable_by(|&a, &b| {
+            self.t_key(a as usize)[dim].total_cmp(&self.t_key(b as usize)[dim])
+        });
+        order
+    }
+
     /// Scale factor converting a count of sampled pairs into an estimate of output
     /// tuples (`|S ⋈ T|_est / sample size`); 0 for an empty sample.
     pub fn weight(&self) -> f64 {
@@ -401,6 +432,46 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(17);
         let sample = OutputSample::draw(&s, &t, &band, &SampleConfig::default(), &mut rng);
         assert!(sample.is_empty());
+    }
+
+    #[test]
+    fn argsort_orders_each_dimension() {
+        let r = uniform_relation(200, 2, 0.0, 50.0, 20);
+        let mut rng = StdRng::seed_from_u64(21);
+        let sample = InputSample::draw(&r, 100, &mut rng);
+        for dim in 0..2 {
+            let order = sample.argsort_by_dim(dim);
+            assert_eq!(order.len(), sample.len());
+            for w in order.windows(2) {
+                assert!(
+                    sample.key(w[0] as usize)[dim] <= sample.key(w[1] as usize)[dim],
+                    "dim {dim} not sorted"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn output_argsort_orders_both_sides() {
+        let s = uniform_relation(300, 2, 0.0, 10.0, 22);
+        let t = uniform_relation(300, 2, 0.0, 10.0, 23);
+        let band = BandCondition::symmetric(&[0.5, 0.5]);
+        let mut rng = StdRng::seed_from_u64(24);
+        let cfg = SampleConfig {
+            input_sample_size: 100,
+            output_sample_size: 150,
+            output_probe_count: 150,
+        };
+        let sample = OutputSample::draw(&s, &t, &band, &cfg, &mut rng);
+        assert!(!sample.is_empty());
+        for dim in 0..2 {
+            for w in sample.argsort_by_s_dim(dim).windows(2) {
+                assert!(sample.s_key(w[0] as usize)[dim] <= sample.s_key(w[1] as usize)[dim]);
+            }
+            for w in sample.argsort_by_t_dim(dim).windows(2) {
+                assert!(sample.t_key(w[0] as usize)[dim] <= sample.t_key(w[1] as usize)[dim]);
+            }
+        }
     }
 
     #[test]

@@ -127,25 +127,35 @@ impl SplitTree {
         }
     }
 
-    /// Ids of all leaves, in depth-first order.
-    pub fn leaf_ids(&self) -> Vec<NodeId> {
-        let mut out = Vec::new();
-        let mut stack = vec![self.root];
+    /// Visit every leaf in depth-first order without materializing an id list
+    /// (the optimizer re-evaluates the frontier after every split, so this runs on
+    /// the hot path).
+    pub fn for_each_leaf(&self, mut f: impl FnMut(NodeId, &LeafNode)) {
+        let mut stack: Vec<NodeId> = Vec::with_capacity(32);
+        stack.push(self.root);
         while let Some(id) = stack.pop() {
             match &self.nodes[id as usize] {
-                Node::Leaf(_) => out.push(id),
+                Node::Leaf(leaf) => f(id, leaf),
                 Node::Inner(inner) => {
                     stack.push(inner.right);
                     stack.push(inner.left);
                 }
             }
         }
+    }
+
+    /// Ids of all leaves, in depth-first order.
+    pub fn leaf_ids(&self) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        self.for_each_leaf(|id, _| out.push(id));
         out
     }
 
     /// Number of leaves.
     pub fn num_leaves(&self) -> usize {
-        self.leaf_ids().len()
+        let mut n = 0;
+        self.for_each_leaf(|_, _| n += 1);
+        n
     }
 
     /// Maximum depth of the tree (a single leaf has depth 1).

@@ -29,7 +29,7 @@
 use crate::local_join::LocalJoinAlgorithm;
 use crate::machine::{MachineModel, WorkerWork};
 use crate::parallel::Parallelism;
-use crate::shuffle::{shuffle, ShuffledInputs};
+use crate::shuffle::{shuffle, PartitionedIndex, ShuffledInputs};
 use crate::verify::{check_pairs_against, exact_join_count_on, exact_join_pairs_on, PairCheck};
 use rayon::prelude::*;
 use recpart::{BandCondition, LoadModel, Partitioner, PartitioningStats, Relation, WorkerLoad};
@@ -422,11 +422,11 @@ impl Executor {
         s: &Relation,
         t: &Relation,
         band: &BandCondition,
-        s_parts: &[Vec<u32>],
-        t_parts: &[Vec<u32>],
+        s_parts: &PartitionedIndex,
+        t_parts: &PartitionedIndex,
         materialize: bool,
     ) -> LocalJoinPhase {
-        let num_partitions = s_parts.len();
+        let num_partitions = s_parts.num_partitions();
         let algo = self.config.local_algorithm;
 
         let join_one = |p: usize| -> PartitionJoinOutcome {
@@ -435,14 +435,14 @@ impl Executor {
             let result = algo.join(
                 s,
                 t,
-                &s_parts[p],
-                &t_parts[p],
+                s_parts.part(p),
+                t_parts.part(p),
                 band,
                 materialize.then_some(&mut pairs),
             );
             let load = PartitionLoad {
-                s_input: s_parts[p].len() as u64,
-                t_input: t_parts[p].len() as u64,
+                s_input: s_parts.part(p).len() as u64,
+                t_input: t_parts.part(p).len() as u64,
                 output: result.output,
                 comparisons: result.comparisons,
             };

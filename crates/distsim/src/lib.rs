@@ -40,5 +40,5 @@ pub use cost_model::{CalibrationPoint, CostModel};
 pub use executor::{ExecutionReport, Executor, ExecutorConfig, VerificationLevel};
 pub use local_join::{probe_sorted, LocalJoinAlgorithm, LocalJoinResult, SortedProbeSide};
 pub use machine::MachineModel;
-pub use shuffle::ShuffledInputs;
+pub use shuffle::{PartitionedIndex, ShuffledInputs};
 pub use verify::{exact_join_count, exact_join_count_on, exact_join_pairs, exact_join_pairs_on};

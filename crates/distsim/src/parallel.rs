@@ -2,111 +2,9 @@
 //!
 //! Every phase of [`crate::executor::Executor::execute`] (map/shuffle, local joins,
 //! verification) honours the same `threads` knob of
-//! [`crate::executor::ExecutorConfig`]. This module centralizes the three cases so each
-//! phase does not re-implement the sequential / ambient-pool / bounded-pool dispatch:
-//!
-//! * [`Parallelism::Sequential`] — `threads == 1`: plain loops, no thread pool at all;
-//! * [`Parallelism::Ambient`] — `threads == 0`: the surrounding rayon context (the
-//!   global pool with real rayon), no per-call pool construction;
-//! * [`Parallelism::Pool`] — `threads == n > 1`: an explicit bounded pool built once
-//!   per executor.
+//! [`crate::executor::ExecutorConfig`]. The dispatch (sequential / ambient pool /
+//! bounded pool) lives in [`recpart::parallel`] so the RecPart optimizer's own
+//! `threads` knob runs on the exact same plumbing; this module just re-exports it for
+//! the executor's internal use.
 
-use rayon::ThreadPool;
-
-/// How a phase should run its work.
-#[derive(Debug, Clone, Copy)]
-pub(crate) enum Parallelism<'a> {
-    /// Strictly sequential: no thread pool involved.
-    Sequential,
-    /// The ambient rayon context (all cores unless a caller installed a pool).
-    Ambient,
-    /// An explicit pool bounding the thread count.
-    Pool(&'a ThreadPool),
-}
-
-impl Parallelism<'_> {
-    /// Number of threads parallel work run through [`run`](Self::run) will use.
-    pub(crate) fn threads(&self) -> usize {
-        match self {
-            Parallelism::Sequential => 1,
-            Parallelism::Ambient => rayon::current_num_threads().max(1),
-            Parallelism::Pool(pool) => pool.current_num_threads().max(1),
-        }
-    }
-
-    /// Run `op` under this context: inside the bounded pool for
-    /// [`Parallelism::Pool`], directly otherwise. Parallel iterators inside `op`
-    /// then pick up the intended thread count.
-    pub(crate) fn run<R: Send>(&self, op: impl FnOnce() -> R + Send) -> R {
-        match self {
-            Parallelism::Pool(pool) => pool.install(op),
-            _ => op(),
-        }
-    }
-}
-
-/// Contiguous `(lo, hi)` ranges covering `0..n` in at most `pieces` chunks of
-/// near-equal size, in ascending order. Shared by every phase that fans work out over
-/// contiguous index chunks and merges results back in chunk order.
-pub(crate) fn chunk_ranges(n: usize, pieces: usize) -> Vec<(usize, usize)> {
-    let pieces = pieces.clamp(1, n.max(1));
-    let chunk = n.div_ceil(pieces).max(1);
-    (0..n)
-        .step_by(chunk)
-        .map(|lo| (lo, (lo + chunk).min(n)))
-        .collect()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn chunk_ranges_cover_everything_once() {
-        for (n, pieces) in [
-            (10usize, 3usize),
-            (7, 7),
-            (5, 16),
-            (1, 4),
-            (0, 3),
-            (4_096, 5),
-        ] {
-            let ranges = chunk_ranges(n, pieces);
-            let mut next = 0;
-            for (lo, hi) in ranges {
-                assert_eq!(lo, next, "n={n} pieces={pieces}");
-                assert!(hi > lo);
-                next = hi;
-            }
-            assert_eq!(next, n, "n={n} pieces={pieces}");
-        }
-    }
-
-    #[test]
-    fn sequential_reports_one_thread() {
-        assert_eq!(Parallelism::Sequential.threads(), 1);
-    }
-
-    #[test]
-    fn ambient_reports_at_least_one_thread() {
-        assert!(Parallelism::Ambient.threads() >= 1);
-    }
-
-    #[test]
-    fn pool_bounds_threads_inside_run() {
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(2)
-            .build()
-            .unwrap();
-        let par = Parallelism::Pool(&pool);
-        assert_eq!(par.threads(), 2);
-        let inside = par.run(rayon::current_num_threads);
-        assert_eq!(inside, 2);
-    }
-
-    #[test]
-    fn run_returns_the_closure_result() {
-        assert_eq!(Parallelism::Sequential.run(|| 41 + 1), 42);
-        assert_eq!(Parallelism::Ambient.run(|| "ok"), "ok");
-    }
-}
+pub(crate) use recpart::parallel::{chunk_ranges, Parallelism};

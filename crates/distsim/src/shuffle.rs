@@ -1,20 +1,25 @@
 //! The map/shuffle phase: route every input tuple through the partitioner and
 //! materialize per-partition input index lists.
 //!
-//! The parallel path splits each relation into contiguous index chunks; every chunk is
-//! routed independently into chunk-local buckets (one reused routing buffer per chunk,
-//! no per-tuple allocation), and the chunk buckets are merged **in chunk order**, so
-//! the per-partition index lists are bit-identical to the sequential path no matter how
-//! many threads ran the fan-out. Downstream local joins and verification therefore see
-//! exactly the same inputs for every `threads` setting.
+//! The per-partition lists live in one flat arena per side ([`PartitionedIndex`]),
+//! built with a **two-pass counting layout**: pass 1 routes each contiguous input
+//! chunk once, recording its `(partition, index)` assignments in routing order plus a
+//! per-partition count; the counts of all chunks are prefix-summed into exact arena
+//! offsets; pass 2 scatters every chunk's assignments directly into its disjoint
+//! arena slices. No per-chunk per-partition buckets are allocated and no merge copy
+//! runs afterwards — each assignment is written to its final location exactly once.
+//! Chunks are contiguous ascending index ranges laid out in chunk order, so the arena
+//! contents are bit-identical to the sequential path no matter how many threads ran
+//! the fan-out. Downstream local joins and verification therefore see exactly the
+//! same inputs for every `threads` setting.
 
 use crate::parallel::{chunk_ranges, Parallelism};
 use rayon::prelude::*;
 use recpart::{PartitionId, Partitioner, Relation};
 use std::time::Instant;
 
-/// Below this many tuples a side is routed sequentially even in parallel mode: the
-/// chunk fan-out and merge would cost more than they save.
+/// Below this many tuples a side is routed as a single chunk even in parallel mode:
+/// the chunk fan-out would cost more than it saves.
 const MIN_PARALLEL_TUPLES: usize = 4_096;
 
 /// Contiguous chunks handed to each routing thread: a few per thread so the dynamic
@@ -22,13 +27,57 @@ const MIN_PARALLEL_TUPLES: usize = 4_096;
 /// split-tree paths in dense regions).
 const CHUNKS_PER_THREAD: usize = 4;
 
+/// Per-partition tuple-index lists stored as one flat arena plus partition offsets
+/// (CSR layout): partition `p` owns `data[offsets[p]..offsets[p + 1]]`, in routing
+/// (ascending tuple-index) order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionedIndex {
+    data: Vec<u32>,
+    offsets: Vec<usize>,
+}
+
+impl PartitionedIndex {
+    /// An index with `num_partitions` empty partitions.
+    pub fn empty(num_partitions: usize) -> Self {
+        PartitionedIndex {
+            data: Vec::new(),
+            offsets: vec![0; num_partitions + 1],
+        }
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// The tuple indices routed to partition `p`, ascending.
+    pub fn part(&self, p: usize) -> &[u32] {
+        &self.data[self.offsets[p]..self.offsets[p + 1]]
+    }
+
+    /// Total number of assignments across all partitions.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether no tuple was routed anywhere.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Iterate over the per-partition index slices in partition order.
+    pub fn iter_parts(&self) -> impl Iterator<Item = &[u32]> + '_ {
+        (0..self.num_partitions()).map(|p| self.part(p))
+    }
+}
+
 /// The materialized result of the map/shuffle phase.
 #[derive(Debug, Clone)]
 pub struct ShuffledInputs {
     /// For each partition, the indices of the S-tuples routed to it (ascending).
-    pub s_parts: Vec<Vec<u32>>,
+    pub s_parts: PartitionedIndex,
     /// For each partition, the indices of the T-tuples routed to it (ascending).
-    pub t_parts: Vec<Vec<u32>>,
+    pub t_parts: PartitionedIndex,
     /// Measured wall-clock seconds of the whole phase (both sides).
     pub wall_seconds: f64,
 }
@@ -36,8 +85,7 @@ pub struct ShuffledInputs {
 impl ShuffledInputs {
     /// Total number of partition assignments, the paper's total input `I`.
     pub fn total_input(&self) -> u64 {
-        let count = |parts: &[Vec<u32>]| parts.iter().map(|p| p.len() as u64).sum::<u64>();
-        count(&self.s_parts) + count(&self.t_parts)
+        (self.s_parts.len() + self.t_parts.len()) as u64
     }
 }
 
@@ -63,70 +111,129 @@ pub(crate) fn shuffle<P: Partitioner + ?Sized>(
     }
 }
 
-/// Route one relation into per-partition index lists.
+/// One chunk's routing output: its `(partition, tuple index)` assignments in routing
+/// order plus the per-partition assignment counts (the "counting" pass).
+struct ChunkRouting {
+    pairs: Vec<(PartitionId, u32)>,
+    counts: Vec<u32>,
+}
+
+/// Raw arena pointer handed to the scatter pass. Safety: the offset layout gives
+/// every `(chunk, partition)` pair a disjoint slice of the arena, so concurrent
+/// chunk writers never alias.
+struct ArenaPtr(*mut u32);
+unsafe impl Send for ArenaPtr {}
+unsafe impl Sync for ArenaPtr {}
+
+/// Route one relation into a flat per-partition arena with the two-pass counting
+/// layout described in the module docs.
 fn route_side<F>(
     rel: &Relation,
     num_partitions: usize,
     par: &Parallelism<'_>,
     assign: F,
-) -> Vec<Vec<u32>>
+) -> PartitionedIndex
 where
     F: Fn(&[f64], u64, &mut Vec<PartitionId>) + Sync,
 {
     let n = rel.len();
     let threads = par.threads().min(n.max(1));
-    if threads <= 1 || n < MIN_PARALLEL_TUPLES {
-        return route_range(rel, num_partitions, 0, n, &assign);
+    let parallel = threads > 1 && n >= MIN_PARALLEL_TUPLES;
+    let ranges = if parallel {
+        chunk_ranges(n, threads * CHUNKS_PER_THREAD)
+    } else {
+        chunk_ranges(n, 1)
+    };
+    if ranges.is_empty() {
+        return PartitionedIndex::empty(num_partitions);
     }
 
-    let ranges = chunk_ranges(n, threads * CHUNKS_PER_THREAD);
-
+    // Pass 1: route every chunk once, recording assignments and counts.
     let assign = &assign;
-    let per_chunk: Vec<Vec<Vec<u32>>> = par.run(|| {
-        ranges
-            .into_par_iter()
-            .map(|(lo, hi)| route_range(rel, num_partitions, lo, hi, assign))
-            .collect()
-    });
+    let route_one = |(lo, hi): (usize, usize)| route_range(rel, num_partitions, lo, hi, assign);
+    let chunks: Vec<ChunkRouting> = if parallel {
+        par.run(|| ranges.clone().into_par_iter().map(route_one).collect())
+    } else {
+        ranges.iter().map(|&r| route_one(r)).collect()
+    };
 
-    // Merge chunk buckets in chunk order (chunks are contiguous ascending index
-    // ranges, so this reproduces the sequential order exactly), pre-sizing each
-    // partition list to its exact final length.
-    let mut parts = Vec::with_capacity(num_partitions);
+    // Exact arena offsets: partition-major totals, then per-(partition, chunk)
+    // write cursors in chunk order, so the arena reproduces the sequential layout.
+    let mut offsets = Vec::with_capacity(num_partitions + 1);
+    offsets.push(0usize);
     for p in 0..num_partitions {
-        let total: usize = per_chunk.iter().map(|c| c[p].len()).sum();
-        let mut merged = Vec::with_capacity(total);
-        for c in &per_chunk {
-            merged.extend_from_slice(&c[p]);
-        }
-        parts.push(merged);
+        let total: usize = chunks.iter().map(|c| c.counts[p] as usize).sum();
+        offsets.push(offsets[p] + total);
     }
-    parts
+    let total = offsets[num_partitions];
+    let mut chunk_bases: Vec<Vec<usize>> = Vec::with_capacity(chunks.len());
+    {
+        let mut cursor = offsets[..num_partitions].to_vec();
+        for c in &chunks {
+            chunk_bases.push(cursor.clone());
+            for (p, slot) in cursor.iter_mut().enumerate() {
+                *slot += c.counts[p] as usize;
+            }
+        }
+        debug_assert_eq!(&cursor, &offsets[1..]);
+    }
+
+    // Pass 2: scatter every chunk's assignments into its disjoint arena slices.
+    let mut data = vec![0u32; total];
+    let arena = ArenaPtr(data.as_mut_ptr());
+    // Borrow the wrapper (not the raw pointer field) so the scatter closure stays
+    // `Sync` under edition-2021 disjoint capture.
+    let arena = &arena;
+    let scatter = |c: usize| {
+        let mut cursor = chunk_bases[c].clone();
+        for &(p, i) in &chunks[c].pairs {
+            // Safety: `cursor[p]` stays within this chunk's slice of partition `p`
+            // (it starts at the chunk's base and advances once per counted pair),
+            // and those slices are disjoint across chunks and partitions.
+            unsafe {
+                *arena.0.add(cursor[p as usize]) = i;
+            }
+            cursor[p as usize] += 1;
+        }
+    };
+    if parallel {
+        let scatter = &scatter;
+        par.run(|| (0..chunks.len()).into_par_iter().for_each(scatter));
+    } else {
+        for c in 0..chunks.len() {
+            scatter(c);
+        }
+    }
+
+    PartitionedIndex { data, offsets }
 }
 
-/// Route the tuples `lo..hi` of `rel` into fresh buckets, reusing one routing buffer
-/// for the whole range.
+/// Pass 1 for the tuples `lo..hi` of `rel`: route each through the partitioner
+/// (reusing one routing buffer for the whole range) and record the flat assignment
+/// list plus per-partition counts.
 fn route_range<F>(
     rel: &Relation,
     num_partitions: usize,
     lo: usize,
     hi: usize,
     assign: &F,
-) -> Vec<Vec<u32>>
+) -> ChunkRouting
 where
     F: Fn(&[f64], u64, &mut Vec<PartitionId>) + Sync,
 {
-    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); num_partitions];
+    let mut pairs: Vec<(PartitionId, u32)> = Vec::with_capacity(hi - lo);
+    let mut counts = vec![0u32; num_partitions];
     let mut buf: Vec<PartitionId> = Vec::new();
     for i in lo..hi {
         buf.clear();
         assign(rel.key(i), i as u64, &mut buf);
         debug_assert!(!buf.is_empty(), "partitioner dropped a tuple");
         for &p in &buf {
-            buckets[p as usize].push(i as u32);
+            pairs.push((p, i as u32));
+            counts[p as usize] += 1;
         }
     }
-    buckets
+    ChunkRouting { pairs, counts }
 }
 
 #[cfg(test)]
@@ -192,7 +299,7 @@ mod tests {
         let pool = four_thread_pool();
         let shuffled = shuffle(&ModPartitioner(5), &s, &t, 5, &Parallelism::Pool(&pool));
         for parts in [&shuffled.s_parts, &shuffled.t_parts] {
-            for list in parts.iter() {
+            for list in parts.iter_parts() {
                 assert!(list.windows(2).all(|w| w[0] < w[1]));
             }
         }
@@ -204,8 +311,8 @@ mod tests {
         let t = relation(5_000);
         let pool = four_thread_pool();
         let shuffled = shuffle(&SinglePartition, &s, &t, 1, &Parallelism::Pool(&pool));
-        assert_eq!(shuffled.s_parts[0].len(), 5_000);
-        assert_eq!(shuffled.t_parts[0].len(), 5_000);
+        assert_eq!(shuffled.s_parts.part(0).len(), 5_000);
+        assert_eq!(shuffled.t_parts.part(0).len(), 5_000);
         assert_eq!(shuffled.total_input(), 10_000);
         assert!(shuffled.wall_seconds >= 0.0);
     }
@@ -218,5 +325,23 @@ mod tests {
         let seq = shuffle(&ModPartitioner(3), &s, &t, 3, &Parallelism::Sequential);
         assert_eq!(shuffled.s_parts, seq.s_parts);
         assert_eq!(shuffled.t_parts, seq.t_parts);
+    }
+
+    #[test]
+    fn arena_offsets_are_consistent() {
+        let s = relation(6_000);
+        let t = relation(100);
+        let shuffled = shuffle(&ModPartitioner(7), &s, &t, 7, &Parallelism::Sequential);
+        for parts in [&shuffled.s_parts, &shuffled.t_parts] {
+            assert_eq!(parts.num_partitions(), 7);
+            let total: usize = parts.iter_parts().map(<[u32]>::len).sum();
+            assert_eq!(total, parts.len());
+        }
+        assert!(shuffled.s_parts.len() >= 6_000, "duplicates counted");
+        assert!(!shuffled.s_parts.is_empty());
+        let empty = PartitionedIndex::empty(3);
+        assert_eq!(empty.num_partitions(), 3);
+        assert!(empty.is_empty());
+        assert_eq!(empty.part(2), &[] as &[u32]);
     }
 }

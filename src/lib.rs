@@ -55,11 +55,12 @@ pub mod prelude {
     pub use datagen;
     pub use distsim::{
         exact_join_count, exact_join_count_on, CostModel, ExecutionReport, Executor,
-        ExecutorConfig, LocalJoinAlgorithm, MachineModel, ShuffledInputs, VerificationLevel,
+        ExecutorConfig, LocalJoinAlgorithm, MachineModel, PartitionedIndex, ShuffledInputs,
+        VerificationLevel,
     };
     pub use recpart::{
         BandCondition, LoadModel, OptimizationReport, PartitionId, Partitioner, PartitioningStats,
-        RecPart, RecPartConfig, RecPartResult, Relation, SampleConfig, SplitTreePartitioner,
-        Termination,
+        RecPart, RecPartConfig, RecPartResult, Relation, SampleConfig, SplitScorer,
+        SplitSearchCounters, SplitTreePartitioner, Termination,
     };
 }

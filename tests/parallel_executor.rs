@@ -156,7 +156,7 @@ fn map_shuffle_is_bit_identical_across_thread_counts() {
     let shuffled_seq =
         Executor::new(ExecutorConfig::new(workers).sequential()).map_shuffle(&partitioner, &s, &t);
     assert!(
-        shuffled_seq.s_parts.len() > 1,
+        shuffled_seq.s_parts.num_partitions() > 1,
         "need a non-trivial partitioning"
     );
     assert!(shuffled_seq.wall_seconds >= 0.0);
