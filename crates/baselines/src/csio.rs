@@ -26,9 +26,11 @@
 
 use rand::Rng;
 use recpart::{
-    BandCondition, InputSample, OutputSample, PartitionId, Partitioner, Relation, SampleConfig,
+    AssignmentSink, BandCondition, InputSample, OutputSample, PartitionId, Partitioner, Relation,
+    SampleConfig,
 };
 use serde::{Deserialize, Serialize};
+use std::ops::Range;
 use std::time::Instant;
 
 /// How the multidimensional attribute space is mapped to a total order (Section 5.2).
@@ -265,6 +267,28 @@ impl Partitioner for CsioPartitioner {
     fn assign_t(&self, key: &[f64], _tuple_id: u64, out: &mut Vec<PartitionId>) {
         let c = range_of(&self.t_bounds, self.lin.key(key));
         out.extend_from_slice(&self.t_range_partitions[c]);
+    }
+
+    // Block routing: one linearize-lookup-emit loop per block. The range's partition
+    // list is a precomputed slice, so a block needs no per-tuple buffer or dispatch.
+    fn assign_s_block(&self, rel: &Relation, rows: Range<usize>, sink: &mut AssignmentSink) {
+        sink.reserve(rows.len());
+        for i in rows {
+            let r = range_of(&self.s_bounds, self.lin.key(rel.key(i)));
+            for &p in &self.s_range_partitions[r] {
+                sink.push(p, i as u32);
+            }
+        }
+    }
+
+    fn assign_t_block(&self, rel: &Relation, rows: Range<usize>, sink: &mut AssignmentSink) {
+        sink.reserve(rows.len());
+        for i in rows {
+            let c = range_of(&self.t_bounds, self.lin.key(rel.key(i)));
+            for &p in &self.t_range_partitions[c] {
+                sink.push(p, i as u32);
+            }
+        }
     }
 
     fn name(&self) -> &str {

@@ -12,9 +12,10 @@
 //! Grid-ε is not defined for band width zero (the paper notes the same); construction
 //! fails if any `ε_i` is zero.
 
-use recpart::{BandCondition, PartitionId, Partitioner, Relation};
+use recpart::{AssignmentSink, BandCondition, PartitionId, Partitioner, Relation};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::ops::Range;
 
 /// The Grid-ε / Grid-(j·ε) partitioner.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -120,28 +121,35 @@ impl GridPartitioner {
         }
     }
 
-    /// Enumerate the (existing) cells intersecting the ε-range around a T-tuple and push
-    /// their partition ids.
-    fn push_t_range_cells(&self, key: &[f64], out: &mut Vec<PartitionId>) {
+    /// Enumerate the (existing) cells intersecting the ε-range around a T-tuple into
+    /// `emit`, using caller-provided scratch buffers (`lo`/`hi`/`cursor`, each of
+    /// `dims` length) so block routing re-touches no allocator per tuple.
+    fn for_each_t_range_cell(
+        &self,
+        key: &[f64],
+        scratch: &mut TScratch,
+        mut emit: impl FnMut(PartitionId),
+    ) -> bool {
         let dims = self.band.dims();
-        let mut lo = vec![0i64; dims];
-        let mut hi = vec![0i64; dims];
+        let TScratch { lo, hi, cursor } = scratch;
         for d in 0..dims {
             let (range_lo, range_hi) = self.band.range_around_t(d, key[d]);
             lo[d] = ((range_lo - self.origin[d]) / self.cell[d]).floor() as i64;
             hi[d] = ((range_hi - self.origin[d]) / self.cell[d]).floor() as i64;
         }
         // Iterate the cartesian product of per-dimension index ranges.
-        let mut cursor = lo.clone();
+        cursor.copy_from_slice(lo);
+        let mut any = false;
         loop {
             if let Some(&id) = self.cells.get(cursor.as_slice()) {
-                out.push(id);
+                emit(id);
+                any = true;
             }
             // Advance the cursor (odometer style).
             let mut d = 0;
             loop {
                 if d == dims {
-                    return;
+                    return any;
                 }
                 cursor[d] += 1;
                 if cursor[d] <= hi[d] {
@@ -150,6 +158,37 @@ impl GridPartitioner {
                 cursor[d] = lo[d];
                 d += 1;
             }
+        }
+    }
+
+    /// The tuple's own cell, or partition 0 when it falls outside every
+    /// materialized cell. This is both the S-side assignment and the T-side
+    /// fallback (a T-tuple whose ε-range hit no cell): either way the tuple must
+    /// land somewhere (`h(x) ≠ ∅`, Definition 1) without producing spurious output,
+    /// and partition 0 always exists (`num_partitions` is clamped to ≥ 1).
+    #[inline]
+    fn cell_or_default(&self, key: &[f64], coords: &mut [i64]) -> PartitionId {
+        self.cell_coords(key, coords);
+        match self.cells.get(coords) {
+            Some(&id) => id,
+            None => 0,
+        }
+    }
+}
+
+/// Reusable odometer buffers of the T-side range enumeration.
+struct TScratch {
+    lo: Vec<i64>,
+    hi: Vec<i64>,
+    cursor: Vec<i64>,
+}
+
+impl TScratch {
+    fn new(dims: usize) -> Self {
+        TScratch {
+            lo: vec![0; dims],
+            hi: vec![0; dims],
+            cursor: vec![0; dims],
         }
     }
 }
@@ -161,27 +200,40 @@ impl Partitioner for GridPartitioner {
 
     fn assign_s(&self, key: &[f64], _tuple_id: u64, out: &mut Vec<PartitionId>) {
         let mut coords = vec![0i64; self.band.dims()];
-        self.cell_coords(key, &mut coords);
-        if let Some(&id) = self.cells.get(coords.as_slice()) {
-            out.push(id);
-        } else {
-            // A tuple outside every materialized cell (possible only for data not seen at
-            // build time); fall back to partition 0 to keep the assignment total.
-            out.push(0);
-        }
+        out.push(self.cell_or_default(key, &mut coords));
     }
 
     fn assign_t(&self, key: &[f64], _tuple_id: u64, out: &mut Vec<PartitionId>) {
-        let before = out.len();
-        self.push_t_range_cells(key, out);
-        if out.len() == before {
-            // ε-range intersects no materialized cell: send to the tuple's own cell if it
-            // exists, otherwise partition 0 (keeps h(x) ≠ ∅; produces no spurious output).
+        let mut scratch = TScratch::new(self.band.dims());
+        let any = self.for_each_t_range_cell(key, &mut scratch, |id| out.push(id));
+        if !any {
             let mut coords = vec![0i64; self.band.dims()];
-            self.cell_coords(key, &mut coords);
-            match self.cells.get(coords.as_slice()) {
-                Some(&id) => out.push(id),
-                None => out.push(0),
+            out.push(self.cell_or_default(key, &mut coords));
+        }
+    }
+
+    // Block routing: same cell arithmetic, but the coordinate and odometer buffers
+    // are hoisted out of the loop — the per-tuple path must allocate them on every
+    // single call.
+    fn assign_s_block(&self, rel: &Relation, rows: Range<usize>, sink: &mut AssignmentSink) {
+        let mut coords = vec![0i64; self.band.dims()];
+        sink.reserve(rows.len());
+        for i in rows {
+            let id = self.cell_or_default(rel.key(i), &mut coords);
+            sink.push(id, i as u32);
+        }
+    }
+
+    fn assign_t_block(&self, rel: &Relation, rows: Range<usize>, sink: &mut AssignmentSink) {
+        let mut scratch = TScratch::new(self.band.dims());
+        let mut coords = vec![0i64; self.band.dims()];
+        sink.reserve(rows.len());
+        for i in rows {
+            let key = rel.key(i);
+            let any = self.for_each_t_range_cell(key, &mut scratch, |id| sink.push(id, i as u32));
+            if !any {
+                let id = self.cell_or_default(key, &mut coords);
+                sink.push(id, i as u32);
             }
         }
     }

@@ -111,18 +111,23 @@ fn predict_time(
     let mut cell_output = vec![0.0f64; partitions];
     let mut buf = Vec::new();
 
-    for (i, key) in s.iter().enumerate() {
-        buf.clear();
-        grid.assign_s(key, i as u64, &mut buf);
-        for &p in &buf {
-            cell_input[p as usize] += 1.0;
-        }
-    }
-    for (i, key) in t.iter().enumerate() {
-        buf.clear();
-        grid.assign_t(key, i as u64, &mut buf);
-        for &p in &buf {
-            cell_input[p as usize] += 1.0;
+    // Per-cell input counts via block routing (the sink's counting pass is exactly
+    // the histogram this needs), chunked so the pair buffer stays bounded.
+    let mut sink = recpart::AssignmentSink::new(partitions);
+    for (rel, is_s) in [(s, true), (t, false)] {
+        let mut lo = 0;
+        while lo < rel.len() {
+            let hi = (lo + recpart::DEFAULT_BLOCK_TUPLES).min(rel.len());
+            sink.reset(partitions);
+            if is_s {
+                grid.assign_s_block(rel, lo..hi, &mut sink);
+            } else {
+                grid.assign_t_block(rel, lo..hi, &mut sink);
+            }
+            for (cell, &count) in cell_input.iter_mut().zip(sink.counts()) {
+                *cell += count as f64;
+            }
+            lo = hi;
         }
     }
     // Output located at the cell of the sampled pair's S-side key.
@@ -179,6 +184,25 @@ impl Partitioner for GridStarPartitioner {
     }
     fn assign_t(&self, key: &[f64], tuple_id: u64, out: &mut Vec<recpart::PartitionId>) {
         self.inner.assign_t(key, tuple_id, out)
+    }
+    fn assign_s_block(
+        &self,
+        rel: &Relation,
+        rows: std::ops::Range<usize>,
+        sink: &mut recpart::AssignmentSink,
+    ) {
+        self.inner.assign_s_block(rel, rows, sink)
+    }
+    fn assign_t_block(
+        &self,
+        rel: &Relation,
+        rows: std::ops::Range<usize>,
+        sink: &mut recpart::AssignmentSink,
+    ) {
+        self.inner.assign_t_block(rel, rows, sink)
+    }
+    fn count_total_input(&self, s: &Relation, t: &Relation) -> u64 {
+        self.inner.count_total_input(s, t)
     }
     fn name(&self) -> &str {
         "Grid*"

@@ -15,8 +15,9 @@
 //! quantile-based partitioning duplicates far more input than RecPart because block
 //! boundaries cut through dense regions and no covering step merges joinable pairs.
 
-use recpart::{BandCondition, PartitionId, Partitioner, Relation};
+use recpart::{AssignmentSink, BandCondition, PartitionId, Partitioner, Relation};
 use serde::{Deserialize, Serialize};
+use std::ops::Range;
 
 /// The distributed-IEJoin style block partitioner.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -151,6 +152,28 @@ impl Partitioner for IEJoinPartitioner {
     fn assign_t(&self, key: &[f64], _tuple_id: u64, out: &mut Vec<PartitionId>) {
         let block = Self::block_of(&self.t_bounds, key[0]);
         out.extend_from_slice(&self.t_block_partitions[block]);
+    }
+
+    // Block routing: only dimension 0 decides the quantile block, so a routed block
+    // is one `value → partition_point → emit-slice` loop over the column.
+    fn assign_s_block(&self, rel: &Relation, rows: Range<usize>, sink: &mut AssignmentSink) {
+        sink.reserve(rows.len());
+        for i in rows {
+            let block = Self::block_of(&self.s_bounds, rel.value(i, 0));
+            for &p in &self.s_block_partitions[block] {
+                sink.push(p, i as u32);
+            }
+        }
+    }
+
+    fn assign_t_block(&self, rel: &Relation, rows: Range<usize>, sink: &mut AssignmentSink) {
+        sink.reserve(rows.len());
+        for i in rows {
+            let block = Self::block_of(&self.t_bounds, rel.value(i, 0));
+            for &p in &self.t_block_partitions[block] {
+                sink.push(p, i as u32);
+            }
+        }
     }
 
     fn name(&self) -> &str {

@@ -1,0 +1,160 @@
+//! Criterion benchmark of raw tuple-routing throughput — the map phase's per-tuple
+//! cost stripped of shuffle bookkeeping. Three rows per partitioner:
+//!
+//! * **per-tuple** — the `assign_s`/`assign_t` loop with one reused routing buffer
+//!   (the pre-block-API map phase, via [`PerTupleFallback`]'s default block impls);
+//! * **block** — the partitioner's `assign_s_block`/`assign_t_block` override
+//!   (closed-form batched cell arithmetic for the baselines);
+//! * **router** *(RecPart only)* — the same block call, labelled separately to show
+//!   the compiled split-tree router beating the per-tuple tree walk single-threaded.
+//!
+//! All rows are asserted bit-identical (same `(partition, tuple)` stream) before any
+//! timing. Pass `--test` for the CI smoke mode (small inputs, 2 samples).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use recpart::{
+    AssignmentSink, BandCondition, Partitioner, PerTupleFallback, RecPart, RecPartConfig, Relation,
+    DEFAULT_BLOCK_TUPLES,
+};
+
+const WORKERS: usize = 64;
+
+/// Smoke mode: shrink input sizes and iterations so the bench finishes in seconds
+/// (used by CI; mirrors criterion's `--test` flag).
+fn smoke() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+fn workload() -> (Relation, Relation, BandCondition) {
+    let per_side = if smoke() { 20_000 } else { 120_000 };
+    let mut rng = StdRng::seed_from_u64(0xA551_6E00);
+    let s = datagen::pareto_relation(per_side, 1, 1.5, &mut rng);
+    let t = datagen::pareto_relation(per_side, 1, 1.5, &mut rng);
+    (s, t, BandCondition::symmetric(&[0.001]))
+}
+
+/// Route both sides through the block API with one reused sink; returns total
+/// assignments (consumed so the router work cannot be optimized away).
+fn route_blocks<P: Partitioner + ?Sized>(p: &P, s: &Relation, t: &Relation) -> u64 {
+    let mut sink = AssignmentSink::new(p.num_partitions().max(1));
+    let mut total = 0u64;
+    for (rel, t_side) in [(s, false), (t, true)] {
+        let mut lo = 0;
+        while lo < rel.len() {
+            let hi = (lo + DEFAULT_BLOCK_TUPLES).min(rel.len());
+            sink.reset(sink.num_partitions());
+            if t_side {
+                p.assign_t_block(rel, lo..hi, &mut sink);
+            } else {
+                p.assign_s_block(rel, lo..hi, &mut sink);
+            }
+            total += sink.len() as u64;
+            lo = hi;
+        }
+    }
+    total
+}
+
+/// Route both sides with the per-tuple loop (one reused buffer).
+fn route_per_tuple<P: Partitioner + ?Sized>(p: &P, s: &Relation, t: &Relation) -> u64 {
+    let mut buf = Vec::new();
+    let mut total = 0u64;
+    for (rel, t_side) in [(s, false), (t, true)] {
+        for i in 0..rel.len() {
+            buf.clear();
+            if t_side {
+                p.assign_t(rel.key(i), i as u64, &mut buf);
+            } else {
+                p.assign_s(rel.key(i), i as u64, &mut buf);
+            }
+            total += buf.len() as u64;
+        }
+    }
+    total
+}
+
+/// Assert that the block override reproduces the per-tuple stream before timing.
+fn assert_block_identity<P: Partitioner + ?Sized>(p: &P, s: &Relation, t: &Relation) {
+    for (rel, t_side) in [(s, false), (t, true)] {
+        let mut sink = AssignmentSink::new(p.num_partitions().max(1));
+        if t_side {
+            p.assign_t_block(rel, 0..rel.len(), &mut sink);
+        } else {
+            p.assign_s_block(rel, 0..rel.len(), &mut sink);
+        }
+        let mut expected = Vec::new();
+        let mut buf = Vec::new();
+        for i in 0..rel.len() {
+            buf.clear();
+            if t_side {
+                p.assign_t(rel.key(i), i as u64, &mut buf);
+            } else {
+                p.assign_s(rel.key(i), i as u64, &mut buf);
+            }
+            for &part in &buf {
+                expected.push((part, i as u32));
+            }
+        }
+        assert_eq!(sink.pairs(), &expected[..], "{}: block diverged", p.name());
+    }
+}
+
+fn bench_recpart_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("assign/recpart");
+    group.sample_size(if smoke() { 2 } else { 10 });
+    let (s, t, band) = workload();
+    let mut rng = StdRng::seed_from_u64(9);
+    let part = RecPart::new(RecPartConfig::new(WORKERS).with_seed(9))
+        .optimize(&s, &t, &band, &mut rng)
+        .partitioner;
+    assert_block_identity(&part, &s, &t);
+    let tuples = s.len() + t.len();
+
+    // The per-tuple tree walk (Algorithm 3 on the `enum Node` arena).
+    group.bench_function(BenchmarkId::new("per-tuple-tree-walk", tuples), |b| {
+        b.iter(|| route_per_tuple(&part, &s, &t))
+    });
+    // The same walk driven through the default block loop (isolates the block
+    // interface overhead from the router's algorithmic win).
+    let fallback = PerTupleFallback(&part);
+    group.bench_function(BenchmarkId::new("block-default-impl", tuples), |b| {
+        b.iter(|| route_blocks(&fallback, &s, &t))
+    });
+    // The compiled SoA router.
+    group.bench_function(BenchmarkId::new("compiled-router", tuples), |b| {
+        b.iter(|| route_blocks(&part, &s, &t))
+    });
+    group.finish();
+}
+
+fn bench_baseline_routing(c: &mut Criterion) {
+    use baselines::{GridPartitioner, IEJoinPartitioner, OneBucket};
+    let mut group = c.benchmark_group("assign/baselines");
+    group.sample_size(if smoke() { 2 } else { 10 });
+    let (s, t, band) = workload();
+
+    let one_bucket = OneBucket::new(WORKERS, s.len(), t.len(), 7);
+    let grid = GridPartitioner::build(&s, &t, &band, 1.0);
+    let iejoin = IEJoinPartitioner::build(&s, &t, &band, 2_048);
+    let rows: [(&str, &dyn Partitioner); 3] = [
+        ("one-bucket", &one_bucket),
+        ("grid-eps", &grid),
+        ("iejoin", &iejoin),
+    ];
+    for (label, p) in rows {
+        assert_block_identity(p, &s, &t);
+        group.bench_function(
+            BenchmarkId::new(&format!("{label}/per-tuple"), s.len()),
+            |b| b.iter(|| route_per_tuple(p, &s, &t)),
+        );
+        group.bench_function(BenchmarkId::new(&format!("{label}/block"), s.len()), |b| {
+            b.iter(|| route_blocks(p, &s, &t))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_recpart_routing, bench_baseline_routing);
+criterion_main!(benches);

@@ -18,6 +18,11 @@
 //! split trees, a ≥1.5× speedup on 4+-core machines, and at least a ≥1.1× win
 //! everywhere (the sweep's algorithmic advantage is core-count independent).
 //!
+//! Finally it gates the **block routing pipeline**: `map_shuffle` through the
+//! partitioner's block API (the compiled split-tree router for RecPart) must
+//! produce a bit-identical arena and be no slower than the per-tuple baseline
+//! (`PerTupleFallback`, the pre-block-API path) at `threads = 1` and `threads = 0`.
+//!
 //! Every timing gate takes the **minimum of three timed rounds for each side**
 //! before applying its threshold, so a noisy neighbour on a shared CI runner cannot
 //! fail the gate spuriously.
@@ -33,8 +38,8 @@ use distsim::{ExecutionReport, Executor, ExecutorConfig, VerificationLevel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use recpart::{
-    BandCondition, InputSample, OutputSample, RecPart, RecPartConfig, RecPartResult, SampleConfig,
-    SplitScorer,
+    BandCondition, InputSample, OutputSample, PerTupleFallback, RecPart, RecPartConfig,
+    RecPartResult, SampleConfig, SplitScorer,
 };
 use std::time::Instant;
 
@@ -268,6 +273,46 @@ fn main() {
             "sweep-line optimizer regressed vs the PR 2 baseline: {opt_speedup:.2}x < 1.1x \
              over {ROUNDS} rounds"
         ));
+    }
+
+    // --- Block-routing gate: the block-API map/shuffle (the compiled split-tree
+    // router for RecPart) must be no slower than the per-tuple PR 3 baseline, which
+    // `PerTupleFallback` reproduces exactly (default block impls looping
+    // `assign_s`/`assign_t` with one reused buffer). Min of ROUNDS per side; routed
+    // arenas must also be bit-identical between the two paths. ---
+    let fallback = PerTupleFallback(retry_partitioner.as_ref());
+    for (label, threads) in [("threads=1", 1usize), ("threads=0", 0)] {
+        let executor = Executor::new(ExecutorConfig::new(workers).with_threads(threads));
+        let block_ref = executor.map_shuffle(retry_partitioner.as_ref(), &s, &t);
+        let per_tuple_ref = executor.map_shuffle(&fallback, &s, &t);
+        if block_ref.s_parts != per_tuple_ref.s_parts || block_ref.t_parts != per_tuple_ref.t_parts
+        {
+            failures.push(format!(
+                "block map/shuffle arena differs from the per-tuple path ({label})"
+            ));
+        }
+        let mut block_best = block_ref.wall_seconds;
+        let mut per_tuple_best = per_tuple_ref.wall_seconds;
+        for _ in 2..=ROUNDS {
+            per_tuple_best =
+                per_tuple_best.min(executor.map_shuffle(&fallback, &s, &t).wall_seconds);
+            block_best = block_best.min(
+                executor
+                    .map_shuffle(retry_partitioner.as_ref(), &s, &t)
+                    .wall_seconds,
+            );
+        }
+        let speedup = per_tuple_best / block_best;
+        println!(
+            "block routing ({label}) best-of-{ROUNDS}: per-tuple {per_tuple_best:.4}s vs \
+             block {block_best:.4}s = {speedup:.2}x"
+        );
+        if block_best > per_tuple_best * 1.05 {
+            failures.push(format!(
+                "block map/shuffle slower than the per-tuple baseline ({label}): \
+                 {block_best:.4}s vs {per_tuple_best:.4}s over {ROUNDS} rounds"
+            ));
+        }
     }
 
     if failures.is_empty() {

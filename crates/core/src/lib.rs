@@ -25,6 +25,7 @@
 //! | [`partition`] | the [`Partitioner`] trait every partitioning strategy implements |
 //! | [`sample`] | input sampling and band-join output sampling |
 //! | [`split_tree`] | the recursive split tree grown by RecPart |
+//! | [`router`] | the split tree compiled into flat per-side routing tables for block routing |
 //! | [`scoring`] | split scoring: load-variance reduction / duplication increase |
 //! | [`small`] | 1-Bucket style internal sub-partitioning of "small" leaves |
 //! | [`recpart`] | the optimizer driver (Algorithm 1 of the paper) |
@@ -71,6 +72,7 @@ pub mod parallel;
 pub mod partition;
 pub mod recpart;
 pub mod relation;
+pub mod router;
 pub mod sample;
 pub mod scoring;
 pub mod small;
@@ -83,9 +85,12 @@ pub use geometry::Rect;
 pub use load::LoadModel;
 pub use metrics::{PartitioningStats, SplitSearchCounters, WorkerLoad};
 pub use parallel::Parallelism;
-pub use partition::{PartitionId, Partitioner};
+pub use partition::{
+    AssignmentSink, PartitionId, Partitioner, PerTupleFallback, DEFAULT_BLOCK_TUPLES,
+};
 pub use recpart::{OptimizationReport, RecPart, RecPartResult, SplitTreePartitioner};
 pub use relation::Relation;
+pub use router::CompiledRouter;
 pub use sample::{InputSample, OutputSample, SampleConfig};
 
 /// Convenience re-exports for downstream users.
@@ -95,8 +100,9 @@ pub mod prelude {
     pub use crate::geometry::Rect;
     pub use crate::load::LoadModel;
     pub use crate::metrics::PartitioningStats;
-    pub use crate::partition::{PartitionId, Partitioner};
+    pub use crate::partition::{AssignmentSink, PartitionId, Partitioner, PerTupleFallback};
     pub use crate::recpart::{OptimizationReport, RecPart, RecPartResult, SplitTreePartitioner};
     pub use crate::relation::Relation;
+    pub use crate::router::CompiledRouter;
     pub use crate::sample::{InputSample, OutputSample, SampleConfig};
 }

@@ -8,9 +8,91 @@
 //! mirrors how MapReduce/Spark map logical reduce partitions onto physical executors.
 
 use crate::relation::Relation;
+use std::ops::Range;
 
 /// Identifier of a logical partition produced by a [`Partitioner`].
 pub type PartitionId = u32;
+
+/// Tuples per block when a block-oriented caller (e.g. the default
+/// [`Partitioner::count_total_input`]) has no chunk layout of its own. Small enough
+/// that the sink stays cache-resident, large enough to amortize the per-block setup.
+pub const DEFAULT_BLOCK_TUPLES: usize = 4_096;
+
+/// Flat output buffer of the block routing API: the `(partition, tuple index)`
+/// assignments of one block of tuples in routing order, plus the per-partition
+/// assignment counts.
+///
+/// This is the **counting pass** of the two-pass count/scatter routing pipeline: a
+/// caller routes each contiguous input block once into a sink, prefix-sums the counts
+/// of all blocks into exact arena offsets, and then scatters every block's `pairs()`
+/// into its disjoint slices of one flat per-partition arena (see `distsim::shuffle`).
+/// No per-tuple `Vec<PartitionId>` is allocated anywhere on that path.
+///
+/// Assignments must be appended grouped by tuple, tuples in ascending index order —
+/// the same order the per-tuple [`Partitioner::assign_s`]/[`Partitioner::assign_t`]
+/// loop produces — so that per-partition arena contents stay bit-identical to
+/// per-tuple routing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AssignmentSink {
+    pairs: Vec<(PartitionId, u32)>,
+    counts: Vec<u32>,
+}
+
+impl AssignmentSink {
+    /// An empty sink for `num_partitions` partitions.
+    pub fn new(num_partitions: usize) -> Self {
+        AssignmentSink {
+            pairs: Vec::new(),
+            counts: vec![0; num_partitions],
+        }
+    }
+
+    /// Clear the sink and re-size it for `num_partitions` partitions, keeping the
+    /// pair buffer's allocation so one sink can be reused across blocks.
+    pub fn reset(&mut self, num_partitions: usize) {
+        self.pairs.clear();
+        self.counts.clear();
+        self.counts.resize(num_partitions, 0);
+    }
+
+    /// Pre-allocate space for `additional` more assignments.
+    pub fn reserve(&mut self, additional: usize) {
+        self.pairs.reserve(additional);
+    }
+
+    /// Record one assignment: tuple `tuple` goes to partition `partition`.
+    #[inline]
+    pub fn push(&mut self, partition: PartitionId, tuple: u32) {
+        self.pairs.push((partition, tuple));
+        self.counts[partition as usize] += 1;
+    }
+
+    /// The recorded `(partition, tuple index)` assignments, in routing order.
+    pub fn pairs(&self) -> &[(PartitionId, u32)] {
+        &self.pairs
+    }
+
+    /// Per-partition assignment counts (`counts()[p]` = occurrences of `p` in
+    /// [`AssignmentSink::pairs`]).
+    pub fn counts(&self) -> &[u32] {
+        &self.counts
+    }
+
+    /// Number of partitions the sink was sized for.
+    pub fn num_partitions(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total number of recorded assignments.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether no assignment was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+}
 
 /// A distributed band-join partitioning strategy.
 ///
@@ -41,6 +123,40 @@ pub trait Partitioner: Send + Sync {
     /// Append to `out` the partitions that must receive the T-tuple with key `key`.
     fn assign_t(&self, key: &[f64], tuple_id: u64, out: &mut Vec<PartitionId>);
 
+    /// Route the S-tuples `rows` of `rel` into `sink` — the block-oriented
+    /// counterpart of [`Partitioner::assign_s`].
+    ///
+    /// Must record, for every tuple index `i` in `rows` in ascending order, exactly
+    /// the partitions (ids **and** order) that `assign_s(rel.key(i), i as u64, ..)`
+    /// would append, so block routing stays bit-identical to per-tuple routing.
+    /// The default implementation loops the per-tuple method with one reused buffer;
+    /// strategies with batched arithmetic (closed-form cell math, a compiled split
+    /// tree) override it to skip the per-tuple dynamic dispatch entirely.
+    fn assign_s_block(&self, rel: &Relation, rows: Range<usize>, sink: &mut AssignmentSink) {
+        let mut buf: Vec<PartitionId> = Vec::new();
+        for i in rows {
+            buf.clear();
+            self.assign_s(rel.key(i), i as u64, &mut buf);
+            for &p in &buf {
+                sink.push(p, i as u32);
+            }
+        }
+    }
+
+    /// Route the T-tuples `rows` of `rel` into `sink` — the block-oriented
+    /// counterpart of [`Partitioner::assign_t`]. Same contract as
+    /// [`Partitioner::assign_s_block`].
+    fn assign_t_block(&self, rel: &Relation, rows: Range<usize>, sink: &mut AssignmentSink) {
+        let mut buf: Vec<PartitionId> = Vec::new();
+        for i in rows {
+            buf.clear();
+            self.assign_t(rel.key(i), i as u64, &mut buf);
+            for &p in &buf {
+                sink.push(p, i as u32);
+            }
+        }
+    }
+
     /// A short human-readable name of the strategy (e.g. `"RecPart"`, `"1-Bucket"`).
     fn name(&self) -> &str;
 
@@ -54,22 +170,55 @@ pub trait Partitioner: Send + Sync {
     /// Count the total number of partition assignments ("input including duplicates",
     /// the quantity `I` of the paper) this partitioner produces for the given inputs.
     ///
-    /// The default implementation simply runs the assignment for every tuple; strategies
-    /// with a cheaper closed form may override it.
+    /// The default implementation drives the block routing API over fixed-size
+    /// blocks (reusing one sink, so memory stays bounded); strategies with a cheaper
+    /// closed form may override it.
     fn count_total_input(&self, s: &Relation, t: &Relation) -> u64 {
-        let mut buf = Vec::new();
+        let mut sink = AssignmentSink::new(self.num_partitions().max(1));
         let mut total = 0u64;
-        for (i, key) in s.iter().enumerate() {
-            buf.clear();
-            self.assign_s(key, i as u64, &mut buf);
-            total += buf.len() as u64;
-        }
-        for (i, key) in t.iter().enumerate() {
-            buf.clear();
-            self.assign_t(key, i as u64, &mut buf);
-            total += buf.len() as u64;
+        for (rel, is_s) in [(s, true), (t, false)] {
+            let mut lo = 0;
+            while lo < rel.len() {
+                let hi = (lo + DEFAULT_BLOCK_TUPLES).min(rel.len());
+                sink.reset(sink.num_partitions());
+                if is_s {
+                    self.assign_s_block(rel, lo..hi, &mut sink);
+                } else {
+                    self.assign_t_block(rel, lo..hi, &mut sink);
+                }
+                total += sink.len() as u64;
+                lo = hi;
+            }
         }
         total
+    }
+}
+
+/// Adapter that hides a partitioner's block-routing overrides: every block call goes
+/// through the trait's default per-tuple loop (`assign_s`/`assign_t` with one reused
+/// buffer). This is the measured **per-tuple baseline** of `benches/assign.rs` and of
+/// the `exp_parallel_smoke` block-routing gate — routing through it reproduces the
+/// pre-block-API map phase exactly.
+#[derive(Debug, Clone, Copy)]
+pub struct PerTupleFallback<'a, P: ?Sized>(pub &'a P);
+
+impl<P: Partitioner + ?Sized> Partitioner for PerTupleFallback<'_, P> {
+    fn num_partitions(&self) -> usize {
+        self.0.num_partitions()
+    }
+    fn assign_s(&self, key: &[f64], tuple_id: u64, out: &mut Vec<PartitionId>) {
+        self.0.assign_s(key, tuple_id, out)
+    }
+    fn assign_t(&self, key: &[f64], tuple_id: u64, out: &mut Vec<PartitionId>) {
+        self.0.assign_t(key, tuple_id, out)
+    }
+    // assign_s_block / assign_t_block / count_total_input deliberately NOT forwarded:
+    // they must take the trait's per-tuple default path.
+    fn name(&self) -> &str {
+        self.0.name()
+    }
+    fn estimated_partition_loads(&self) -> Option<Vec<f64>> {
+        self.0.estimated_partition_loads()
     }
 }
 
@@ -84,6 +233,12 @@ impl<P: Partitioner + ?Sized> Partitioner for Box<P> {
     }
     fn assign_t(&self, key: &[f64], tuple_id: u64, out: &mut Vec<PartitionId>) {
         (**self).assign_t(key, tuple_id, out)
+    }
+    fn assign_s_block(&self, rel: &Relation, rows: Range<usize>, sink: &mut AssignmentSink) {
+        (**self).assign_s_block(rel, rows, sink)
+    }
+    fn assign_t_block(&self, rel: &Relation, rows: Range<usize>, sink: &mut AssignmentSink) {
+        (**self).assign_t_block(rel, rows, sink)
     }
     fn name(&self) -> &str {
         (**self).name()
@@ -111,6 +266,14 @@ impl Partitioner for SinglePartition {
     }
     fn assign_t(&self, _key: &[f64], _tuple_id: u64, out: &mut Vec<PartitionId>) {
         out.push(0);
+    }
+    fn assign_s_block(&self, _rel: &Relation, rows: Range<usize>, sink: &mut AssignmentSink) {
+        for i in rows {
+            sink.push(0, i as u32);
+        }
+    }
+    fn assign_t_block(&self, rel: &Relation, rows: Range<usize>, sink: &mut AssignmentSink) {
+        self.assign_s_block(rel, rows, sink)
     }
     fn name(&self) -> &str {
         "SinglePartition"
@@ -157,5 +320,93 @@ mod tests {
         let mut out = Vec::new();
         p.assign_s(&[0.0], 0, &mut out);
         assert_eq!(out, vec![0]);
+        let mut r = Relation::new(1);
+        r.push(&[3.0]);
+        let mut sink = AssignmentSink::new(1);
+        p.assign_s_block(&r, 0..1, &mut sink);
+        assert_eq!(sink.pairs(), &[(0, 0)]);
+    }
+
+    /// Multi-assignment partitioner for exercising the default block loop.
+    struct FanOut;
+    impl Partitioner for FanOut {
+        fn num_partitions(&self) -> usize {
+            3
+        }
+        fn assign_s(&self, _key: &[f64], tuple_id: u64, out: &mut Vec<PartitionId>) {
+            out.push((tuple_id % 3) as PartitionId);
+            if tuple_id.is_multiple_of(2) {
+                out.push(2);
+            }
+        }
+        fn assign_t(&self, key: &[f64], tuple_id: u64, out: &mut Vec<PartitionId>) {
+            self.assign_s(key, tuple_id, out);
+        }
+        fn name(&self) -> &str {
+            "FanOut"
+        }
+    }
+
+    #[test]
+    fn default_block_impl_matches_per_tuple_ids_and_order() {
+        let mut r = Relation::new(1);
+        for i in 0..10 {
+            r.push(&[i as f64]);
+        }
+        let p = FanOut;
+        let mut sink = AssignmentSink::new(3);
+        p.assign_s_block(&r, 0..r.len(), &mut sink);
+        let mut expected = Vec::new();
+        let mut buf = Vec::new();
+        for i in 0..r.len() {
+            buf.clear();
+            p.assign_s(r.key(i), i as u64, &mut buf);
+            for &part in &buf {
+                expected.push((part, i as u32));
+            }
+        }
+        assert_eq!(sink.pairs(), &expected[..]);
+        // Counts agree with the pair stream.
+        for part in 0..3u32 {
+            let n = expected.iter().filter(|&&(p0, _)| p0 == part).count();
+            assert_eq!(sink.counts()[part as usize] as usize, n);
+        }
+        assert_eq!(sink.len(), expected.len());
+        assert!(!sink.is_empty());
+    }
+
+    #[test]
+    fn sink_reset_reuses_buffers() {
+        let mut sink = AssignmentSink::new(2);
+        sink.reserve(4);
+        sink.push(1, 0);
+        sink.push(0, 1);
+        assert_eq!(sink.counts(), &[1, 1]);
+        sink.reset(4);
+        assert!(sink.is_empty());
+        assert_eq!(sink.num_partitions(), 4);
+        assert_eq!(sink.counts(), &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn per_tuple_fallback_routes_identically_via_defaults() {
+        let mut r = Relation::new(1);
+        for i in 0..8 {
+            r.push(&[i as f64]);
+        }
+        let p = FanOut;
+        let fallback = PerTupleFallback(&p);
+        assert_eq!(fallback.name(), "FanOut");
+        assert_eq!(fallback.num_partitions(), 3);
+        assert!(fallback.estimated_partition_loads().is_none());
+        let mut a = AssignmentSink::new(3);
+        let mut b = AssignmentSink::new(3);
+        p.assign_t_block(&r, 0..r.len(), &mut a);
+        fallback.assign_t_block(&r, 0..r.len(), &mut b);
+        assert_eq!(a, b);
+        assert_eq!(
+            p.count_total_input(&r, &r),
+            fallback.count_total_input(&r, &r)
+        );
     }
 }

@@ -21,8 +21,9 @@ use crate::error::RecPartError;
 use crate::geometry::Rect;
 use crate::metrics::SplitSearchCounters;
 use crate::parallel::{chunk_ranges, Parallelism};
-use crate::partition::{PartitionId, Partitioner};
+use crate::partition::{AssignmentSink, PartitionId, Partitioner};
 use crate::relation::Relation;
+use crate::router::CompiledRouter;
 use crate::sample::{InputSample, OutputSample};
 use crate::scoring::{partition_load, variance_term, SplitScore};
 use crate::small::BucketGrid;
@@ -42,6 +43,11 @@ const MIN_PARALLEL_POINTS: usize = 4_096;
 /// Minimum number of candidate boundaries per parallel scoring chunk; smaller
 /// dimensions are swept as a single chunk.
 const MIN_CANDIDATES_PER_CHUNK: usize = 2_048;
+
+/// Fixed chunk size of `finalize`'s sample re-routing. The chunk layout is a pure
+/// function of the sample length (never of the thread count), which is what keeps
+/// the estimated per-partition loads bit-identical across `threads` settings.
+const FINALIZE_CHUNK_TUPLES: usize = 4_096;
 
 /// The action chosen for a leaf by `best_split`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -76,18 +82,58 @@ impl BestSplit {
     }
 }
 
+/// One sorted projection column: sample indices ordered ascending by the key value
+/// in some dimension, **plus the projected values themselves** in the same order.
+/// Caching the values next to the indices lets the sweep scorer read its per-visit
+/// value arrays straight out of the leaf instead of re-gathering them from the
+/// samples (`build_dim_arrays` used to do one indexed gather per array per visit) —
+/// a deliberate memory-for-time trade.
+#[derive(Debug, Clone, Default)]
+struct SortedProj {
+    idx: Vec<u32>,
+    vals: Vec<f64>,
+}
+
+impl SortedProj {
+    fn with_capacity(n: usize) -> Self {
+        SortedProj {
+            idx: Vec::with_capacity(n),
+            vals: Vec::with_capacity(n),
+        }
+    }
+
+    /// Materialize the values of an argsorted index array.
+    fn gather(idx: Vec<u32>, value_of: impl Fn(u32) -> f64) -> Self {
+        SortedProj {
+            vals: idx.iter().map(|&i| value_of(i)).collect(),
+            idx,
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, idx: u32, val: f64) {
+        self.idx.push(idx);
+        self.vals.push(val);
+    }
+
+    fn len(&self) -> usize {
+        self.idx.len()
+    }
+}
+
 /// One dimension's cached sorted projections of a leaf's sample points.
 ///
-/// Each array holds sample indices ordered ascending by the key value in that
-/// dimension (`f64::total_cmp` order): `s`/`t` index the input samples, `o_s`/`o_t`
-/// index output pairs by their S-side / T-side key (`o_t` stays empty unless symmetric
-/// partitioning is enabled — only S-splits score against the T-side order).
+/// Each column holds sample indices (and their projected values) ordered ascending by
+/// the key value in that dimension (`f64::total_cmp` order): `s`/`t` index the input
+/// samples, `o_s`/`o_t` index output pairs by their S-side / T-side key (`o_t` stays
+/// empty unless symmetric partitioning is enabled — only S-splits score against the
+/// T-side order).
 #[derive(Debug, Clone, Default)]
 struct DimProjection {
-    s: Vec<u32>,
-    t: Vec<u32>,
-    o_s: Vec<u32>,
-    o_t: Vec<u32>,
+    s: SortedProj,
+    t: SortedProj,
+    o_s: SortedProj,
+    o_t: SortedProj,
 }
 
 /// Cached per-dimension sorted projections of a leaf (sweep-line scorer only).
@@ -125,38 +171,41 @@ impl LeafWork {
     }
 }
 
-/// Stable partition of a sorted index array into the two children of an exclusive
-/// split: every index goes to exactly one side, relative order is preserved, so both
+/// Stable partition of a sorted projection into the two children of an exclusive
+/// split: every entry goes to exactly one side, relative order is preserved, so both
 /// outputs stay sorted by whatever key ordered the input.
-fn partition_exclusive(src: &[u32], goes_left: impl Fn(u32) -> bool) -> (Vec<u32>, Vec<u32>) {
-    let mut left = Vec::with_capacity(src.len());
-    let mut right = Vec::with_capacity(src.len());
-    for &i in src {
+fn partition_exclusive(
+    src: &SortedProj,
+    goes_left: impl Fn(u32) -> bool,
+) -> (SortedProj, SortedProj) {
+    let mut left = SortedProj::with_capacity(src.len());
+    let mut right = SortedProj::with_capacity(src.len());
+    for (&i, &v) in src.idx.iter().zip(&src.vals) {
         if goes_left(i) {
-            left.push(i);
+            left.push(i, v);
         } else {
-            right.push(i);
+            right.push(i, v);
         }
     }
     (left, right)
 }
 
-/// Stable partition of a sorted index array under a duplicating split: an index may go
+/// Stable partition of a sorted projection under a duplicating split: an entry may go
 /// to the left child, the right child, or both (tuples within band width of the
 /// boundary). Relative order is preserved on both sides.
 fn partition_duplicating(
-    src: &[u32],
+    src: &SortedProj,
     membership: impl Fn(u32) -> (bool, bool),
-) -> (Vec<u32>, Vec<u32>) {
-    let mut left = Vec::with_capacity(src.len());
-    let mut right = Vec::with_capacity(src.len());
-    for &i in src {
+) -> (SortedProj, SortedProj) {
+    let mut left = SortedProj::with_capacity(src.len());
+    let mut right = SortedProj::with_capacity(src.len());
+    for (&i, &v) in src.idx.iter().zip(&src.vals) {
         let (l, r) = membership(i);
         if l {
-            left.push(i);
+            left.push(i, v);
         }
         if r {
-            right.push(i);
+            right.push(i, v);
         }
     }
     (left, right)
@@ -195,29 +244,32 @@ fn advance(arr: &[f64], p: &mut usize, x: f64) {
     }
 }
 
-/// The per-dimension value arrays one sweep pass runs over, derived from a leaf's
-/// cached projections. All arrays are sorted ascending; the shifted copies
+/// The per-dimension value arrays one sweep pass runs over. The plain value arrays
+/// (`s_vals`, `t_vals`, `o_s`, `o_t`) are **borrowed** from the leaf's cached
+/// projections — no per-visit gather; only the band-shifted copies
 /// (`t_minus` = `t − ε_lo`, `t_plus` = `t + ε_hi`, and the S-side counterparts under
-/// symmetric partitioning) let the sweep answer the reference scorer's shifted
-/// `partition_point` predicates with plain `< x` pointer advances.
-struct DimArrays {
+/// symmetric partitioning) and the candidate boundaries are materialized per visit.
+/// All arrays are sorted ascending; the shifted copies let the sweep answer the
+/// reference scorer's shifted `partition_point` predicates with plain `< x` pointer
+/// advances.
+struct DimArrays<'w> {
     dim: usize,
     /// The leaf region's bounds in `dim`.
     lo: f64,
     hi: f64,
-    s_vals: Vec<f64>,
-    t_vals: Vec<f64>,
+    s_vals: &'w [f64],
+    t_vals: &'w [f64],
     t_minus: Vec<f64>,
     t_plus: Vec<f64>,
-    o_s: Vec<f64>,
+    o_s: &'w [f64],
     s_minus: Vec<f64>,
     s_plus: Vec<f64>,
-    o_t: Vec<f64>,
+    o_t: &'w [f64],
     /// Candidate boundaries: distinct values of the combined input sample in `dim`.
     bounds: Vec<f64>,
 }
 
-impl DimArrays {
+impl DimArrays<'_> {
     /// Number of candidate windows (consecutive distinct-value pairs).
     fn windows(&self) -> usize {
         self.bounds.len().saturating_sub(1)
@@ -251,6 +303,35 @@ impl PartialOrd for QueueEntry {
 struct CellEst {
     input: f64,
     output: f64,
+}
+
+/// One worker's entry in the LPT min-heap of [`OptimizerState::evaluate`]: ordered by
+/// load, then worker index, with the same NaN-tolerant comparison
+/// (`partial_cmp().unwrap_or(Equal)`) the scan it replaced used.
+#[derive(Debug, Clone, Copy)]
+struct LptEntry {
+    load: f64,
+    worker: usize,
+}
+
+impl PartialEq for LptEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for LptEntry {}
+impl PartialOrd for LptEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for LptEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.load
+            .partial_cmp(&other.load)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.worker.cmp(&other.worker))
+    }
 }
 
 /// Result of evaluating the current partitioning against the lower bounds.
@@ -311,7 +392,11 @@ pub struct OptimizationReport {
 ///
 /// Routes tuples through the split tree (Algorithm 3): S-tuples follow T-split nodes
 /// deterministically and are duplicated at S-split nodes, T-tuples vice versa; small
-/// leaves route into their internal 1-Bucket grid.
+/// leaves route into their internal 1-Bucket grid. The per-tuple
+/// [`assign_s`](Partitioner::assign_s)/[`assign_t`](Partitioner::assign_t) walk the
+/// tree directly (the reference path); the block methods descend the
+/// [`CompiledRouter`] — the same assignment flattened into per-side SoA node tables —
+/// which is what the executor's map phase drives.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SplitTreePartitioner {
     tree: SplitTree,
@@ -319,6 +404,7 @@ pub struct SplitTreePartitioner {
     seed: u64,
     name: String,
     estimated_loads: Vec<f64>,
+    router: CompiledRouter,
 }
 
 impl SplitTreePartitioner {
@@ -332,6 +418,11 @@ impl SplitTreePartitioner {
         &self.band
     }
 
+    /// The compiled block router (bit-identical to the tree walk).
+    pub fn router(&self) -> &CompiledRouter {
+        &self.router
+    }
+
     /// Build a partitioner directly from a split tree (primarily for tests and tools).
     pub fn from_tree(
         mut tree: SplitTree,
@@ -341,12 +432,14 @@ impl SplitTreePartitioner {
     ) -> Self {
         tree.assign_partition_ids();
         let partitions = tree.num_partitions();
+        let router = CompiledRouter::compile(&tree, &band, seed);
         SplitTreePartitioner {
             tree,
             band,
             seed,
             name: name.into(),
             estimated_loads: vec![1.0; partitions],
+            router,
         }
     }
 }
@@ -362,6 +455,24 @@ impl Partitioner for SplitTreePartitioner {
 
     fn assign_t(&self, key: &[f64], tuple_id: u64, out: &mut Vec<PartitionId>) {
         self.tree.route_t(key, tuple_id, &self.band, self.seed, out);
+    }
+
+    fn assign_s_block(
+        &self,
+        rel: &Relation,
+        rows: std::ops::Range<usize>,
+        sink: &mut AssignmentSink,
+    ) {
+        self.router.route_s_block(rel, rows, sink);
+    }
+
+    fn assign_t_block(
+        &self,
+        rel: &Relation,
+        rows: std::ops::Range<usize>,
+        sink: &mut AssignmentSink,
+    ) {
+        self.router.route_t_block(rel, rows, sink);
     }
 
     fn name(&self) -> &str {
@@ -848,7 +959,7 @@ impl<'a> OptimizerState<'a> {
         // Phase A: derive every task's sorted value arrays from the cached
         // projections (one O(n) pass each, no sorting).
         let works_ro: &[Option<LeafWork>] = works;
-        let arrays: Vec<DimArrays> = self.par.run(|| {
+        let arrays: Vec<DimArrays<'_>> = self.par.run(|| {
             tasks
                 .par_iter()
                 .map(|&(pi, d)| {
@@ -897,6 +1008,9 @@ impl<'a> OptimizerState<'a> {
                 bests[pi] = *cand;
             }
         }
+        // The sweep arrays borrow the leaves' cached projections; release them
+        // before writing the chosen splits back.
+        drop(arrays);
         for (pi, &(leaf, _)) in plane.iter().enumerate() {
             works[leaf as usize].as_mut().expect("leaf work").best = bests[pi];
         }
@@ -933,13 +1047,21 @@ impl<'a> OptimizerState<'a> {
     /// dimension (every later leaf inherits its arrays through stable partitions).
     fn build_root_projections(&self) -> LeafProjections {
         let build = |d: usize| DimProjection {
-            s: self.s_sample.argsort_by_dim(d),
-            t: self.t_sample.argsort_by_dim(d),
-            o_s: self.o_sample.argsort_by_s_dim(d),
+            s: SortedProj::gather(self.s_sample.argsort_by_dim(d), |i| {
+                self.s_sample.key(i as usize)[d]
+            }),
+            t: SortedProj::gather(self.t_sample.argsort_by_dim(d), |i| {
+                self.t_sample.key(i as usize)[d]
+            }),
+            o_s: SortedProj::gather(self.o_sample.argsort_by_s_dim(d), |i| {
+                self.o_sample.s_key(i as usize)[d]
+            }),
             o_t: if self.cfg.symmetric {
-                self.o_sample.argsort_by_t_dim(d)
+                SortedProj::gather(self.o_sample.argsort_by_t_dim(d), |i| {
+                    self.o_sample.t_key(i as usize)[d]
+                })
             } else {
-                Vec::new()
+                SortedProj::default()
             },
         };
         let points = self.s_sample.len() + self.t_sample.len() + self.o_sample.len();
@@ -1039,9 +1161,11 @@ impl<'a> OptimizerState<'a> {
         (left, right)
     }
 
-    /// Derive one dimension's sweep arrays from a leaf's cached projections: sorted
-    /// value arrays, their band-shifted copies, and the candidate boundaries.
-    fn build_dim_arrays(&self, work: &LeafWork, region: &Rect, dim: usize) -> DimArrays {
+    /// Derive one dimension's sweep arrays from a leaf's cached projections: the
+    /// sorted value arrays are borrowed straight from the cache (no per-visit
+    /// gather); only their band-shifted copies and the candidate boundaries are
+    /// built here.
+    fn build_dim_arrays<'w>(&self, work: &'w LeafWork, region: &Rect, dim: usize) -> DimArrays<'w> {
         let proj = work
             .proj
             .as_ref()
@@ -1049,39 +1173,22 @@ impl<'a> OptimizerState<'a> {
         let src = &proj.dims[dim];
         let eps_lo = self.band.eps_low(dim);
         let eps_hi = self.band.eps_high(dim);
-        let s_vals: Vec<f64> = src
-            .s
-            .iter()
-            .map(|&i| self.s_sample.key(i as usize)[dim])
-            .collect();
-        let t_vals: Vec<f64> = src
-            .t
-            .iter()
-            .map(|&i| self.t_sample.key(i as usize)[dim])
-            .collect();
-        let o_s: Vec<f64> = src
-            .o_s
-            .iter()
-            .map(|&i| self.o_sample.s_key(i as usize)[dim])
-            .collect();
+        let s_vals: &[f64] = &src.s.vals;
+        let t_vals: &[f64] = &src.t.vals;
         // Shifting by a constant is monotone under IEEE rounding, so the shifted
         // copies of a sorted array are sorted and answer the reference scorer's
         // shifted predicates (`v − ε_lo < x` etc.) with plain `< x` comparisons.
         let t_minus: Vec<f64> = t_vals.iter().map(|&v| v - eps_lo).collect();
         let t_plus: Vec<f64> = t_vals.iter().map(|&v| v + eps_hi).collect();
-        let (s_minus, s_plus, o_t) = if self.cfg.symmetric {
+        let (s_minus, s_plus) = if self.cfg.symmetric {
             (
                 s_vals.iter().map(|&v| v - eps_hi).collect(),
                 s_vals.iter().map(|&v| v + eps_lo).collect(),
-                src.o_t
-                    .iter()
-                    .map(|&i| self.o_sample.t_key(i as usize)[dim])
-                    .collect(),
             )
         } else {
-            (Vec::new(), Vec::new(), Vec::new())
+            (Vec::new(), Vec::new())
         };
-        let bounds = merge_dedup(&s_vals, &t_vals);
+        let bounds = merge_dedup(s_vals, t_vals);
         DimArrays {
             dim,
             lo: region.lo(dim),
@@ -1090,10 +1197,10 @@ impl<'a> OptimizerState<'a> {
             t_vals,
             t_minus,
             t_plus,
-            o_s,
+            o_s: &src.o_s.vals,
             s_minus,
             s_plus,
-            o_t,
+            o_t: &src.o_t.vals,
             bounds,
         }
     }
@@ -1104,7 +1211,13 @@ impl<'a> OptimizerState<'a> {
     /// costs O(windows + points) with zero per-candidate binary searches. The counts,
     /// the arithmetic, and the strict-`>` comparison replicate the reference scorer
     /// exactly, so the returned best split is bit-identical to its choice.
-    fn score_chunk(&self, a: &DimArrays, old_var: f64, win_lo: usize, win_hi: usize) -> BestSplit {
+    fn score_chunk(
+        &self,
+        a: &DimArrays<'_>,
+        old_var: f64,
+        win_lo: usize,
+        win_hi: usize,
+    ) -> BestSplit {
         let mut best = BestSplit::none();
         if win_lo >= win_hi {
             return best;
@@ -1140,10 +1253,10 @@ impl<'a> OptimizerState<'a> {
             if x <= a.lo || x >= a.hi || x <= b_lo || x >= b_hi {
                 continue;
             }
-            advance(&a.s_vals, &mut ps, x);
+            advance(a.s_vals, &mut ps, x);
             advance(&a.t_minus, &mut ptm, x);
             advance(&a.t_plus, &mut ptp, x);
-            advance(&a.o_s, &mut pos, x);
+            advance(a.o_s, &mut pos, x);
 
             // --- T-split: S partitioned at x, T duplicated near x. ---
             {
@@ -1184,10 +1297,10 @@ impl<'a> OptimizerState<'a> {
 
             // --- S-split: T partitioned at x, S duplicated near x. ---
             if symmetric {
-                advance(&a.t_vals, &mut pt, x);
+                advance(a.t_vals, &mut pt, x);
                 advance(&a.s_minus, &mut psm, x);
                 advance(&a.s_plus, &mut psp, x);
-                advance(&a.o_t, &mut pot, x);
+                advance(a.o_t, &mut pot, x);
                 let ntl = pt as f64;
                 let ntr = nt - ntl;
                 // S goes left iff s − ε_hi < x, right iff s + ε_lo ≥ x.
@@ -1563,7 +1676,14 @@ impl<'a> OptimizerState<'a> {
             }
         });
 
-        // LPT mapping of cells onto workers.
+        // LPT mapping of cells onto workers via a min-heap keyed on (load, worker
+        // index). Popping the heap yields the lowest-loaded worker, lowest index
+        // among equal loads — exactly the worker the previous O(cells·w) scan chose
+        // (`Iterator::min_by` returns the *first* minimum), and the loads pushed
+        // back are computed by the same `lm.load` call on the same accumulators, so
+        // the mapping is bit-identical while each cell costs O(log w) instead of
+        // O(w). This runs after every applied split, where it used to dominate the
+        // non-scoring share of optimizer time at large worker counts.
         let w = self.cfg.workers;
         let mut order: Vec<usize> = (0..cells.len()).collect();
         order.sort_unstable_by(|&a, &b| {
@@ -1573,16 +1693,23 @@ impl<'a> OptimizerState<'a> {
         });
         let mut worker_in = vec![0.0f64; w];
         let mut worker_out = vec![0.0f64; w];
-        for &c in &order {
-            let target = (0..w)
-                .min_by(|&a, &b| {
-                    lm.load(worker_in[a], worker_out[a])
-                        .partial_cmp(&lm.load(worker_in[b], worker_out[b]))
-                        .unwrap_or(Ordering::Equal)
+        let mut heap: BinaryHeap<std::cmp::Reverse<LptEntry>> = (0..w)
+            .map(|i| {
+                std::cmp::Reverse(LptEntry {
+                    load: lm.load(0.0, 0.0),
+                    worker: i,
                 })
-                .expect("at least one worker");
+            })
+            .collect();
+        for &c in &order {
+            let std::cmp::Reverse(entry) = heap.pop().expect("at least one worker");
+            let target = entry.worker;
             worker_in[target] += cells[c].input;
             worker_out[target] += cells[c].output;
+            heap.push(std::cmp::Reverse(LptEntry {
+                load: lm.load(worker_in[target], worker_out[target]),
+                worker: target,
+            }));
         }
         let (max_idx, max_load) = (0..w)
             .map(|i| (i, lm.load(worker_in[i], worker_out[i])))
@@ -1646,27 +1773,54 @@ impl<'a> OptimizerState<'a> {
     ) -> RecPartResult {
         let mut tree = winner.tree;
         tree.assign_partition_ids();
+        let router = CompiledRouter::compile(&tree, self.band, self.cfg.seed);
 
         // Re-distribute the samples over the winning tree's leaves to obtain estimated
-        // per-partition loads (used by the executor's partition→worker mapping).
+        // per-partition loads (used by the executor's partition→worker mapping). The
+        // samples are re-routed through the compiled router in fixed-size chunks whose
+        // layout depends only on the sample length — each chunk produces *integer*
+        // per-partition counts, and integer addition is associative, so the combined
+        // counts (and the loads derived from them in one multiplication per
+        // partition) are bit-identical for every thread count.
         let lm = &self.cfg.load_model;
         let partitions = tree.num_partitions();
-        let mut loads = vec![0.0f64; partitions];
-        let mut buf: Vec<PartitionId> = Vec::new();
-        for (i, key) in self.s_sample.iter().enumerate() {
-            buf.clear();
-            tree.route_s(key, i as u64, self.band, self.cfg.seed, &mut buf);
-            for &p in &buf {
-                loads[p as usize] += lm.beta_input * self.ws;
+        let count_side = |t_side: bool| -> Vec<u64> {
+            let sample = if t_side { self.t_sample } else { self.s_sample };
+            let count_range = |(lo, hi): (usize, usize)| -> Vec<u64> {
+                let mut counts = vec![0u64; partitions];
+                let mut stack = router.count_stack();
+                for i in lo..hi {
+                    if t_side {
+                        router.count_t(sample.key(i), i as u64, &mut stack, &mut counts);
+                    } else {
+                        router.count_s(sample.key(i), i as u64, &mut stack, &mut counts);
+                    }
+                }
+                counts
+            };
+            let ranges = chunk_ranges(sample.len(), sample.len().div_ceil(FINALIZE_CHUNK_TUPLES));
+            let parallel = self.par.is_parallel() && sample.len() >= MIN_PARALLEL_POINTS;
+            let partials: Vec<Vec<u64>> = if parallel {
+                self.par
+                    .run(|| ranges.clone().into_par_iter().map(count_range).collect())
+            } else {
+                ranges.iter().map(|&r| count_range(r)).collect()
+            };
+            let mut counts = vec![0u64; partitions];
+            for partial in partials {
+                for (acc, c) in counts.iter_mut().zip(partial) {
+                    *acc += c;
+                }
             }
-        }
-        for (i, key) in self.t_sample.iter().enumerate() {
-            buf.clear();
-            tree.route_t(key, i as u64, self.band, self.cfg.seed, &mut buf);
-            for &p in &buf {
-                loads[p as usize] += lm.beta_input * self.wt;
-            }
-        }
+            counts
+        };
+        let s_counts = count_side(false);
+        let t_counts = count_side(true);
+        let loads: Vec<f64> = s_counts
+            .iter()
+            .zip(&t_counts)
+            .map(|(&ns, &nt)| lm.beta_input * (self.ws * ns as f64 + self.wt * nt as f64))
+            .collect();
 
         let leaves = tree.num_leaves();
         let report = OptimizationReport {
@@ -1691,6 +1845,7 @@ impl<'a> OptimizerState<'a> {
             seed: self.cfg.seed,
             name: self.cfg.strategy_name().to_string(),
             estimated_loads: loads,
+            router,
         };
         RecPartResult {
             partitioner,

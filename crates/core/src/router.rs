@@ -1,0 +1,586 @@
+//! The compiled split-tree router: RecPart's assignment `h : S ∪ T → 2^{1..P}`
+//! (Definition 1, Algorithm 3) flattened into structure-of-arrays form for the
+//! block-oriented map phase.
+//!
+//! [`SplitTree::route_s`]/[`SplitTree::route_t`] walk an arena of `enum Node`s,
+//! match on the node and split kind, and consult the [`BandCondition`] for the
+//! duplication shifts on every visit. That is fine per tuple but is pure overhead
+//! when the map phase streams millions of tuples through the same frozen tree.
+//! [`CompiledRouter::compile`] specializes the tree **per routing side** once:
+//!
+//! * per-node `dim` / `boundary` / `left` / `right` arrays (SoA, no enum matching);
+//! * the band shifts of each side baked into per-node `sub`/`add` constants, so a
+//!   duplicating node needs no `BandCondition` lookup — only
+//!   `key − sub < boundary` / `key + add ≥ boundary`, the *exact* comparisons the
+//!   tree walk performs (the shifts are applied to the key at routing time, never
+//!   folded into the boundary, which would change IEEE rounding);
+//! * per-leaf 1-Bucket grid shape, partition base, and the side's salted hash seed.
+//!
+//! A block of tuples then descends with one reusable stack (no recursion, no
+//! per-tuple `Vec<PartitionId>`) and unchecked node-array indexing (every child id
+//! was validated at compile time), writing straight into an
+//! [`AssignmentSink`](crate::partition::AssignmentSink). Routing is **bit-identical**
+//! to the tree walk: same partition ids in the same order for every tuple.
+
+use crate::band::BandCondition;
+use crate::partition::{AssignmentSink, PartitionId};
+use crate::relation::Relation;
+use crate::small::stable_hash;
+use crate::split_tree::{Node, SplitKind, SplitTree, T_SIDE_SALT};
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+/// Node flag: the node is a leaf (the `leaf_*` arrays are meaningful).
+const FLAG_LEAF: u8 = 1;
+/// Node flag: the side this table was compiled for is *duplicated* at this node
+/// (descend into every child whose region intersects the tuple's band range).
+const FLAG_DUP: u8 = 2;
+
+/// One routing side's flattened node table (S and T descend the same tree shape but
+/// with different duplication roles, shifts, and leaf hash seeds).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct SideTable {
+    /// Per-node flags ([`FLAG_LEAF`], [`FLAG_DUP`]).
+    flags: Vec<u8>,
+    /// Split dimension of inner nodes (0 for leaves).
+    dims: Vec<u32>,
+    /// Split boundary of inner nodes (`A_dim < boundary` goes left; 0.0 for leaves).
+    boundaries: Vec<f64>,
+    /// Left child of inner nodes (0 for leaves).
+    lefts: Vec<u32>,
+    /// Right child of inner nodes (0 for leaves).
+    rights: Vec<u32>,
+    /// Band shift subtracted for the left test of duplicating nodes (0.0 otherwise).
+    subs: Vec<f64>,
+    /// Band shift added for the right test of duplicating nodes (0.0 otherwise).
+    adds: Vec<f64>,
+    /// First partition id of the leaf's 1-Bucket grid (0 for inner nodes).
+    leaf_base: Vec<u32>,
+    /// Number of grid cells this side's tuple is copied to at the leaf (`cols` for
+    /// S-tuples, `rows` for T-tuples; 1 for regular leaves, 0 for inner nodes).
+    leaf_copies: Vec<u32>,
+    /// Stride between consecutive copies (`1` for S — a row is contiguous — and
+    /// `cols` for T, which walks a column; 0 for inner nodes).
+    leaf_stride: Vec<u32>,
+    /// Number of grid choices the hash picks from (`rows` for S, `cols` for T).
+    leaf_choices: Vec<u32>,
+    /// Id multiplier of the hashed choice (`cols` for S — a row selects `row·cols` —
+    /// and `1` for T).
+    leaf_choice_stride: Vec<u32>,
+    /// This side's salted per-leaf hash seed (`seed ^ (id << 32)` [`^ T_SIDE_SALT`]).
+    leaf_seeds: Vec<u64>,
+}
+
+impl SideTable {
+    fn with_capacity(n: usize) -> Self {
+        SideTable {
+            flags: vec![0; n],
+            dims: vec![0; n],
+            boundaries: vec![0.0; n],
+            lefts: vec![0; n],
+            rights: vec![0; n],
+            subs: vec![0.0; n],
+            adds: vec![0.0; n],
+            leaf_base: vec![0; n],
+            leaf_copies: vec![0; n],
+            leaf_stride: vec![0; n],
+            leaf_choices: vec![0; n],
+            leaf_choice_stride: vec![0; n],
+            leaf_seeds: vec![0; n],
+        }
+    }
+
+    /// Descend one tuple through the table, emitting every partition id in exactly
+    /// the order [`SplitTree::route_s`]/[`route_t`](SplitTree::route_t) would push
+    /// it (LIFO stack, left child pushed before right, so the right subtree of a
+    /// duplicating node is visited first — just like the tree walk).
+    ///
+    /// # Safety (internal)
+    /// The unchecked node-array accesses are sound because
+    /// [`CompiledRouter::validate`] — run both at compile time and when a router
+    /// is deserialized — guarantees that all per-node arrays share one length and
+    /// that the root and every inner node's child ids index into them. The stack
+    /// is a plain `Vec` (pre-reserved to the tree depth + 1, the DFS maximum, so
+    /// pushes do not reallocate on the hot path — but a reallocation would still
+    /// be safe).
+    #[inline]
+    fn descend(
+        &self,
+        root: u32,
+        key: &[f64],
+        tuple_id: u64,
+        stack: &mut Vec<u32>,
+        mut emit: impl FnMut(PartitionId),
+    ) {
+        stack.push(root);
+        while let Some(n) = stack.pop() {
+            let n = n as usize;
+            let flags = unsafe { *self.flags.get_unchecked(n) };
+            if flags & FLAG_LEAF != 0 {
+                let copies = unsafe { *self.leaf_copies.get_unchecked(n) };
+                let choices = unsafe { *self.leaf_choices.get_unchecked(n) };
+                let first = unsafe { *self.leaf_base.get_unchecked(n) }
+                    + if choices == 1 {
+                        // `hash % 1 == 0`: skip the hash entirely for the common
+                        // un-gridded direction.
+                        0
+                    } else {
+                        let seed = unsafe { *self.leaf_seeds.get_unchecked(n) };
+                        (stable_hash(seed, tuple_id) % choices as u64) as u32
+                            * unsafe { *self.leaf_choice_stride.get_unchecked(n) }
+                    };
+                let stride = unsafe { *self.leaf_stride.get_unchecked(n) };
+                for c in 0..copies {
+                    emit(first + c * stride);
+                }
+            } else {
+                let dim = unsafe { *self.dims.get_unchecked(n) } as usize;
+                let boundary = unsafe { *self.boundaries.get_unchecked(n) };
+                let k = key[dim];
+                let left = unsafe { *self.lefts.get_unchecked(n) };
+                let right = unsafe { *self.rights.get_unchecked(n) };
+                if flags & FLAG_DUP != 0 {
+                    // Duplicated side: both children whose region intersects the
+                    // band range around the key. The shifts are applied to the key
+                    // (identical IEEE arithmetic to `BandCondition::range_around_*`).
+                    if k - unsafe { *self.subs.get_unchecked(n) } < boundary {
+                        stack.push(left);
+                    }
+                    if k + unsafe { *self.adds.get_unchecked(n) } >= boundary {
+                        stack.push(right);
+                    }
+                } else {
+                    // Partitioned side: exactly one child contains the key.
+                    stack.push(if k < boundary { left } else { right });
+                }
+            }
+        }
+    }
+}
+
+/// A [`SplitTree`] compiled into flat per-side routing tables (see the module docs).
+///
+/// Compile once after the tree is frozen ([`SplitTree::assign_partition_ids`] must
+/// have run); route blocks forever. The router is immutable and `Send + Sync`, so
+/// the executor's parallel map phase shares one instance across all threads.
+///
+/// `Deserialize` is implemented manually (not derived) so that every router that
+/// enters the program — whether compiled from a tree or read back from JSON — has
+/// passed [`CompiledRouter::validate`] before the unchecked descent can run.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CompiledRouter {
+    s_side: SideTable,
+    t_side: SideTable,
+    root: u32,
+    /// Maximum stack entries any descent can need (= tree depth).
+    depth: u32,
+    num_partitions: u32,
+}
+
+impl CompiledRouter {
+    /// Compile `tree` for the given band condition and routing seed.
+    ///
+    /// # Panics
+    /// Panics if the tree's partition ids were not assigned yet (a zero-partition
+    /// tree cannot route anything).
+    pub fn compile(tree: &SplitTree, band: &BandCondition, seed: u64) -> CompiledRouter {
+        assert!(
+            tree.num_partitions() > 0,
+            "assign_partition_ids must run before compiling a router"
+        );
+        let n = tree.num_nodes();
+        let mut s_side = SideTable::with_capacity(n);
+        let mut t_side = SideTable::with_capacity(n);
+        for id in 0..n {
+            match tree.node(id as u32) {
+                Node::Inner(inner) => {
+                    for side in [&mut s_side, &mut t_side] {
+                        side.dims[id] = inner.dim as u32;
+                        side.boundaries[id] = inner.value;
+                        side.lefts[id] = inner.left;
+                        side.rights[id] = inner.right;
+                    }
+                    // Which side is duplicated, and with which band shifts, is
+                    // fixed per node: bake it. `range_around_t` is
+                    // `(t − ε_lo, t + ε_hi)`, `range_around_s` is
+                    // `(s − ε_hi, s + ε_lo)`.
+                    let (dup, sub, add) = match inner.kind {
+                        SplitKind::TSplit => (
+                            &mut t_side,
+                            band.eps_low(inner.dim),
+                            band.eps_high(inner.dim),
+                        ),
+                        SplitKind::SSplit => (
+                            &mut s_side,
+                            band.eps_high(inner.dim),
+                            band.eps_low(inner.dim),
+                        ),
+                    };
+                    dup.flags[id] = FLAG_DUP;
+                    dup.subs[id] = sub;
+                    dup.adds[id] = add;
+                }
+                Node::Leaf(leaf) => {
+                    let grid = leaf.grid;
+                    let leaf_seed = seed ^ ((id as u64) << 32);
+                    // S picks a row (of `rows` choices, stride `cols` per row) and
+                    // is copied to the row's `cols` contiguous cells.
+                    s_side.flags[id] = FLAG_LEAF;
+                    s_side.leaf_base[id] = leaf.partition_base;
+                    s_side.leaf_copies[id] = grid.cols;
+                    s_side.leaf_stride[id] = 1;
+                    s_side.leaf_choices[id] = grid.rows;
+                    s_side.leaf_choice_stride[id] = grid.cols;
+                    s_side.leaf_seeds[id] = leaf_seed;
+                    // T picks a column and is copied down it, one cell per row.
+                    t_side.flags[id] = FLAG_LEAF;
+                    t_side.leaf_base[id] = leaf.partition_base;
+                    t_side.leaf_copies[id] = grid.rows;
+                    t_side.leaf_stride[id] = grid.cols;
+                    t_side.leaf_choices[id] = grid.cols;
+                    t_side.leaf_choice_stride[id] = 1;
+                    t_side.leaf_seeds[id] = leaf_seed ^ T_SIDE_SALT;
+                }
+            }
+        }
+        let router = CompiledRouter {
+            s_side,
+            t_side,
+            root: tree.root(),
+            depth: tree.depth() as u32,
+            num_partitions: tree.num_partitions() as u32,
+        };
+        // The tree's own accessors bounds-check, but a *deserialized* tree may carry
+        // arbitrary child ids — and the descent indexes unchecked, so every router
+        // must prove the invariants before it is allowed to exist.
+        router
+            .validate()
+            .expect("split tree carries out-of-range node references");
+        router
+    }
+
+    /// Check the structural invariants the unchecked descent relies on: all
+    /// per-node arrays of both sides share one length, and the root and every
+    /// inner node's child ids index into them. Runs once per compile/deserialize —
+    /// never on the routing path.
+    fn validate(&self) -> Result<(), String> {
+        for (label, side) in [("S", &self.s_side), ("T", &self.t_side)] {
+            let n = side.flags.len();
+            let lens = [
+                side.dims.len(),
+                side.boundaries.len(),
+                side.lefts.len(),
+                side.rights.len(),
+                side.subs.len(),
+                side.adds.len(),
+                side.leaf_base.len(),
+                side.leaf_copies.len(),
+                side.leaf_stride.len(),
+                side.leaf_choices.len(),
+                side.leaf_choice_stride.len(),
+                side.leaf_seeds.len(),
+            ];
+            if lens.iter().any(|&l| l != n) {
+                return Err(format!(
+                    "{label}-side node arrays have inconsistent lengths"
+                ));
+            }
+            if self.root as usize >= n {
+                return Err(format!(
+                    "root node {} out of range for {n} nodes",
+                    self.root
+                ));
+            }
+            for i in 0..n {
+                if side.flags[i] & FLAG_LEAF == 0
+                    && (side.lefts[i] as usize >= n || side.rights[i] as usize >= n)
+                {
+                    return Err(format!("{label}-side node {i} has an out-of-range child"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of partitions the compiled tree routes into.
+    pub fn num_partitions(&self) -> usize {
+        self.num_partitions as usize
+    }
+
+    /// A descent stack sized for this tree, reusable across tuples and blocks.
+    fn stack(&self) -> Vec<u32> {
+        Vec::with_capacity(self.depth as usize + 1)
+    }
+
+    /// Route the S-tuples `rows` of `rel` into `sink` (bit-identical ids and order
+    /// to [`SplitTree::route_s`] per tuple, tuples in ascending index order).
+    pub fn route_s_block(&self, rel: &Relation, rows: Range<usize>, sink: &mut AssignmentSink) {
+        let mut stack = self.stack();
+        for i in rows {
+            self.s_side
+                .descend(self.root, rel.key(i), i as u64, &mut stack, |p| {
+                    sink.push(p, i as u32)
+                });
+        }
+    }
+
+    /// Route the T-tuples `rows` of `rel` into `sink`.
+    pub fn route_t_block(&self, rel: &Relation, rows: Range<usize>, sink: &mut AssignmentSink) {
+        let mut stack = self.stack();
+        for i in rows {
+            self.t_side
+                .descend(self.root, rel.key(i), i as u64, &mut stack, |p| {
+                    sink.push(p, i as u32)
+                });
+        }
+    }
+
+    /// Route one S-tuple, appending its partitions to `out` (the compiled
+    /// counterpart of [`SplitTree::route_s`]).
+    pub fn route_s(&self, key: &[f64], tuple_id: u64, out: &mut Vec<PartitionId>) {
+        let mut stack = self.stack();
+        self.s_side
+            .descend(self.root, key, tuple_id, &mut stack, |p| out.push(p));
+    }
+
+    /// Route one T-tuple, appending its partitions to `out`.
+    pub fn route_t(&self, key: &[f64], tuple_id: u64, out: &mut Vec<PartitionId>) {
+        let mut stack = self.stack();
+        self.t_side
+            .descend(self.root, key, tuple_id, &mut stack, |p| out.push(p));
+    }
+
+    /// Count-only routing of one S-tuple: increment `counts[p]` for every partition
+    /// `p` the tuple is assigned to, materializing nothing. Used by the optimizer's
+    /// chunked load estimation, whose per-chunk integer counts make the combined
+    /// result independent of the chunk execution order.
+    #[inline]
+    pub fn count_s(&self, key: &[f64], tuple_id: u64, stack: &mut Vec<u32>, counts: &mut [u64]) {
+        self.s_side.descend(self.root, key, tuple_id, stack, |p| {
+            counts[p as usize] += 1;
+        });
+    }
+
+    /// Count-only routing of one T-tuple (see [`CompiledRouter::count_s`]).
+    #[inline]
+    pub fn count_t(&self, key: &[f64], tuple_id: u64, stack: &mut Vec<u32>, counts: &mut [u64]) {
+        self.t_side.descend(self.root, key, tuple_id, stack, |p| {
+            counts[p as usize] += 1;
+        });
+    }
+
+    /// A fresh descent stack for the `count_s`/`count_t` loops.
+    pub fn count_stack(&self) -> Vec<u32> {
+        self.stack()
+    }
+}
+
+/// Manual `Deserialize`: field-by-field like the derive would generate, plus the
+/// [`CompiledRouter::validate`] gate — a corrupted or hand-crafted serialized router
+/// must be rejected here, not discovered by the unchecked descent.
+impl serde::Deserialize for CompiledRouter {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let map = v
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected map for CompiledRouter"))?;
+        let router = CompiledRouter {
+            s_side: serde::Deserialize::from_value(serde::__get(map, "s_side")?)?,
+            t_side: serde::Deserialize::from_value(serde::__get(map, "t_side")?)?,
+            root: serde::Deserialize::from_value(serde::__get(map, "root")?)?,
+            depth: serde::Deserialize::from_value(serde::__get(map, "depth")?)?,
+            num_partitions: serde::Deserialize::from_value(serde::__get(map, "num_partitions")?)?,
+        };
+        router.validate().map_err(serde::Error::custom)?;
+        Ok(router)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::small::BucketGrid;
+
+    /// A mixed tree: T-splits, an S-split, and a gridded small leaf.
+    fn mixed_tree() -> (SplitTree, BandCondition) {
+        let mut tree = SplitTree::new(1);
+        let (left, right) = tree.split_leaf(tree.root(), 0, 5.0, SplitKind::TSplit);
+        tree.split_leaf(left, 0, 2.0, SplitKind::SSplit);
+        let (rl, _) = tree.split_leaf(right, 0, 8.0, SplitKind::TSplit);
+        tree.set_leaf_grid(rl, BucketGrid { rows: 2, cols: 3 });
+        tree.assign_partition_ids();
+        (tree, BandCondition::symmetric(&[0.75]))
+    }
+
+    fn assert_router_matches_tree(tree: &SplitTree, band: &BandCondition, seed: u64) {
+        let router = CompiledRouter::compile(tree, band, seed);
+        assert_eq!(router.num_partitions(), tree.num_partitions());
+        let mut tree_out = Vec::new();
+        let mut router_out = Vec::new();
+        let mut counts = vec![0u64; tree.num_partitions()];
+        let mut stack = router.count_stack();
+        for i in 0..400u64 {
+            let key = [i as f64 * 0.03];
+            for t_side in [false, true] {
+                tree_out.clear();
+                router_out.clear();
+                if t_side {
+                    tree.route_t(&key, i, band, seed, &mut tree_out);
+                    router.route_t(&key, i, &mut router_out);
+                    router.count_t(&key, i, &mut stack, &mut counts);
+                } else {
+                    tree.route_s(&key, i, band, seed, &mut tree_out);
+                    router.route_s(&key, i, &mut router_out);
+                    router.count_s(&key, i, &mut stack, &mut counts);
+                }
+                assert_eq!(
+                    tree_out, router_out,
+                    "side {t_side} tuple {i}: router diverged from the tree walk"
+                );
+            }
+        }
+        assert_eq!(
+            counts.iter().sum::<u64>(),
+            {
+                let mut total = 0u64;
+                let mut buf = Vec::new();
+                for i in 0..400u64 {
+                    let key = [i as f64 * 0.03];
+                    buf.clear();
+                    tree.route_s(&key, i, band, seed, &mut buf);
+                    tree.route_t(&key, i, band, seed, &mut buf);
+                    total += buf.len() as u64;
+                }
+                total
+            },
+            "count-only routing must count every assignment"
+        );
+    }
+
+    #[test]
+    fn router_is_bit_identical_to_tree_walk() {
+        let (tree, band) = mixed_tree();
+        for seed in [0u64, 7, 0xDEAD_BEEF] {
+            assert_router_matches_tree(&tree, &band, seed);
+        }
+    }
+
+    #[test]
+    fn router_matches_on_asymmetric_bands() {
+        let mut tree = SplitTree::new(2);
+        let (l, _) = tree.split_leaf(tree.root(), 0, 1.0, SplitKind::TSplit);
+        tree.split_leaf(l, 1, -0.5, SplitKind::SSplit);
+        tree.assign_partition_ids();
+        let band = BandCondition::try_asymmetric(&[0.2, 1.5], &[0.9, 0.1]).unwrap();
+        let router = CompiledRouter::compile(&tree, &band, 11);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for i in 0..300u64 {
+            let key = [(i as f64) * 0.017 - 2.0, (i as f64) * -0.013 + 1.0];
+            a.clear();
+            b.clear();
+            tree.route_s(&key, i, &band, 11, &mut a);
+            router.route_s(&key, i, &mut b);
+            assert_eq!(a, b);
+            a.clear();
+            b.clear();
+            tree.route_t(&key, i, &band, 11, &mut a);
+            router.route_t(&key, i, &mut b);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn block_routing_matches_per_tuple_routing() {
+        let (tree, band) = mixed_tree();
+        let router = CompiledRouter::compile(&tree, &band, 3);
+        let mut rel = Relation::new(1);
+        for i in 0..257 {
+            rel.push(&[(i as f64) * 0.041]);
+        }
+        let mut expected = Vec::new();
+        let mut buf = Vec::new();
+        for i in 0..rel.len() {
+            buf.clear();
+            router.route_s(rel.key(i), i as u64, &mut buf);
+            for &p in &buf {
+                expected.push((p, i as u32));
+            }
+        }
+        // Whole block and a split block must both reproduce the per-tuple stream.
+        let mut whole = AssignmentSink::new(router.num_partitions());
+        router.route_s_block(&rel, 0..rel.len(), &mut whole);
+        assert_eq!(whole.pairs(), &expected[..]);
+        let mut split = AssignmentSink::new(router.num_partitions());
+        router.route_s_block(&rel, 0..100, &mut split);
+        router.route_s_block(&rel, 100..rel.len(), &mut split);
+        assert_eq!(split.pairs(), &expected[..]);
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_references() {
+        let (tree, band) = mixed_tree();
+        let good = CompiledRouter::compile(&tree, &band, 1);
+        assert!(good.validate().is_ok());
+
+        // An inner node pointing past the arena must be rejected.
+        let mut bad_child = good.clone();
+        for (i, &f) in bad_child.s_side.flags.iter().enumerate() {
+            if f & FLAG_LEAF == 0 {
+                bad_child.s_side.lefts[i] = 10_000;
+                break;
+            }
+        }
+        assert!(bad_child.validate().is_err());
+
+        // A root outside the arena must be rejected.
+        let mut bad_root = good.clone();
+        bad_root.root = 10_000;
+        assert!(bad_root.validate().is_err());
+
+        // Mismatched array lengths must be rejected.
+        let mut bad_len = good;
+        bad_len.t_side.boundaries.pop();
+        assert!(bad_len.validate().is_err());
+    }
+
+    #[test]
+    fn deserialize_gate_rejects_corrupt_routers() {
+        // The manual Deserialize impl must run validate(): round-trip a healthy
+        // router, then corrupt a child pointer in the serialized form and check
+        // that deserialization fails instead of producing an unsafe router.
+        let (tree, band) = mixed_tree();
+        let router = CompiledRouter::compile(&tree, &band, 2);
+        let json = serde_json::to_string(&router).expect("serialize");
+        let back: CompiledRouter = serde_json::from_str(&json).expect("round-trip");
+        assert_eq!(router, back);
+
+        // Corrupt every child array entry to an impossible id; at least the first
+        // inner node will then fail validation.
+        let corrupt = json.replace("\"lefts\":[", "\"lefts\":[4000000000,");
+        assert!(
+            serde_json::from_str::<CompiledRouter>(&corrupt).is_err(),
+            "corrupt router must be rejected at deserialization"
+        );
+    }
+
+    #[test]
+    fn deep_tree_descent_stays_within_the_reserved_stack() {
+        // A left-leaning comb of duplicating T-splits: every level can push both
+        // children, the worst case for the descent stack bound.
+        let mut tree = SplitTree::new(1);
+        let mut leaf = tree.root();
+        for depth in 0..40 {
+            let (l, _) = tree.split_leaf(leaf, 0, -(depth as f64), SplitKind::TSplit);
+            leaf = l;
+        }
+        tree.assign_partition_ids();
+        let band = BandCondition::symmetric(&[1000.0]); // every split duplicates T
+        let router = CompiledRouter::compile(&tree, &band, 5);
+        let mut tree_out = Vec::new();
+        let mut router_out = Vec::new();
+        tree.route_t(&[-20.0], 1, &band, 5, &mut tree_out);
+        router.route_t(&[-20.0], 1, &mut router_out);
+        assert_eq!(tree_out, router_out);
+        assert_eq!(tree_out.len(), 41, "T duplicated to every leaf");
+    }
+}

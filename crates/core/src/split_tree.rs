@@ -333,8 +333,9 @@ impl SplitTree {
 }
 
 /// A salt mixed into the hash for T-side routing so that S-row and T-column choices are
-/// independent even for equal tuple ids.
-const T_SIDE_SALT: u64 = 0x9E37_79B9_0000_0001;
+/// independent even for equal tuple ids. Shared with [`crate::router`], which bakes the
+/// salted per-leaf seeds into its flat node arrays at compile time.
+pub(crate) const T_SIDE_SALT: u64 = 0x9E37_79B9_0000_0001;
 
 #[cfg(test)]
 mod tests {

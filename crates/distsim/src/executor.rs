@@ -4,7 +4,11 @@
 //! Pipeline (mirroring Figure 5 of the paper):
 //!
 //! 1. **Map / partition**: every input tuple is routed through the
-//!    [`Partitioner`], which may copy it to several partitions (duplication).
+//!    [`Partitioner`], which may copy it to several partitions (duplication). The
+//!    routing is block-oriented: contiguous chunks go through the partitioner's
+//!    `assign_s_block`/`assign_t_block` (RecPart's compiled split-tree router,
+//!    closed-form cell arithmetic for the baselines) — never one dynamic-dispatch
+//!    call per tuple.
 //! 2. **Shuffle**: per-partition input lists are materialized; the total number of
 //!    assignments is the paper's total input `I`.
 //! 3. **Reduce / local joins**: each partition's band-join is computed with the

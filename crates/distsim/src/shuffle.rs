@@ -3,19 +3,23 @@
 //!
 //! The per-partition lists live in one flat arena per side ([`PartitionedIndex`]),
 //! built with a **two-pass counting layout**: pass 1 routes each contiguous input
-//! chunk once, recording its `(partition, index)` assignments in routing order plus a
-//! per-partition count; the counts of all chunks are prefix-summed into exact arena
-//! offsets; pass 2 scatters every chunk's assignments directly into its disjoint
-//! arena slices. No per-chunk per-partition buckets are allocated and no merge copy
-//! runs afterwards — each assignment is written to its final location exactly once.
-//! Chunks are contiguous ascending index ranges laid out in chunk order, so the arena
-//! contents are bit-identical to the sequential path no matter how many threads ran
-//! the fan-out. Downstream local joins and verification therefore see exactly the
-//! same inputs for every `threads` setting.
+//! chunk once through the partitioner's **block API**
+//! (`Partitioner::assign_s_block`/`assign_t_block` into an
+//! [`AssignmentSink`](recpart::AssignmentSink) — the sink records the chunk's
+//! `(partition, index)` assignments in routing order plus a per-partition count);
+//! the counts of all chunks are prefix-summed into exact arena offsets; pass 2
+//! scatters every chunk's assignments directly into its disjoint arena slices. No
+//! per-tuple `Vec<PartitionId>` buffer, no per-chunk per-partition buckets, and no
+//! merge copy — each assignment is written to its final location exactly once.
+//! Chunks are contiguous ascending index ranges laid out in chunk order, and the
+//! block API is required to emit assignments in per-tuple routing order, so the
+//! arena contents are bit-identical to per-tuple sequential routing no matter how
+//! many threads ran the fan-out. Downstream local joins and verification therefore
+//! see exactly the same inputs for every `threads` setting.
 
 use crate::parallel::{chunk_ranges, Parallelism};
 use rayon::prelude::*;
-use recpart::{PartitionId, Partitioner, Relation};
+use recpart::{AssignmentSink, Partitioner, Relation};
 use std::time::Instant;
 
 /// Below this many tuples a side is routed as a single chunk even in parallel mode:
@@ -89,6 +93,13 @@ impl ShuffledInputs {
     }
 }
 
+/// Which side of the join a routing pass handles.
+#[derive(Clone, Copy)]
+enum Side {
+    S,
+    T,
+}
+
 /// Route both sides of the join under the given parallelism context.
 pub(crate) fn shuffle<P: Partitioner + ?Sized>(
     partitioner: &P,
@@ -98,24 +109,13 @@ pub(crate) fn shuffle<P: Partitioner + ?Sized>(
     par: &Parallelism<'_>,
 ) -> ShuffledInputs {
     let start = Instant::now();
-    let s_parts = route_side(s, num_partitions, par, |key, id, out| {
-        partitioner.assign_s(key, id, out)
-    });
-    let t_parts = route_side(t, num_partitions, par, |key, id, out| {
-        partitioner.assign_t(key, id, out)
-    });
+    let s_parts = route_side(partitioner, s, num_partitions, par, Side::S);
+    let t_parts = route_side(partitioner, t, num_partitions, par, Side::T);
     ShuffledInputs {
         s_parts,
         t_parts,
         wall_seconds: start.elapsed().as_secs_f64(),
     }
-}
-
-/// One chunk's routing output: its `(partition, tuple index)` assignments in routing
-/// order plus the per-partition assignment counts (the "counting" pass).
-struct ChunkRouting {
-    pairs: Vec<(PartitionId, u32)>,
-    counts: Vec<u32>,
 }
 
 /// Raw arena pointer handed to the scatter pass. Safety: the offset layout gives
@@ -126,16 +126,16 @@ unsafe impl Send for ArenaPtr {}
 unsafe impl Sync for ArenaPtr {}
 
 /// Route one relation into a flat per-partition arena with the two-pass counting
-/// layout described in the module docs.
-fn route_side<F>(
+/// layout described in the module docs. Pass 1 hands each contiguous chunk to the
+/// partitioner's block API — there is no per-tuple routing buffer anywhere on this
+/// path anymore.
+fn route_side<P: Partitioner + ?Sized>(
+    partitioner: &P,
     rel: &Relation,
     num_partitions: usize,
     par: &Parallelism<'_>,
-    assign: F,
-) -> PartitionedIndex
-where
-    F: Fn(&[f64], u64, &mut Vec<PartitionId>) + Sync,
-{
+    side: Side,
+) -> PartitionedIndex {
     let n = rel.len();
     let threads = par.threads().min(n.max(1));
     let parallel = threads > 1 && n >= MIN_PARALLEL_TUPLES;
@@ -148,10 +148,31 @@ where
         return PartitionedIndex::empty(num_partitions);
     }
 
-    // Pass 1: route every chunk once, recording assignments and counts.
-    let assign = &assign;
-    let route_one = |(lo, hi): (usize, usize)| route_range(rel, num_partitions, lo, hi, assign);
-    let chunks: Vec<ChunkRouting> = if parallel {
+    // Pass 1 (count): route every chunk once through the block API.
+    let route_one = |(lo, hi): (usize, usize)| -> AssignmentSink {
+        let mut sink = AssignmentSink::new(num_partitions);
+        sink.reserve(hi - lo);
+        match side {
+            Side::S => partitioner.assign_s_block(rel, lo..hi, &mut sink),
+            Side::T => partitioner.assign_t_block(rel, lo..hi, &mut sink),
+        }
+        // Definition 1 requires h(x) ≠ ∅ for *every* tuple — check coverage per
+        // tuple, not just in aggregate (a dropped tuple could otherwise hide
+        // behind another tuple's duplicate).
+        #[cfg(debug_assertions)]
+        {
+            let mut seen = vec![false; hi - lo];
+            for &(_, i) in sink.pairs() {
+                seen[i as usize - lo] = true;
+            }
+            debug_assert!(
+                seen.iter().all(|&s| s),
+                "partitioner dropped a tuple (Definition 1 requires h(x) != empty)"
+            );
+        }
+        sink
+    };
+    let chunks: Vec<AssignmentSink> = if parallel {
         par.run(|| ranges.clone().into_par_iter().map(route_one).collect())
     } else {
         ranges.iter().map(|&r| route_one(r)).collect()
@@ -162,7 +183,7 @@ where
     let mut offsets = Vec::with_capacity(num_partitions + 1);
     offsets.push(0usize);
     for p in 0..num_partitions {
-        let total: usize = chunks.iter().map(|c| c.counts[p] as usize).sum();
+        let total: usize = chunks.iter().map(|c| c.counts()[p] as usize).sum();
         offsets.push(offsets[p] + total);
     }
     let total = offsets[num_partitions];
@@ -172,7 +193,7 @@ where
         for c in &chunks {
             chunk_bases.push(cursor.clone());
             for (p, slot) in cursor.iter_mut().enumerate() {
-                *slot += c.counts[p] as usize;
+                *slot += c.counts()[p] as usize;
             }
         }
         debug_assert_eq!(&cursor, &offsets[1..]);
@@ -186,7 +207,7 @@ where
     let arena = &arena;
     let scatter = |c: usize| {
         let mut cursor = chunk_bases[c].clone();
-        for &(p, i) in &chunks[c].pairs {
+        for &(p, i) in chunks[c].pairs() {
             // Safety: `cursor[p]` stays within this chunk's slice of partition `p`
             // (it starts at the chunk's base and advances once per counted pair),
             // and those slices are disjoint across chunks and partitions.
@@ -208,38 +229,11 @@ where
     PartitionedIndex { data, offsets }
 }
 
-/// Pass 1 for the tuples `lo..hi` of `rel`: route each through the partitioner
-/// (reusing one routing buffer for the whole range) and record the flat assignment
-/// list plus per-partition counts.
-fn route_range<F>(
-    rel: &Relation,
-    num_partitions: usize,
-    lo: usize,
-    hi: usize,
-    assign: &F,
-) -> ChunkRouting
-where
-    F: Fn(&[f64], u64, &mut Vec<PartitionId>) + Sync,
-{
-    let mut pairs: Vec<(PartitionId, u32)> = Vec::with_capacity(hi - lo);
-    let mut counts = vec![0u32; num_partitions];
-    let mut buf: Vec<PartitionId> = Vec::new();
-    for i in lo..hi {
-        buf.clear();
-        assign(rel.key(i), i as u64, &mut buf);
-        debug_assert!(!buf.is_empty(), "partitioner dropped a tuple");
-        for &p in &buf {
-            pairs.push((p, i as u32));
-            counts[p as usize] += 1;
-        }
-    }
-    ChunkRouting { pairs, counts }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use recpart::partition::SinglePartition;
+    use recpart::PartitionId;
 
     fn relation(n: usize) -> Relation {
         let mut r = Relation::with_capacity(1, n);
@@ -325,6 +319,20 @@ mod tests {
         let seq = shuffle(&ModPartitioner(3), &s, &t, 3, &Parallelism::Sequential);
         assert_eq!(shuffled.s_parts, seq.s_parts);
         assert_eq!(shuffled.t_parts, seq.t_parts);
+    }
+
+    #[test]
+    fn block_override_matches_per_tuple_fallback_arena() {
+        use recpart::PerTupleFallback;
+        let s = relation(9_000);
+        let t = relation(5_000);
+        let pool = four_thread_pool();
+        for par in [Parallelism::Sequential, Parallelism::Pool(&pool)] {
+            let block = shuffle(&SinglePartition, &s, &t, 1, &par);
+            let per_tuple = shuffle(&PerTupleFallback(&SinglePartition), &s, &t, 1, &par);
+            assert_eq!(block.s_parts, per_tuple.s_parts);
+            assert_eq!(block.t_parts, per_tuple.t_parts);
+        }
     }
 
     #[test]

@@ -59,8 +59,9 @@ pub mod prelude {
         VerificationLevel,
     };
     pub use recpart::{
-        BandCondition, LoadModel, OptimizationReport, PartitionId, Partitioner, PartitioningStats,
-        RecPart, RecPartConfig, RecPartResult, Relation, SampleConfig, SplitScorer,
-        SplitSearchCounters, SplitTreePartitioner, Termination,
+        AssignmentSink, BandCondition, CompiledRouter, LoadModel, OptimizationReport, PartitionId,
+        Partitioner, PartitioningStats, PerTupleFallback, RecPart, RecPartConfig, RecPartResult,
+        Relation, SampleConfig, SplitScorer, SplitSearchCounters, SplitTreePartitioner,
+        Termination,
     };
 }
