@@ -27,7 +27,7 @@
 use rand::Rng;
 use recpart::{
     AssignmentSink, BandCondition, InputSample, OutputSample, PartitionId, Partitioner, Relation,
-    SampleConfig,
+    SampleConfig, ScatterPolicy,
 };
 use serde::{Deserialize, Serialize};
 use std::ops::Range;
@@ -289,6 +289,11 @@ impl Partitioner for CsioPartitioner {
                 sink.push(p, i as u32);
             }
         }
+    }
+
+    fn scatter_policy(&self) -> ScatterPolicy {
+        // Quantile-range lookup plus precomputed partition lists: cheap to re-run.
+        ScatterPolicy::Reroute
     }
 
     fn name(&self) -> &str {

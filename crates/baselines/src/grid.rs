@@ -12,7 +12,7 @@
 //! Grid-ε is not defined for band width zero (the paper notes the same); construction
 //! fails if any `ε_i` is zero.
 
-use recpart::{AssignmentSink, BandCondition, PartitionId, Partitioner, Relation};
+use recpart::{AssignmentSink, BandCondition, PartitionId, Partitioner, Relation, ScatterPolicy};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::ops::Range;
@@ -236,6 +236,12 @@ impl Partitioner for GridPartitioner {
                 sink.push(id, i as u32);
             }
         }
+    }
+
+    fn scatter_policy(&self) -> ScatterPolicy {
+        // Closed-form cell arithmetic: re-deriving an assignment is cheaper than
+        // buffering it.
+        ScatterPolicy::Reroute
     }
 
     fn name(&self) -> &str {

@@ -9,7 +9,7 @@
 use crate::grid::GridPartitioner;
 use distsim::CostModel;
 use rand::Rng;
-use recpart::{BandCondition, OutputSample, Partitioner, Relation, SampleConfig};
+use recpart::{BandCondition, OutputSample, Partitioner, Relation, SampleConfig, ScatterPolicy};
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 
@@ -111,9 +111,10 @@ fn predict_time(
     let mut cell_output = vec![0.0f64; partitions];
     let mut buf = Vec::new();
 
-    // Per-cell input counts via block routing (the sink's counting pass is exactly
-    // the histogram this needs), chunked so the pair buffer stays bounded.
-    let mut sink = recpart::AssignmentSink::new(partitions);
+    // Per-cell input counts via block routing (a count-only sink is exactly the
+    // histogram this needs — no pairs are ever materialized), chunked so the
+    // per-block work stays bounded.
+    let mut sink = recpart::AssignmentSink::counting(partitions);
     for (rel, is_s) in [(s, true), (t, false)] {
         let mut lo = 0;
         while lo < rel.len() {
@@ -203,6 +204,9 @@ impl Partitioner for GridStarPartitioner {
     }
     fn count_total_input(&self, s: &Relation, t: &Relation) -> u64 {
         self.inner.count_total_input(s, t)
+    }
+    fn scatter_policy(&self) -> ScatterPolicy {
+        self.inner.scatter_policy()
     }
     fn name(&self) -> &str {
         "Grid*"

@@ -3,19 +3,23 @@
 //!
 //! * the PR 2 baseline (`SplitScorer::BinarySearch`, strictly sequential),
 //! * the sweep-line scorer with cached projections (`threads = 1`),
+//! * the sweep-line scorer with the `Evaluator::FullRecompute` oracle (isolates
+//!   what the incremental evaluation ledger saves end to end),
 //! * the sweep-line scorer on all cores (`threads = 0`) and a bounded 4-thread pool.
 //!
-//! All four rows produce bit-identical `RecPartResult`s (asserted once per workload
-//! before timing); only wall-clock differs. Pass `--test` (or set sample sizes down
-//! with `--quick`-style smoke environments) to run the sweep path in seconds-level
-//! smoke mode — CI does this in release so the hot path is exercised optimized.
+//! All rows produce bit-identical `RecPartResult`s (asserted once per workload
+//! before timing); only wall-clock differs. A second `evaluate/*` group times the
+//! post-split evaluation alone on the fully grown (deep) tree: incremental
+//! delta-evaluation vs the full walk + re-sort recompute it replaced. Pass `--test`
+//! to run everything in seconds-level smoke mode — CI does this in release so the
+//! hot path is exercised optimized.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use recpart::{
-    BandCondition, InputSample, OutputSample, RecPart, RecPartConfig, Relation, SampleConfig,
-    SplitScorer,
+    BandCondition, Evaluator, InputSample, OutputSample, RecPart, RecPartConfig, Relation,
+    SampleConfig, SplitScorer,
 };
 use std::time::Instant;
 
@@ -125,12 +129,38 @@ fn pareto_3d() -> PreparedWorkload {
     )
 }
 
-/// `(row label, scorer, threads)` configurations every workload compares.
-const ROWS: [(&str, SplitScorer, usize); 4] = [
-    ("binary-search-seq", SplitScorer::BinarySearch, 1),
-    ("sweep-seq", SplitScorer::SweepLine, 1),
-    ("sweep-all-cores", SplitScorer::SweepLine, 0),
-    ("sweep-pool-4", SplitScorer::SweepLine, 4),
+/// `(row label, scorer, threads, evaluator)` configurations every workload compares.
+const ROWS: [(&str, SplitScorer, usize, Evaluator); 5] = [
+    (
+        "binary-search-seq",
+        SplitScorer::BinarySearch,
+        1,
+        Evaluator::Incremental,
+    ),
+    (
+        "sweep-seq",
+        SplitScorer::SweepLine,
+        1,
+        Evaluator::Incremental,
+    ),
+    (
+        "sweep-full-eval",
+        SplitScorer::SweepLine,
+        1,
+        Evaluator::FullRecompute,
+    ),
+    (
+        "sweep-all-cores",
+        SplitScorer::SweepLine,
+        0,
+        Evaluator::Incremental,
+    ),
+    (
+        "sweep-pool-4",
+        SplitScorer::SweepLine,
+        4,
+        Evaluator::Incremental,
+    ),
 ];
 
 fn bench_workload(c: &mut Criterion, workers: usize, w: &PreparedWorkload) {
@@ -139,10 +169,11 @@ fn bench_workload(c: &mut Criterion, workers: usize, w: &PreparedWorkload) {
 
     // The rows are only comparable because they optimize identically: assert
     // bit-identity of the chosen tree before timing anything.
-    let result_of = |scorer: SplitScorer, threads: usize| {
+    let result_of = |scorer: SplitScorer, threads: usize, evaluator: Evaluator| {
         let cfg = RecPartConfig::new(workers)
             .with_scorer(scorer)
-            .with_threads(threads);
+            .with_threads(threads)
+            .with_evaluator(evaluator);
         RecPart::new(cfg).optimize_with_samples(
             w.s_len,
             w.t_len,
@@ -153,22 +184,23 @@ fn bench_workload(c: &mut Criterion, workers: usize, w: &PreparedWorkload) {
             Instant::now(),
         )
     };
-    let baseline = result_of(SplitScorer::BinarySearch, 1);
-    for (_, scorer, threads) in ROWS {
-        let r = result_of(scorer, threads);
+    let baseline = result_of(SplitScorer::BinarySearch, 1, Evaluator::Incremental);
+    for (_, scorer, threads, evaluator) in ROWS {
+        let r = result_of(scorer, threads, evaluator);
         assert_eq!(
             baseline.partitioner.tree(),
             r.partitioner.tree(),
-            "{}: scorer {scorer:?} threads {threads} diverged",
+            "{}: scorer {scorer:?} threads {threads} evaluator {evaluator:?} diverged",
             w.label
         );
     }
 
-    for (label, scorer, threads) in ROWS {
+    for (label, scorer, threads, evaluator) in ROWS {
         let optimizer = RecPart::new(
             RecPartConfig::new(workers)
                 .with_scorer(scorer)
-                .with_threads(threads),
+                .with_threads(threads)
+                .with_evaluator(evaluator),
         );
         group.bench_function(BenchmarkId::new(label, workers), |b| {
             b.iter(|| {
@@ -187,8 +219,71 @@ fn bench_workload(c: &mut Criterion, workers: usize, w: &PreparedWorkload) {
     group.finish();
 }
 
+/// Time the post-split evaluation alone on the fully grown tree: grow once per
+/// evaluator, assert the evaluations agree bit for bit, then measure repeated
+/// evaluations on the same harnesses. The incremental row replays only the ledger's
+/// LPT mapping and sums; the full-recompute row additionally pays the per-split
+/// tree walk + re-sort the incremental ledger deletes.
+fn bench_evaluate(c: &mut Criterion, workers: usize, w: &PreparedWorkload) {
+    let mut group = c.benchmark_group(format!("evaluate/{}", w.label));
+    group.sample_size(if smoke() { 10 } else { 20 });
+
+    let optimizer_with = |evaluator: Evaluator| {
+        RecPart::new(
+            RecPartConfig::new(workers)
+                .with_threads(1)
+                .with_evaluator(evaluator),
+        )
+    };
+    let opt_incr = optimizer_with(Evaluator::Incremental);
+    let opt_full = optimizer_with(Evaluator::FullRecompute);
+    let mut incr = opt_incr.evaluation_bench(
+        w.s_len,
+        w.t_len,
+        &w.band,
+        &w.s_sample,
+        &w.t_sample,
+        &w.o_sample,
+    );
+    let mut full = opt_full.evaluation_bench(
+        w.s_len,
+        w.t_len,
+        &w.band,
+        &w.s_sample,
+        &w.t_sample,
+        &w.o_sample,
+    );
+
+    // The rows are only comparable because both evaluators compute the identical
+    // evaluation on the same grown state: assert that before timing anything.
+    assert_eq!(
+        incr.evaluate_once().to_bits(),
+        full.evaluate_once().to_bits(),
+        "{}: evaluators diverged on the grown tree",
+        w.label
+    );
+    if !smoke() {
+        assert!(
+            incr.leaves() >= 64,
+            "{}: expected a deep (>= 64-leaf) tree, got {} leaves",
+            w.label,
+            incr.leaves()
+        );
+    }
+
+    group.bench_function(BenchmarkId::new("incremental", workers), |b| {
+        b.iter(|| incr.evaluate_once())
+    });
+    group.bench_function(BenchmarkId::new("full-recompute", workers), |b| {
+        b.iter(|| full.evaluate_once())
+    });
+    group.finish();
+}
+
 fn bench_optimize_pareto_1d(c: &mut Criterion) {
-    bench_workload(c, 64, &pareto_1d());
+    let w = pareto_1d();
+    bench_workload(c, 64, &w);
+    bench_evaluate(c, 64, &w);
 }
 
 fn bench_optimize_pareto_3d(c: &mut Criterion) {

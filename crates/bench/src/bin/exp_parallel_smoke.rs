@@ -18,6 +18,11 @@
 //! split trees, a ≥1.5× speedup on 4+-core machines, and at least a ≥1.1× win
 //! everywhere (the sweep's algorithmic advantage is core-count independent).
 //!
+//! It then gates the **incremental evaluator**: on the fully grown (deep) tree,
+//! `Evaluator::Incremental` must compute bit-identical evaluations to the
+//! `Evaluator::FullRecompute` oracle, never be slower, and beat it ≥1.5× on a
+//! 4+-core machine when the tree is deep (≥64 leaves).
+//!
 //! Finally it gates the **block routing pipeline**: `map_shuffle` through the
 //! partitioner's block API (the compiled split-tree router for RecPart) must
 //! produce a bit-identical arena and be no slower than the per-tuple baseline
@@ -38,7 +43,7 @@ use distsim::{ExecutionReport, Executor, ExecutorConfig, VerificationLevel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use recpart::{
-    BandCondition, InputSample, OutputSample, PerTupleFallback, RecPart, RecPartConfig,
+    BandCondition, Evaluator, InputSample, OutputSample, PerTupleFallback, RecPart, RecPartConfig,
     RecPartResult, SampleConfig, SplitScorer,
 };
 use std::time::Instant;
@@ -272,6 +277,68 @@ fn main() {
         failures.push(format!(
             "sweep-line optimizer regressed vs the PR 2 baseline: {opt_speedup:.2}x < 1.1x \
              over {ROUNDS} rounds"
+        ));
+    }
+
+    // --- Evaluator gate: incremental delta-evaluation vs the full-recompute
+    // oracle, timed on the fully grown (deep) tree. Both evaluators must compute
+    // bit-identical evaluations; the incremental ledger must never be slower, and
+    // on a 4+-core machine with a deep (>= 64-leaf) tree it must be >= 1.5x faster.
+    // Min of ROUNDS timed rounds per side; each round runs a fixed batch of
+    // evaluations so the measurement is not instant-resolution bound. ---
+    let opt_incr = RecPart::new(opt_cfg.clone().with_threads(1));
+    let opt_full = RecPart::new(
+        opt_cfg
+            .clone()
+            .with_threads(1)
+            .with_evaluator(Evaluator::FullRecompute),
+    );
+    let mut incr_bench =
+        opt_incr.evaluation_bench(s.len(), t.len(), &band, &s_sample, &t_sample, &o_sample);
+    let mut full_bench =
+        opt_full.evaluation_bench(s.len(), t.len(), &band, &s_sample, &t_sample, &o_sample);
+    let leaves = incr_bench.leaves();
+    if incr_bench.evaluate_once().to_bits() != full_bench.evaluate_once().to_bits() {
+        failures.push("incremental evaluation differs from the full-recompute oracle".into());
+    }
+    const EVALS_PER_ROUND: usize = 200;
+    let mut incr_best = f64::INFINITY;
+    let mut full_best = f64::INFINITY;
+    let mut sink = 0.0f64;
+    for round in 1..=ROUNDS {
+        let t0 = Instant::now();
+        for _ in 0..EVALS_PER_ROUND {
+            sink += incr_bench.evaluate_once();
+        }
+        let it = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        for _ in 0..EVALS_PER_ROUND {
+            sink += full_bench.evaluate_once();
+        }
+        let ft = t0.elapsed().as_secs_f64();
+        println!(
+            "evaluate round {round}: incremental {it:.4}s vs full recompute {ft:.4}s \
+             ({EVALS_PER_ROUND} evaluations each)"
+        );
+        incr_best = incr_best.min(it);
+        full_best = full_best.min(ft);
+    }
+    assert!(sink.is_finite(), "evaluations must stay finite");
+    let eval_speedup = full_best / incr_best;
+    println!(
+        "evaluate best-of-{ROUNDS}: {full_best:.4}s (full recompute) vs {incr_best:.4}s \
+         (incremental) = {eval_speedup:.2}x on a {leaves}-leaf tree"
+    );
+    if !args.quick && incr_best > full_best * 1.05 {
+        failures.push(format!(
+            "incremental evaluation slower than full recompute: {incr_best:.4}s vs \
+             {full_best:.4}s over {ROUNDS} rounds"
+        ));
+    }
+    if !args.quick && cores >= 4 && leaves >= 64 && eval_speedup < 1.5 {
+        failures.push(format!(
+            "incremental evaluation speedup {eval_speedup:.2}x < 1.5x on a deep \
+             ({leaves}-leaf) tree on a {cores}-core machine over {ROUNDS} rounds"
         ));
     }
 

@@ -53,6 +53,28 @@ pub enum SplitScorer {
     BinarySearch,
 }
 
+/// Which implementation computes the post-split evaluation (estimated total input,
+/// duplication/load overheads, predicted join time) after every applied split.
+///
+/// Both evaluators compute **bit-identical** evaluations from the same per-leaf
+/// cost ledger; they differ only in how the ledger reaches its next state. The
+/// full-recompute variant is kept as the measured baseline of `benches/optimize.rs`
+/// and as the oracle of the incremental-evaluation property tests, mirroring
+/// [`SplitScorer::BinarySearch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Evaluator {
+    /// Delta evaluation: applying a split removes only the split leaf's cells and
+    /// loads from the persistent cost ledger and inserts the two children (the
+    /// LPT processing order is maintained by two binary-searched run edits), so no
+    /// evaluation ever walks the split tree or re-sorts all cells. The default.
+    #[default]
+    Incremental,
+    /// The original implementation: rebuild the whole ledger from the tree — one
+    /// leaf visit per leaf plus a full re-sort of all cells by load — before every
+    /// evaluation.
+    FullRecompute,
+}
+
 /// Configuration of a RecPart optimization run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RecPartConfig {
@@ -86,6 +108,9 @@ pub struct RecPartConfig {
     /// Split-search implementation (see [`SplitScorer`]); both variants choose
     /// bit-identical splits.
     pub scorer: SplitScorer,
+    /// Post-split evaluation implementation (see [`Evaluator`]); both variants
+    /// compute bit-identical evaluations.
+    pub evaluator: Evaluator,
 }
 
 impl RecPartConfig {
@@ -104,6 +129,7 @@ impl RecPartConfig {
             seed: 0x5EED_0001,
             threads: 0,
             scorer: SplitScorer::default(),
+            evaluator: Evaluator::default(),
         }
     }
 
@@ -173,6 +199,13 @@ impl RecPartConfig {
         self
     }
 
+    /// Override the post-split evaluation implementation (the full-recompute
+    /// variant is the measured baseline; both compute bit-identical evaluations).
+    pub fn with_evaluator(mut self, evaluator: Evaluator) -> Self {
+        self.evaluator = evaluator;
+        self
+    }
+
     /// The name the resulting partitioner reports: `"RecPart"` or `"RecPart-S"`.
     pub fn strategy_name(&self) -> &'static str {
         if self.symmetric {
@@ -203,6 +236,7 @@ mod tests {
         assert!(c.symmetric);
         assert_eq!(c.threads, 0, "all cores by default");
         assert_eq!(c.scorer, SplitScorer::SweepLine);
+        assert_eq!(c.evaluator, Evaluator::Incremental);
         assert_eq!(c.strategy_name(), "RecPart");
         assert!(c.max_iterations >= 30);
         assert_eq!(
@@ -223,10 +257,12 @@ mod tests {
             .with_shuffle_weights(5.0, 2.0)
             .with_load_model(LoadModel::new(3.0, 1.0))
             .with_threads(3)
-            .with_scorer(SplitScorer::BinarySearch);
+            .with_scorer(SplitScorer::BinarySearch)
+            .with_evaluator(Evaluator::FullRecompute);
         assert!(!c.symmetric);
         assert_eq!(c.threads, 3);
         assert_eq!(c.scorer, SplitScorer::BinarySearch);
+        assert_eq!(c.evaluator, Evaluator::FullRecompute);
         assert_eq!(c.strategy_name(), "RecPart-S");
         assert_eq!(c.termination, Termination::Theoretical);
         assert_eq!(c.seed, 99);

@@ -79,14 +79,14 @@ pub mod small;
 pub mod split_tree;
 
 pub use band::BandCondition;
-pub use config::{RecPartConfig, SplitScorer, Termination};
+pub use config::{Evaluator, RecPartConfig, SplitScorer, Termination};
 pub use error::RecPartError;
 pub use geometry::Rect;
-pub use load::LoadModel;
-pub use metrics::{PartitioningStats, SplitSearchCounters, WorkerLoad};
+pub use load::{LoadModel, LptHeap};
+pub use metrics::{EvalCounters, PartitioningStats, SplitSearchCounters, WorkerLoad};
 pub use parallel::Parallelism;
 pub use partition::{
-    AssignmentSink, PartitionId, Partitioner, PerTupleFallback, DEFAULT_BLOCK_TUPLES,
+    AssignmentSink, PartitionId, Partitioner, PerTupleFallback, ScatterPolicy, DEFAULT_BLOCK_TUPLES,
 };
 pub use recpart::{OptimizationReport, RecPart, RecPartResult, SplitTreePartitioner};
 pub use relation::Relation;
@@ -96,11 +96,13 @@ pub use sample::{InputSample, OutputSample, SampleConfig};
 /// Convenience re-exports for downstream users.
 pub mod prelude {
     pub use crate::band::BandCondition;
-    pub use crate::config::{RecPartConfig, SplitScorer, Termination};
+    pub use crate::config::{Evaluator, RecPartConfig, SplitScorer, Termination};
     pub use crate::geometry::Rect;
     pub use crate::load::LoadModel;
     pub use crate::metrics::PartitioningStats;
-    pub use crate::partition::{AssignmentSink, PartitionId, Partitioner, PerTupleFallback};
+    pub use crate::partition::{
+        AssignmentSink, PartitionId, Partitioner, PerTupleFallback, ScatterPolicy,
+    };
     pub use crate::recpart::{OptimizationReport, RecPart, RecPartResult, SplitTreePartitioner};
     pub use crate::relation::Relation;
     pub use crate::router::CompiledRouter;

@@ -8,6 +8,8 @@
 //! optimizer needs).
 
 use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
 
 /// Weights describing how input and output tuples contribute to a worker's load.
 ///
@@ -80,6 +82,89 @@ impl LoadModel {
     }
 }
 
+/// One worker's entry in the [`LptHeap`]: ordered by load, then worker index, with
+/// the NaN-tolerant comparison (`partial_cmp().unwrap_or(Equal)`) the linear scans it
+/// replaces used.
+#[derive(Debug, Clone, Copy)]
+struct LptEntry {
+    load: f64,
+    worker: usize,
+}
+
+impl PartialEq for LptEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for LptEntry {}
+impl PartialOrd for LptEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for LptEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.load
+            .partial_cmp(&other.load)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.worker.cmp(&other.worker))
+    }
+}
+
+/// Min-heap over `(load, worker index)` pairs for longest-processing-time-first
+/// mappings: [`LptHeap::pop_least`] yields the lowest-loaded worker, lowest index
+/// among equal loads — exactly the worker a first-minimum linear scan
+/// (`Iterator::min_by` over worker indices) selects — at `O(log w)` per item instead
+/// of `O(w)`.
+///
+/// Shared by the optimizer's post-split evaluation (estimated cell loads) and the
+/// executor's partition→worker mapping (measured loads). Both callers accumulate
+/// their own worker state and push the updated load back, so the heap never decides
+/// arithmetic — it only replicates the scan's selection order bit for bit.
+#[derive(Debug, Clone, Default)]
+pub struct LptHeap {
+    heap: BinaryHeap<std::cmp::Reverse<LptEntry>>,
+}
+
+impl LptHeap {
+    /// A heap over `workers` workers, each starting at `initial_load`.
+    pub fn new(workers: usize, initial_load: f64) -> Self {
+        let mut heap = LptHeap::default();
+        heap.reset(workers, initial_load);
+        heap
+    }
+
+    /// Clear and refill with `workers` workers at `initial_load`, reusing the
+    /// allocation (the optimizer evaluates after every split).
+    pub fn reset(&mut self, workers: usize, initial_load: f64) {
+        self.heap.clear();
+        for worker in 0..workers {
+            self.heap.push(std::cmp::Reverse(LptEntry {
+                load: initial_load,
+                worker,
+            }));
+        }
+    }
+
+    /// Remove and return the least-loaded worker (lowest index among equal loads).
+    /// The caller must [`push`](LptHeap::push) the worker back with its new load.
+    ///
+    /// # Panics
+    /// Panics if every worker is currently popped.
+    pub fn pop_least(&mut self) -> usize {
+        self.heap
+            .pop()
+            .expect("at least one worker in the heap")
+            .0
+            .worker
+    }
+
+    /// Re-insert `worker` with its updated `load`.
+    pub fn push(&mut self, worker: usize, load: f64) {
+        self.heap.push(std::cmp::Reverse(LptEntry { load, worker }));
+    }
+}
+
 /// Lower bound on the total input `I` of any correct partitioning: every input tuple must
 /// be examined by at least one worker, so `I ≥ |S| + |T|` (Lemma 1).
 #[inline]
@@ -149,5 +234,52 @@ mod tests {
     fn zero_workers_panics() {
         let m = LoadModel::default();
         let _ = m.max_load_lower_bound(1, 1, 0, 0);
+    }
+
+    /// The heap must replicate a first-minimum linear scan for any load sequence:
+    /// run a greedy LPT over pseudo-random item loads with both and compare every
+    /// selection.
+    #[test]
+    fn lpt_heap_matches_first_minimum_scan() {
+        let workers = 7;
+        // Deterministic loads with deliberate repeats so ties are exercised.
+        let items: Vec<f64> = (0..200).map(|i| f64::from((i * 37 % 11) as u32)).collect();
+        let mut heap = LptHeap::new(workers, 0.0);
+        let mut heap_loads = vec![0.0f64; workers];
+        let mut scan_loads = vec![0.0f64; workers];
+        for &load in &items {
+            let by_heap = heap.pop_least();
+            let by_scan = (0..workers)
+                .min_by(|&a, &b| {
+                    scan_loads[a]
+                        .partial_cmp(&scan_loads[b])
+                        .unwrap_or(Ordering::Equal)
+                })
+                .unwrap();
+            assert_eq!(by_heap, by_scan, "heap diverged from the scan");
+            heap_loads[by_heap] += load;
+            scan_loads[by_scan] += load;
+            heap.push(by_heap, heap_loads[by_heap]);
+        }
+        assert_eq!(heap_loads, scan_loads);
+    }
+
+    #[test]
+    fn lpt_heap_ties_pick_the_lowest_worker() {
+        let mut heap = LptHeap::new(4, 1.5);
+        assert_eq!(heap.pop_least(), 0);
+        heap.push(0, 1.5);
+        // Worker 0 re-inserted at the same load: still the first minimum.
+        assert_eq!(heap.pop_least(), 0);
+        heap.push(0, 9.0);
+        assert_eq!(heap.pop_least(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker in the heap")]
+    fn lpt_heap_empty_pop_panics() {
+        let mut heap = LptHeap::new(1, 0.0);
+        let _ = heap.pop_least();
+        let _ = heap.pop_least();
     }
 }

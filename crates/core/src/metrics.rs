@@ -39,6 +39,40 @@ impl SplitSearchCounters {
     }
 }
 
+/// Work counters of the RecPart post-split evaluation, reported alongside the
+/// split-search counters so "evaluate() is no longer O(all leaves) per split" is an
+/// auditable claim rather than a code-reading exercise.
+///
+/// Every counter is a deterministic function of the samples, the configuration, and
+/// the chosen [`crate::config::Evaluator`] — **not** of the thread count or the
+/// [`crate::config::SplitScorer`] — so equal counters across `threads = 1 / 0 / n`
+/// runs are part of the optimizer's bit-identity contract. `ledger_leaf_visits` is
+/// the counter that separates the evaluators: the incremental evaluator touches only
+/// the leaves a split changed (two per plane split, one per grid increment or
+/// rebuild), while the full-recompute baseline revisits every leaf on every
+/// evaluation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EvalCounters {
+    /// Number of evaluations run (one per applied split, plus the initial state).
+    pub evaluations: u64,
+    /// Number of leaves whose ledger entry was (re)built. Incremental: one for the
+    /// root plus the split deltas. Full recompute: the number of leaves of the tree,
+    /// once per evaluation.
+    pub ledger_leaf_visits: u64,
+    /// Number of partition cells the LPT worker mapping assigned across all
+    /// evaluations (identical for both evaluators — the mapping itself is exact).
+    pub lpt_cells: u64,
+}
+
+impl EvalCounters {
+    /// Accumulate another evaluation's counters.
+    pub fn merge(&mut self, other: EvalCounters) {
+        self.evaluations += other.evaluations;
+        self.ledger_leaf_visits += other.ledger_leaf_visits;
+        self.lpt_cells += other.lpt_cells;
+    }
+}
+
 /// Input and output volume assigned to one worker.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct WorkerLoad {
@@ -200,6 +234,29 @@ mod tests {
             }
         );
         assert_eq!(SplitSearchCounters::default().leaves_scored, 0);
+    }
+
+    #[test]
+    fn eval_counters_merge() {
+        let mut a = EvalCounters {
+            evaluations: 1,
+            ledger_leaf_visits: 2,
+            lpt_cells: 3,
+        };
+        a.merge(EvalCounters {
+            evaluations: 10,
+            ledger_leaf_visits: 20,
+            lpt_cells: 30,
+        });
+        assert_eq!(
+            a,
+            EvalCounters {
+                evaluations: 11,
+                ledger_leaf_visits: 22,
+                lpt_cells: 33,
+            }
+        );
+        assert_eq!(EvalCounters::default().evaluations, 0);
     }
 
     #[test]

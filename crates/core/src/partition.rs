@@ -18,79 +18,304 @@ pub type PartitionId = u32;
 /// that the sink stays cache-resident, large enough to amortize the per-block setup.
 pub const DEFAULT_BLOCK_TUPLES: usize = 4_096;
 
-/// Flat output buffer of the block routing API: the `(partition, tuple index)`
-/// assignments of one block of tuples in routing order, plus the per-partition
-/// assignment counts.
+/// How the two-pass shuffle should feed a partitioner's assignments into the flat
+/// per-partition arena (pass 2). Both policies produce **bit-identical** arenas —
+/// the choice is purely a compute-vs-memory-traffic trade, so partitioners declare
+/// which side of it they are on via [`Partitioner::scatter_policy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScatterPolicy {
+    /// Pass 1 materializes each chunk's `(partition, tuple)` pair list (routing runs
+    /// once); pass 2 replays the pairs into the arena. Right when routing a tuple is
+    /// expensive relative to 8 bytes of buffer traffic — deep split-tree descent,
+    /// or external per-tuple implementations of unknown cost (hence the default).
+    #[default]
+    PairList,
+    /// Pass 1 only counts; pass 2 routes every block *again* through an offset-aware
+    /// scatter sink that writes each tuple index straight to its final arena slot —
+    /// no pair list exists at all. Right when routing is cheap batched arithmetic
+    /// (closed-form grid/matrix cells), where re-deriving an assignment costs less
+    /// than writing, re-reading, and copying it.
+    Reroute,
+}
+
+/// Raw arena destination of a scatter-mode [`AssignmentSink`].
 ///
-/// This is the **counting pass** of the two-pass count/scatter routing pipeline: a
-/// caller routes each contiguous input block once into a sink, prefix-sums the counts
-/// of all blocks into exact arena offsets, and then scatters every block's `pairs()`
-/// into its disjoint slices of one flat per-partition arena (see `distsim::shuffle`).
-/// No per-tuple `Vec<PartitionId>` is allocated anywhere on that path.
-///
-/// Assignments must be appended grouped by tuple, tuples in ascending index order —
-/// the same order the per-tuple [`Partitioner::assign_s`]/[`Partitioner::assign_t`]
-/// loop produces — so that per-partition arena contents stay bit-identical to
-/// per-tuple routing.
+/// A plain wrapper so a sink holding it stays `Send`: the *creator* of a scatter
+/// sink (see [`AssignmentSink::scattering`]) guarantees that concurrent sinks write
+/// disjoint arena regions, which is what makes sharing the base pointer sound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ArenaBase(*mut u32);
+// SAFETY: the pointer is only dereferenced through `AssignmentSink::push`, whose
+// writes stay within the cursor regions the unsafe `scattering` constructor's
+// contract declares disjoint across threads.
+unsafe impl Send for ArenaBase {}
+unsafe impl Sync for ArenaBase {}
+
+/// The mode-specific storage of an [`AssignmentSink`]. Deliberately **not** `Clone`:
+/// duplicating a scatter sink would duplicate its raw arena pointer and live
+/// cursors, letting safe code violate the disjoint-writes contract the unsafe
+/// [`AssignmentSink::scattering`] constructor established.
+#[derive(Debug, PartialEq, Eq)]
+enum SinkState {
+    /// Materialize `(partition, tuple)` pairs in routing order plus per-partition
+    /// counts — the reference representation (tests, benches, the bit-identity
+    /// oracle of the scatter path).
+    Pairs {
+        pairs: Vec<(PartitionId, u32)>,
+        counts: Vec<u32>,
+    },
+    /// Count assignments per partition, materializing nothing — pass 1 of the
+    /// two-pass count/scatter shuffle.
+    Counting { counts: Vec<u32>, total: u64 },
+    /// Write each tuple index straight to its final arena slot through per-partition
+    /// write cursors — pass 2 of the two-pass shuffle. No pair list exists.
+    Scatter {
+        base: ArenaBase,
+        arena_len: usize,
+        cursors: Vec<usize>,
+        written: u64,
+    },
+}
+
+/// Per-tuple coverage tracker, active in debug builds when a caller asks for it:
+/// Definition 1 requires `h(x) ≠ ∅` for *every* tuple, and a dropped tuple could
+/// otherwise hide behind another tuple's duplicate in the aggregate counts.
+#[cfg(debug_assertions)]
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct Coverage {
+    lo: u32,
+    seen: Vec<bool>,
+}
+
+/// Flat output of the block routing API: the assignments of one block of tuples in
+/// routing order, recorded in one of three modes (see [`SinkState`]):
+///
+/// * **pairs** ([`AssignmentSink::new`]) — materialized `(partition, tuple index)`
+///   pairs plus per-partition counts; the reference representation.
+/// * **counting** ([`AssignmentSink::counting`]) — per-partition counts only; pass 1
+///   of the two-pass count/scatter shuffle (`distsim::shuffle`).
+/// * **scatter** ([`AssignmentSink::scattering`]) — *offset-aware*: every tuple
+///   index is written directly to its final slot of the flat per-partition arena
+///   through per-partition write cursors; pass 2 of the shuffle. The materialized
+///   pair list of the old pipeline does not exist on this path at all.
+///
+/// Block implementations ([`Partitioner::assign_s_block`] and friends) just call
+/// [`AssignmentSink::push`] and never observe the mode. Assignments must be appended
+/// grouped by tuple, tuples in ascending index order — the same order the per-tuple
+/// [`Partitioner::assign_s`]/[`Partitioner::assign_t`] loop produces — so that
+/// per-partition arena contents stay bit-identical to per-tuple routing.
+/// (Not `Clone` — see [`SinkState`].)
+#[derive(Debug, PartialEq, Eq)]
 pub struct AssignmentSink {
-    pairs: Vec<(PartitionId, u32)>,
-    counts: Vec<u32>,
+    state: SinkState,
+    #[cfg(debug_assertions)]
+    coverage: Option<Coverage>,
+}
+
+impl Default for AssignmentSink {
+    fn default() -> Self {
+        AssignmentSink::new(0)
+    }
 }
 
 impl AssignmentSink {
-    /// An empty sink for `num_partitions` partitions.
+    /// An empty pair-recording sink for `num_partitions` partitions.
     pub fn new(num_partitions: usize) -> Self {
         AssignmentSink {
-            pairs: Vec::new(),
-            counts: vec![0; num_partitions],
+            state: SinkState::Pairs {
+                pairs: Vec::new(),
+                counts: vec![0; num_partitions],
+            },
+            #[cfg(debug_assertions)]
+            coverage: None,
+        }
+    }
+
+    /// An empty count-only sink for `num_partitions` partitions: records per-partition
+    /// assignment counts and the total, materializing no pairs.
+    pub fn counting(num_partitions: usize) -> Self {
+        AssignmentSink {
+            state: SinkState::Counting {
+                counts: vec![0; num_partitions],
+                total: 0,
+            },
+            #[cfg(debug_assertions)]
+            coverage: None,
+        }
+    }
+
+    /// An offset-aware scatter sink: [`AssignmentSink::push`] writes `tuple` to
+    /// `base[cursors[partition]]` and advances that partition's cursor, so each
+    /// assignment lands at its final arena position with no intermediate pair list.
+    ///
+    /// # Safety
+    ///
+    /// The caller must guarantee, for the lifetime of the sink, that
+    ///
+    /// * `base` points to an allocation of at least `arena_len` `u32` slots that
+    ///   outlives the sink's pushes, and
+    /// * for every partition `p`, the pushes this sink will receive for `p` fit in
+    ///   `base[cursors[p]..]` within `arena_len`, and those cursor regions are
+    ///   disjoint — from each other and from the regions of every other sink
+    ///   concurrently writing into the same arena.
+    ///
+    /// The two-pass shuffle establishes this by prefix-summing pass-1 counts into
+    /// exact per-(chunk, partition) bases; in debug builds every write is also
+    /// bounds-checked against `arena_len`.
+    pub unsafe fn scattering(base: *mut u32, arena_len: usize, cursors: Vec<usize>) -> Self {
+        AssignmentSink {
+            state: SinkState::Scatter {
+                base: ArenaBase(base),
+                arena_len,
+                cursors,
+                written: 0,
+            },
+            #[cfg(debug_assertions)]
+            coverage: None,
         }
     }
 
     /// Clear the sink and re-size it for `num_partitions` partitions, keeping the
-    /// pair buffer's allocation so one sink can be reused across blocks.
+    /// buffer allocations so one sink can be reused across blocks. Supported by the
+    /// pairs and counting modes (scatter sinks are single-use by construction).
     pub fn reset(&mut self, num_partitions: usize) {
-        self.pairs.clear();
-        self.counts.clear();
-        self.counts.resize(num_partitions, 0);
+        match &mut self.state {
+            SinkState::Pairs { pairs, counts } => {
+                pairs.clear();
+                counts.clear();
+                counts.resize(num_partitions, 0);
+            }
+            SinkState::Counting { counts, total } => {
+                counts.clear();
+                counts.resize(num_partitions, 0);
+                *total = 0;
+            }
+            SinkState::Scatter { .. } => panic!("a scatter sink cannot be reset"),
+        }
+        #[cfg(debug_assertions)]
+        {
+            self.coverage = None;
+        }
     }
 
-    /// Pre-allocate space for `additional` more assignments.
+    /// Pre-allocate space for `additional` more assignments (pairs mode only; the
+    /// other modes allocate nothing per assignment).
     pub fn reserve(&mut self, additional: usize) {
-        self.pairs.reserve(additional);
+        if let SinkState::Pairs { pairs, .. } = &mut self.state {
+            pairs.reserve(additional);
+        }
     }
 
     /// Record one assignment: tuple `tuple` goes to partition `partition`.
     #[inline]
     pub fn push(&mut self, partition: PartitionId, tuple: u32) {
-        self.pairs.push((partition, tuple));
-        self.counts[partition as usize] += 1;
+        match &mut self.state {
+            SinkState::Pairs { pairs, counts } => {
+                pairs.push((partition, tuple));
+                counts[partition as usize] += 1;
+            }
+            SinkState::Counting { counts, total } => {
+                counts[partition as usize] += 1;
+                *total += 1;
+            }
+            SinkState::Scatter {
+                base,
+                arena_len,
+                cursors,
+                written,
+            } => {
+                let slot = cursors[partition as usize];
+                // Unconditional: `scatter_policy()` is safely overridable, so a
+                // buggy or nondeterministic external partitioner could otherwise
+                // turn this write into heap corruption from entirely safe code.
+                // One predictable branch per push is noise next to the write.
+                assert!(slot < *arena_len, "scatter write out of arena bounds");
+                // SAFETY: `slot < arena_len` was just checked, and this sink
+                // exclusively owns its cursor regions by the `scattering` contract.
+                unsafe {
+                    *base.0.add(slot) = tuple;
+                }
+                cursors[partition as usize] = slot + 1;
+                *written += 1;
+            }
+        }
+        #[cfg(debug_assertions)]
+        if let Some(cov) = &mut self.coverage {
+            let i = tuple.wrapping_sub(cov.lo) as usize;
+            assert!(
+                i < cov.seen.len(),
+                "partitioner emitted tuple {tuple} outside the tracked block \
+                 {}..{}",
+                cov.lo,
+                cov.lo as usize + cov.seen.len()
+            );
+            cov.seen[i] = true;
+        }
     }
 
     /// The recorded `(partition, tuple index)` assignments, in routing order.
+    ///
+    /// # Panics
+    /// Panics unless the sink is in pairs mode — the counting and scatter modes
+    /// exist precisely to *not* materialize this list.
     pub fn pairs(&self) -> &[(PartitionId, u32)] {
-        &self.pairs
+        match &self.state {
+            SinkState::Pairs { pairs, .. } => pairs,
+            _ => panic!("pairs() requires a pairs-mode sink"),
+        }
     }
 
-    /// Per-partition assignment counts (`counts()[p]` = occurrences of `p` in
-    /// [`AssignmentSink::pairs`]).
+    /// Per-partition assignment counts (`counts()[p]` = number of assignments
+    /// recorded for partition `p`).
+    ///
+    /// # Panics
+    /// Panics for scatter sinks, which keep write cursors instead of counts.
     pub fn counts(&self) -> &[u32] {
-        &self.counts
+        match &self.state {
+            SinkState::Pairs { counts, .. } | SinkState::Counting { counts, .. } => counts,
+            SinkState::Scatter { .. } => panic!("counts() is not tracked by a scatter sink"),
+        }
     }
 
     /// Number of partitions the sink was sized for.
     pub fn num_partitions(&self) -> usize {
-        self.counts.len()
+        match &self.state {
+            SinkState::Pairs { counts, .. } | SinkState::Counting { counts, .. } => counts.len(),
+            SinkState::Scatter { cursors, .. } => cursors.len(),
+        }
     }
 
     /// Total number of recorded assignments.
     pub fn len(&self) -> usize {
-        self.pairs.len()
+        match &self.state {
+            SinkState::Pairs { pairs, .. } => pairs.len(),
+            SinkState::Counting { total, .. } => *total as usize,
+            SinkState::Scatter { written, .. } => *written as usize,
+        }
     }
 
     /// Whether no assignment was recorded.
     pub fn is_empty(&self) -> bool {
-        self.pairs.is_empty()
+        self.len() == 0
+    }
+
+    /// Debug builds only: track per-tuple coverage of `rows` so
+    /// [`AssignmentSink::covered_every_tuple`] can verify that the partitioner
+    /// assigned every tuple of the block at least once (Definition 1).
+    #[cfg(debug_assertions)]
+    pub fn track_coverage(&mut self, rows: Range<usize>) {
+        self.coverage = Some(Coverage {
+            lo: rows.start as u32,
+            seen: vec![false; rows.end - rows.start],
+        });
+    }
+
+    /// Debug builds only: did every tracked tuple receive at least one assignment?
+    #[cfg(debug_assertions)]
+    pub fn covered_every_tuple(&self) -> bool {
+        self.coverage
+            .as_ref()
+            .is_none_or(|cov| cov.seen.iter().all(|&s| s))
     }
 }
 
@@ -157,6 +382,14 @@ pub trait Partitioner: Send + Sync {
         }
     }
 
+    /// Which pass-2 strategy the two-pass shuffle should use for this partitioner
+    /// (see [`ScatterPolicy`]; both choices are bit-identical). Strategies whose
+    /// block routing is cheap closed-form arithmetic should override this to
+    /// [`ScatterPolicy::Reroute`] so the shuffle never materializes a pair list.
+    fn scatter_policy(&self) -> ScatterPolicy {
+        ScatterPolicy::PairList
+    }
+
     /// A short human-readable name of the strategy (e.g. `"RecPart"`, `"1-Bucket"`).
     fn name(&self) -> &str;
 
@@ -171,10 +404,11 @@ pub trait Partitioner: Send + Sync {
     /// the quantity `I` of the paper) this partitioner produces for the given inputs.
     ///
     /// The default implementation drives the block routing API over fixed-size
-    /// blocks (reusing one sink, so memory stays bounded); strategies with a cheaper
-    /// closed form may override it.
+    /// blocks through a count-only sink (reused across blocks, so memory stays
+    /// bounded and nothing is materialized); strategies with a cheaper closed form
+    /// may override it.
     fn count_total_input(&self, s: &Relation, t: &Relation) -> u64 {
-        let mut sink = AssignmentSink::new(self.num_partitions().max(1));
+        let mut sink = AssignmentSink::counting(self.num_partitions().max(1));
         let mut total = 0u64;
         for (rel, is_s) in [(s, true), (t, false)] {
             let mut lo = 0;
@@ -212,8 +446,9 @@ impl<P: Partitioner + ?Sized> Partitioner for PerTupleFallback<'_, P> {
     fn assign_t(&self, key: &[f64], tuple_id: u64, out: &mut Vec<PartitionId>) {
         self.0.assign_t(key, tuple_id, out)
     }
-    // assign_s_block / assign_t_block / count_total_input deliberately NOT forwarded:
-    // they must take the trait's per-tuple default path.
+    // assign_s_block / assign_t_block / count_total_input / scatter_policy
+    // deliberately NOT forwarded: they must take the trait's per-tuple default path
+    // (and the pair-list scatter default that goes with per-tuple dispatch cost).
     fn name(&self) -> &str {
         self.0.name()
     }
@@ -239,6 +474,9 @@ impl<P: Partitioner + ?Sized> Partitioner for Box<P> {
     }
     fn assign_t_block(&self, rel: &Relation, rows: Range<usize>, sink: &mut AssignmentSink) {
         (**self).assign_t_block(rel, rows, sink)
+    }
+    fn scatter_policy(&self) -> ScatterPolicy {
+        (**self).scatter_policy()
     }
     fn name(&self) -> &str {
         (**self).name()
@@ -274,6 +512,10 @@ impl Partitioner for SinglePartition {
     }
     fn assign_t_block(&self, rel: &Relation, rows: Range<usize>, sink: &mut AssignmentSink) {
         self.assign_s_block(rel, rows, sink)
+    }
+    fn scatter_policy(&self) -> ScatterPolicy {
+        // Routing is a constant — re-deriving it is free.
+        ScatterPolicy::Reroute
     }
     fn name(&self) -> &str {
         "SinglePartition"
@@ -386,6 +628,113 @@ mod tests {
         assert!(sink.is_empty());
         assert_eq!(sink.num_partitions(), 4);
         assert_eq!(sink.counts(), &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn counting_sink_tracks_counts_without_pairs() {
+        let mut r = Relation::new(1);
+        for i in 0..10 {
+            r.push(&[i as f64]);
+        }
+        let p = FanOut;
+        let mut pairs = AssignmentSink::new(3);
+        let mut counting = AssignmentSink::counting(3);
+        p.assign_s_block(&r, 0..r.len(), &mut pairs);
+        p.assign_s_block(&r, 0..r.len(), &mut counting);
+        assert_eq!(counting.counts(), pairs.counts());
+        assert_eq!(counting.len(), pairs.len());
+        assert_eq!(counting.num_partitions(), 3);
+        counting.reset(2);
+        assert!(counting.is_empty());
+        assert_eq!(counting.counts(), &[0, 0]);
+    }
+
+    #[test]
+    fn scatter_sink_writes_tuples_to_their_final_slots() {
+        let mut r = Relation::new(1);
+        for i in 0..9 {
+            r.push(&[i as f64]);
+        }
+        let p = FanOut;
+        // Reference layout from the pairs path: partition-major, routing order.
+        let mut reference = AssignmentSink::new(3);
+        p.assign_s_block(&r, 0..r.len(), &mut reference);
+        let counts = reference.counts().to_vec();
+        let mut offsets = [0usize; 4];
+        for part in 0..3 {
+            offsets[part + 1] = offsets[part] + counts[part] as usize;
+        }
+        let mut expected = vec![0u32; reference.len()];
+        {
+            let mut cursor = offsets[..3].to_vec();
+            for &(part, i) in reference.pairs() {
+                expected[cursor[part as usize]] = i;
+                cursor[part as usize] += 1;
+            }
+        }
+        // The offset-aware sink must produce the identical arena directly.
+        let mut arena = vec![u32::MAX; reference.len()];
+        // SAFETY: cursors are the exclusive per-partition offsets of `arena`, which
+        // outlives the sink.
+        let mut scatter = unsafe {
+            AssignmentSink::scattering(arena.as_mut_ptr(), arena.len(), offsets[..3].to_vec())
+        };
+        p.assign_s_block(&r, 0..r.len(), &mut scatter);
+        assert_eq!(scatter.len(), reference.len());
+        assert_eq!(scatter.num_partitions(), 3);
+        assert!(!scatter.is_empty());
+        drop(scatter);
+        assert_eq!(arena, expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "pairs() requires a pairs-mode sink")]
+    fn counting_sink_has_no_pairs() {
+        let sink = AssignmentSink::counting(1);
+        let _ = sink.pairs();
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be reset")]
+    fn scatter_sink_cannot_be_reset() {
+        let mut arena = vec![0u32; 1];
+        let mut sink = unsafe { AssignmentSink::scattering(arena.as_mut_ptr(), 1, vec![0]) };
+        sink.reset(1);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn coverage_tracker_flags_dropped_tuples() {
+        /// Drops every odd tuple — a Definition 1 violation.
+        struct Dropper;
+        impl Partitioner for Dropper {
+            fn num_partitions(&self) -> usize {
+                1
+            }
+            fn assign_s(&self, _key: &[f64], tuple_id: u64, out: &mut Vec<PartitionId>) {
+                if tuple_id.is_multiple_of(2) {
+                    out.push(0);
+                }
+            }
+            fn assign_t(&self, key: &[f64], tuple_id: u64, out: &mut Vec<PartitionId>) {
+                self.assign_s(key, tuple_id, out);
+            }
+            fn name(&self) -> &str {
+                "Dropper"
+            }
+        }
+        let mut r = Relation::new(1);
+        for i in 0..6 {
+            r.push(&[i as f64]);
+        }
+        let mut ok = AssignmentSink::counting(1);
+        ok.track_coverage(0..r.len());
+        SinglePartition.assign_s_block(&r, 0..r.len(), &mut ok);
+        assert!(ok.covered_every_tuple());
+        let mut bad = AssignmentSink::counting(1);
+        bad.track_coverage(0..r.len());
+        Dropper.assign_s_block(&r, 0..r.len(), &mut bad);
+        assert!(!bad.covered_every_tuple());
     }
 
     #[test]

@@ -16,16 +16,17 @@
 //! configured [`Termination`] rule.
 
 use crate::band::BandCondition;
-use crate::config::{RecPartConfig, SplitScorer, Termination};
+use crate::config::{Evaluator, RecPartConfig, SplitScorer, Termination};
 use crate::error::RecPartError;
 use crate::geometry::Rect;
-use crate::metrics::SplitSearchCounters;
+use crate::load::LptHeap;
+use crate::metrics::{EvalCounters, SplitSearchCounters};
 use crate::parallel::{chunk_ranges, Parallelism};
 use crate::partition::{AssignmentSink, PartitionId, Partitioner};
 use crate::relation::Relation;
 use crate::router::CompiledRouter;
 use crate::sample::{InputSample, OutputSample};
-use crate::scoring::{partition_load, variance_term, SplitScore};
+use crate::scoring::{advance, merge_dedup, partition_load, variance_term, SplitScore};
 use crate::small::BucketGrid;
 use crate::split_tree::{NodeId, SplitKind, SplitTree};
 use rand::Rng;
@@ -121,19 +122,103 @@ impl SortedProj {
     }
 }
 
+/// A sorted projection of one *input* side, carrying the **band-shifted copies** of
+/// its value array next to the values: `minus[k] = vals[k] − ε` and
+/// `plus[k] = vals[k] + ε` (with each side's duplication shifts). Shifting by a
+/// constant is monotone under IEEE rounding, so the shifted copies of a sorted array
+/// are sorted and let the sweep answer the reference scorer's shifted
+/// `partition_point` predicates (`v − ε < x` etc.) with plain `< x` pointer advances.
+///
+/// The shifted arrays are pure elementwise functions of `vals`, so they are computed
+/// once — at the root — and thereafter **split to children in lockstep** with the
+/// values on every plane split, exactly like the index/value columns themselves:
+/// another memory-for-time trade that removes the per-leaf-visit materialization the
+/// sweep used to pay. `minus`/`plus` stay empty when the configuration never reads
+/// them (the S side under asymmetric partitioning, where only T-splits are scored).
+#[derive(Debug, Clone, Default)]
+struct BandProj {
+    idx: Vec<u32>,
+    vals: Vec<f64>,
+    minus: Vec<f64>,
+    plus: Vec<f64>,
+}
+
+impl BandProj {
+    /// Materialize an argsorted index array's values plus, when `shifts` is
+    /// `Some((sub, add))`, the band-shifted copies `vals − sub` / `vals + add`.
+    fn gather(idx: Vec<u32>, value_of: impl Fn(u32) -> f64, shifts: Option<(f64, f64)>) -> Self {
+        let vals: Vec<f64> = idx.iter().map(|&i| value_of(i)).collect();
+        let (minus, plus) = match shifts {
+            Some((sub, add)) => (
+                vals.iter().map(|&v| v - sub).collect(),
+                vals.iter().map(|&v| v + add).collect(),
+            ),
+            None => (Vec::new(), Vec::new()),
+        };
+        BandProj {
+            idx,
+            vals,
+            minus,
+            plus,
+        }
+    }
+
+    /// An empty projection shaped like `src` (shifted columns enabled iff `src`
+    /// carries them), with capacity for `src`'s length.
+    fn like(src: &BandProj) -> Self {
+        let n = src.len();
+        let shifted = |enabled: bool| {
+            if enabled {
+                Vec::with_capacity(n)
+            } else {
+                Vec::new()
+            }
+        };
+        BandProj {
+            idx: Vec::with_capacity(n),
+            vals: Vec::with_capacity(n),
+            minus: shifted(!src.minus.is_empty()),
+            plus: shifted(!src.plus.is_empty()),
+        }
+    }
+
+    /// Copy entry `k` of `src` (index, value, and any shifted columns) to the end.
+    #[inline]
+    fn push_from(&mut self, src: &BandProj, k: usize) {
+        self.idx.push(src.idx[k]);
+        self.vals.push(src.vals[k]);
+        if !src.minus.is_empty() {
+            self.minus.push(src.minus[k]);
+        }
+        if !src.plus.is_empty() {
+            self.plus.push(src.plus[k]);
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.idx.len()
+    }
+}
+
 /// One dimension's cached sorted projections of a leaf's sample points.
 ///
 /// Each column holds sample indices (and their projected values) ordered ascending by
 /// the key value in that dimension (`f64::total_cmp` order): `s`/`t` index the input
-/// samples, `o_s`/`o_t` index output pairs by their S-side / T-side key (`o_t` stays
-/// empty unless symmetric partitioning is enabled — only S-splits score against the
-/// T-side order).
+/// samples (with their band-shifted copies, see [`BandProj`]), `o_s`/`o_t` index
+/// output pairs by their S-side / T-side key (`o_t` stays empty unless symmetric
+/// partitioning is enabled — only S-splits score against the T-side order).
+///
+/// `bounds` caches the candidate split boundaries — the distinct values of the
+/// combined input sample ([`merge_dedup`] of `s.vals` and `t.vals`) — so a leaf visit
+/// materializes nothing: the boundaries are derived once per leaf when its value
+/// arrays are built (at the root, or from the freshly split child arrays).
 #[derive(Debug, Clone, Default)]
 struct DimProjection {
-    s: SortedProj,
-    t: SortedProj,
+    s: BandProj,
+    t: BandProj,
     o_s: SortedProj,
     o_t: SortedProj,
+    bounds: Vec<f64>,
 }
 
 /// Cached per-dimension sorted projections of a leaf (sweep-line scorer only).
@@ -190,68 +275,53 @@ fn partition_exclusive(
     (left, right)
 }
 
-/// Stable partition of a sorted projection under a duplicating split: an entry may go
-/// to the left child, the right child, or both (tuples within band width of the
-/// boundary). Relative order is preserved on both sides.
-fn partition_duplicating(
-    src: &SortedProj,
-    membership: impl Fn(u32) -> (bool, bool),
-) -> (SortedProj, SortedProj) {
-    let mut left = SortedProj::with_capacity(src.len());
-    let mut right = SortedProj::with_capacity(src.len());
-    for (&i, &v) in src.idx.iter().zip(&src.vals) {
-        let (l, r) = membership(i);
-        if l {
-            left.push(i, v);
-        }
-        if r {
-            right.push(i, v);
+/// [`partition_exclusive`] for a banded projection: the band-shifted columns travel
+/// with their entries (every output array is a subsequence of its input, so the
+/// children's shifted copies are bit-identical to recomputing them from the
+/// children's values).
+fn partition_banded_exclusive(
+    src: &BandProj,
+    goes_left: impl Fn(u32) -> bool,
+) -> (BandProj, BandProj) {
+    let mut left = BandProj::like(src);
+    let mut right = BandProj::like(src);
+    for (k, &i) in src.idx.iter().enumerate() {
+        if goes_left(i) {
+            left.push_from(src, k);
+        } else {
+            right.push_from(src, k);
         }
     }
     (left, right)
 }
 
-/// Merge two individually sorted (by `f64::total_cmp`) value arrays into their sorted
-/// sequence of *distinct* values, replicating `sort_unstable_by(total_cmp)` followed
-/// by `dedup()` (which removes consecutive `==`-equal values) on the concatenation.
-fn merge_dedup(a: &[f64], b: &[f64]) -> Vec<f64> {
-    let mut out: Vec<f64> = Vec::with_capacity(a.len() + b.len());
-    let (mut i, mut j) = (0usize, 0usize);
-    while i < a.len() || j < b.len() {
-        let take_a = j >= b.len() || (i < a.len() && a[i].total_cmp(&b[j]).is_le());
-        let v = if take_a {
-            i += 1;
-            a[i - 1]
-        } else {
-            j += 1;
-            b[j - 1]
-        };
-        match out.last() {
-            Some(&last) if last == v => {}
-            _ => out.push(v),
+/// Stable partition of a banded projection under a duplicating split: an entry may go
+/// to the left child, the right child, or both (tuples within band width of the
+/// boundary). Relative order is preserved on both sides, shifted columns in lockstep.
+fn partition_banded_duplicating(
+    src: &BandProj,
+    membership: impl Fn(u32) -> (bool, bool),
+) -> (BandProj, BandProj) {
+    let mut left = BandProj::like(src);
+    let mut right = BandProj::like(src);
+    for (k, &i) in src.idx.iter().enumerate() {
+        let (l, r) = membership(i);
+        if l {
+            left.push_from(src, k);
+        }
+        if r {
+            right.push_from(src, k);
         }
     }
-    out
+    (left, right)
 }
 
-/// Advance a sweep pointer so that `*p == arr.partition_point(|&v| v < x)` for a
-/// sorted (non-decreasing) array and a candidate value `x` that never decreases
-/// between calls.
-#[inline]
-fn advance(arr: &[f64], p: &mut usize, x: f64) {
-    while *p < arr.len() && arr[*p] < x {
-        *p += 1;
-    }
-}
-
-/// The per-dimension value arrays one sweep pass runs over. The plain value arrays
-/// (`s_vals`, `t_vals`, `o_s`, `o_t`) are **borrowed** from the leaf's cached
-/// projections — no per-visit gather; only the band-shifted copies
-/// (`t_minus` = `t − ε_lo`, `t_plus` = `t + ε_hi`, and the S-side counterparts under
-/// symmetric partitioning) and the candidate boundaries are materialized per visit.
-/// All arrays are sorted ascending; the shifted copies let the sweep answer the
-/// reference scorer's shifted `partition_point` predicates with plain `< x` pointer
-/// advances.
+/// The per-dimension value arrays one sweep pass runs over — **all borrowed** from
+/// the leaf's cached projections. Nothing is materialized per visit anymore: the
+/// band-shifted copies (`t_minus` = `t − ε_lo`, `t_plus` = `t + ε_hi`, and the S-side
+/// counterparts under symmetric partitioning) live in the cached [`BandProj`]s and
+/// the candidate boundaries in [`DimProjection::bounds`], both split to children in
+/// lockstep with the value arrays. All arrays are sorted ascending.
 struct DimArrays<'w> {
     dim: usize,
     /// The leaf region's bounds in `dim`.
@@ -259,14 +329,14 @@ struct DimArrays<'w> {
     hi: f64,
     s_vals: &'w [f64],
     t_vals: &'w [f64],
-    t_minus: Vec<f64>,
-    t_plus: Vec<f64>,
+    t_minus: &'w [f64],
+    t_plus: &'w [f64],
     o_s: &'w [f64],
-    s_minus: Vec<f64>,
-    s_plus: Vec<f64>,
+    s_minus: &'w [f64],
+    s_plus: &'w [f64],
     o_t: &'w [f64],
     /// Candidate boundaries: distinct values of the combined input sample in `dim`.
-    bounds: Vec<f64>,
+    bounds: &'w [f64],
 }
 
 impl DimArrays<'_> {
@@ -298,39 +368,259 @@ impl PartialOrd for QueueEntry {
     }
 }
 
-/// Estimated input/output of one partition cell, used for the estimated worker mapping.
-#[derive(Debug, Clone, Copy, Default)]
-struct CellEst {
-    input: f64,
-    output: f64,
-}
-
-/// One worker's entry in the LPT min-heap of [`OptimizerState::evaluate`]: ordered by
-/// load, then worker index, with the same NaN-tolerant comparison
-/// (`partial_cmp().unwrap_or(Equal)`) the scan it replaced used.
+/// One leaf's cells in the evaluation ledger: the estimated per-cell input/output,
+/// the number of identical cells (the leaf's internal 1-Bucket grid size; 1 for a
+/// regular leaf), and the precomputed per-cell load.
 #[derive(Debug, Clone, Copy)]
-struct LptEntry {
+struct LedgerEntry {
+    node: NodeId,
+    /// Estimated input of **one** cell of this leaf.
+    input: f64,
+    /// Estimated output of one cell.
+    output: f64,
+    /// Number of identical cells.
+    count: u32,
+    /// Per-cell load `β₂·input + β₃·output` under the configured model.
     load: f64,
-    worker: usize,
 }
 
-impl PartialEq for LptEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.cmp(other) == Ordering::Equal
-    }
+/// Sentinel for "this node has no ledger entry" in [`EvalLedger::pos`].
+const NO_ENTRY: u32 = u32::MAX;
+
+/// LPT processing order of two ledger entries: descending per-cell load, ascending
+/// node id among exact load ties. A **total** order, so the incrementally maintained
+/// sequence and a from-scratch sort agree element for element — which is what makes
+/// [`Evaluator::Incremental`] and [`Evaluator::FullRecompute`] bit-identical by
+/// construction rather than by luck.
+///
+/// Relation to the pre-ledger `evaluate()`: that code unstable-sorted individual
+/// cells by load alone, leaving the permutation *within* an exact-load tie class
+/// unspecified. Permuting equal-load cells only changes the evaluation when tied
+/// cells differ in their `(input, output)` mix — which requires an exact `f64`
+/// equality between differently composed weighted sums, a measure-zero coincidence
+/// for sample-estimated loads (and impossible within one leaf, whose cells are
+/// identical). The pinned `tests/golden_stats.rs` workload guards the flagship
+/// path against this residual tie risk.
+#[inline]
+fn lpt_order(a_load: f64, a_node: NodeId, b_load: f64, b_node: NodeId) -> Ordering {
+    b_load.total_cmp(&a_load).then_with(|| a_node.cmp(&b_node))
 }
-impl Eq for LptEntry {}
-impl PartialOrd for LptEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
+
+/// The persistent per-leaf cost ledger behind `evaluate()`.
+///
+/// Instead of re-deriving every leaf's cell estimates, re-sorting all cells by load,
+/// and re-walking the tree after **every** applied split, the optimizer keeps this
+/// ledger alive across iterations:
+///
+/// * [`EvalLedger::entries`] holds one compact cost entry per leaf **in depth-first
+///   leaf order**. A plane split's children replace their parent *in place* in that
+///   order (exactly how [`SplitTree::for_each_leaf`] visits them), so the
+///   total-input summation runs over the same cell sequence a fresh tree walk would
+///   produce — bit-identically, without walking the tree.
+/// * [`EvalLedger::order`] holds the leaf ids in LPT processing order (see
+///   [`lpt_order`]). Applying a split performs two binary-searched run edits
+///   (remove the parent, insert each child); nothing is ever re-sorted.
+///
+/// [`Evaluator::FullRecompute`] simply calls [`EvalLedger::rebuild`] before every
+/// evaluation — the O(leaves) walk + O(n log n) sort the incremental path deletes —
+/// and both evaluators share [`EvalLedger::evaluate`], so their results cannot
+/// diverge.
+#[derive(Debug, Default)]
+struct EvalLedger {
+    /// Per-leaf cost entries in depth-first leaf order.
+    entries: Vec<LedgerEntry>,
+    /// `pos[node] = index` of the node's entry in `entries` ([`NO_ENTRY`] if none).
+    pos: Vec<u32>,
+    /// Leaf ids in LPT processing order.
+    order: Vec<NodeId>,
+    /// Scratch: per-worker accumulated input/output, reused across evaluations.
+    worker_in: Vec<f64>,
+    worker_out: Vec<f64>,
+    /// Scratch: the LPT worker min-heap, reused across evaluations.
+    lpt: LptHeap,
 }
-impl Ord for LptEntry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        self.load
-            .partial_cmp(&other.load)
-            .unwrap_or(Ordering::Equal)
-            .then_with(|| self.worker.cmp(&other.worker))
+
+impl EvalLedger {
+    /// The entry of `pos[node]`, which must exist.
+    #[inline]
+    fn entry(&self, node: NodeId) -> &LedgerEntry {
+        &self.entries[self.pos[node as usize] as usize]
+    }
+
+    /// Position of `node` in the LPT order (binary search on the total order).
+    fn order_position(&self, load: f64, node: NodeId) -> Result<usize, usize> {
+        self.order.binary_search_by(|&n| {
+            let e = self.entry(n);
+            lpt_order(e.load, n, load, node)
+        })
+    }
+
+    fn remove_from_order(&mut self, node: NodeId) {
+        let load = self.entry(node).load;
+        let idx = self
+            .order_position(load, node)
+            .expect("split leaf must be present in the LPT order");
+        self.order.remove(idx);
+    }
+
+    fn insert_into_order(&mut self, node: NodeId) {
+        let load = self.entry(node).load;
+        let idx = match self.order_position(load, node) {
+            Ok(i) | Err(i) => i,
+        };
+        self.order.insert(idx, node);
+    }
+
+    /// Grow the node→entry map to cover `node`.
+    fn reserve_node(&mut self, node: NodeId) {
+        let need = node as usize + 1;
+        if self.pos.len() < need {
+            self.pos.resize(need, NO_ENTRY);
+        }
+    }
+
+    /// Rebuild everything from the tree — one leaf visit per leaf plus a full sort
+    /// of the LPT order. The initial state of the incremental evaluator, and the
+    /// entire per-evaluation work of [`Evaluator::FullRecompute`].
+    fn rebuild(
+        &mut self,
+        state: &OptimizerState<'_>,
+        tree: &SplitTree,
+        works: &[Option<LeafWork>],
+        counters: &mut EvalCounters,
+    ) {
+        self.entries.clear();
+        tree.for_each_leaf(|leaf_id, _| {
+            let Some(Some(work)) = works.get(leaf_id as usize) else {
+                return;
+            };
+            self.entries.push(state.ledger_entry(work));
+        });
+        counters.ledger_leaf_visits += self.entries.len() as u64;
+        self.pos.clear();
+        self.pos.resize(tree.num_nodes(), NO_ENTRY);
+        for (i, e) in self.entries.iter().enumerate() {
+            self.pos[e.node as usize] = i as u32;
+        }
+        self.order.clear();
+        self.order.extend(self.entries.iter().map(|e| e.node));
+        let entries = &self.entries;
+        let pos = &self.pos;
+        self.order.sort_unstable_by(|&a, &b| {
+            let ea = &entries[pos[a as usize] as usize];
+            let eb = &entries[pos[b as usize] as usize];
+            lpt_order(ea.load, a, eb.load, b)
+        });
+    }
+
+    /// Apply a plane split: drop the parent's entry, splice the two children into
+    /// its depth-first position, and re-thread the LPT order with two binary-searched
+    /// edits. O(leaves) only in the trivial memmove/position-shift sense — no tree
+    /// walk, no estimate recomputation for unaffected leaves, no re-sort.
+    fn apply_plane_split(
+        &mut self,
+        state: &OptimizerState<'_>,
+        parent: NodeId,
+        left: &LeafWork,
+        right: &LeafWork,
+        counters: &mut EvalCounters,
+    ) {
+        // Remove the parent from the order while its entry is still addressable.
+        self.remove_from_order(parent);
+        let i = self.pos[parent as usize] as usize;
+        self.entries[i] = state.ledger_entry(left);
+        self.entries.insert(i + 1, state.ledger_entry(right));
+        self.pos[parent as usize] = NO_ENTRY;
+        self.reserve_node(left.node.max(right.node));
+        self.pos[left.node as usize] = i as u32;
+        // Everything after the left child shifted one position right.
+        for (j, e) in self.entries.iter().enumerate().skip(i + 1) {
+            self.pos[e.node as usize] = j as u32;
+        }
+        self.insert_into_order(left.node);
+        self.insert_into_order(right.node);
+        counters.ledger_leaf_visits += 2;
+    }
+
+    /// Re-cost one leaf after its internal 1-Bucket grid changed.
+    fn apply_grid_change(
+        &mut self,
+        state: &OptimizerState<'_>,
+        work: &LeafWork,
+        counters: &mut EvalCounters,
+    ) {
+        self.remove_from_order(work.node);
+        let i = self.pos[work.node as usize] as usize;
+        self.entries[i] = state.ledger_entry(work);
+        self.insert_into_order(work.node);
+        counters.ledger_leaf_visits += 1;
+    }
+
+    /// Compute the [`Evaluation`] of the current ledger state: total input in
+    /// depth-first cell order, then the exact heap-LPT worker mapping over the
+    /// maintained order. Shared verbatim by both evaluators.
+    fn evaluate(&mut self, state: &OptimizerState<'_>, counters: &mut EvalCounters) -> Evaluation {
+        let lm = &state.cfg.load_model;
+        let w = state.cfg.workers;
+
+        // Total input, summed cell by cell in depth-first leaf order — the same
+        // left-to-right float fold a fresh walk over the tree's cells produces.
+        let mut total_input = 0.0f64;
+        for e in &self.entries {
+            for _ in 0..e.count {
+                total_input += e.input;
+            }
+        }
+
+        // LPT mapping of cells onto workers via the shared (load, worker) min-heap:
+        // lowest-loaded worker first, lowest index among equal loads — exactly the
+        // worker a first-minimum scan selects — at O(log w) per cell.
+        self.worker_in.clear();
+        self.worker_in.resize(w, 0.0);
+        self.worker_out.clear();
+        self.worker_out.resize(w, 0.0);
+        self.lpt.reset(w, lm.load(0.0, 0.0));
+        let mut cells = 0u64;
+        for &node in &self.order {
+            let e = &self.entries[self.pos[node as usize] as usize];
+            for _ in 0..e.count {
+                let target = self.lpt.pop_least();
+                self.worker_in[target] += e.input;
+                self.worker_out[target] += e.output;
+                self.lpt.push(
+                    target,
+                    lm.load(self.worker_in[target], self.worker_out[target]),
+                );
+            }
+            cells += u64::from(e.count);
+        }
+        counters.lpt_cells += cells;
+
+        let (max_idx, max_load) = (0..w)
+            .map(|i| (i, lm.load(self.worker_in[i], self.worker_out[i])))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(Ordering::Equal))
+            .expect("at least one worker");
+
+        let input_lb = (state.s_len + state.t_len) as f64;
+        let load_lb = lm.load(input_lb, state.est_output) / w as f64;
+        let dup_overhead = (total_input - input_lb) / input_lb;
+        let load_overhead = if load_lb > 0.0 {
+            (max_load - load_lb) / load_lb
+        } else {
+            0.0
+        };
+        let predicted_time = state.cfg.predict_time(
+            total_input,
+            self.worker_in[max_idx],
+            self.worker_out[max_idx],
+        );
+
+        Evaluation {
+            total_input,
+            dup_overhead,
+            load_overhead,
+            predicted_time,
+        }
     }
 }
 
@@ -380,10 +670,20 @@ pub struct OptimizationReport {
     /// Wall-clock seconds spent scoring candidate splits (a subset of
     /// [`OptimizationReport::optimization_seconds`]).
     pub split_search_seconds: f64,
+    /// Wall-clock seconds spent in post-split evaluation — ledger maintenance plus
+    /// the LPT worker mapping (a subset of
+    /// [`OptimizationReport::optimization_seconds`]).
+    pub evaluation_seconds: f64,
     /// Split-search work counters. Deterministic functions of the samples and the
     /// configuration — identical across every `threads` setting and both
     /// [`crate::config::SplitScorer`] implementations.
     pub split_search: SplitSearchCounters,
+    /// Evaluation work counters. Deterministic functions of the samples, the
+    /// configuration, and the chosen [`crate::config::Evaluator`] — identical across
+    /// every `threads` setting; `ledger_leaf_visits` is what separates the
+    /// incremental evaluator (delta-sized) from the full-recompute baseline
+    /// (leaves × evaluations).
+    pub evaluation: EvalCounters,
     /// Human-readable reason the loop stopped.
     pub termination_reason: String,
 }
@@ -473,6 +773,13 @@ impl Partitioner for SplitTreePartitioner {
         sink: &mut AssignmentSink,
     ) {
         self.router.route_t_block(rel, rows, sink);
+    }
+
+    fn scatter_policy(&self) -> crate::partition::ScatterPolicy {
+        // Deep-tree descent is compute-heavy: re-routing every tuple in the scatter
+        // pass costs ~2× what the 8-byte pair buffer saves (measured on the
+        // pareto-1d smoke workload), so RecPart keeps the single-routing pair list.
+        crate::partition::ScatterPolicy::PairList
     }
 
     fn name(&self) -> &str {
@@ -619,6 +926,73 @@ impl RecPart {
         };
         state.run(start)
     }
+
+    /// Benchmark / CI-gate support, **not a public API**: grow the split tree to
+    /// termination once, then hand back a harness that re-runs the post-split
+    /// evaluation of the final optimizer state on demand — under
+    /// [`Evaluator::Incremental`] each call replays only the ledger's LPT mapping
+    /// and sums, under [`Evaluator::FullRecompute`] each call additionally rebuilds
+    /// the whole ledger from the tree, which is exactly the per-split cost the
+    /// incremental evaluator deletes.
+    #[doc(hidden)]
+    #[allow(clippy::too_many_arguments)]
+    pub fn evaluation_bench<'a>(
+        &'a self,
+        s_len: usize,
+        t_len: usize,
+        band: &'a BandCondition,
+        s_sample: &'a InputSample,
+        t_sample: &'a InputSample,
+        o_sample: &'a OutputSample,
+    ) -> EvaluationBench<'a> {
+        let state = OptimizerState {
+            cfg: &self.config,
+            band,
+            dims: band.dims(),
+            s_len,
+            t_len,
+            ws: s_sample.weight(),
+            wt: t_sample.weight(),
+            wo: o_sample.weight(),
+            est_output: o_sample.estimated_output(),
+            s_sample,
+            t_sample,
+            o_sample,
+            par: self.parallelism(),
+        };
+        let grown = state.grow();
+        EvaluationBench { state, grown }
+    }
+}
+
+/// Repeated-evaluation harness returned by [`RecPart::evaluation_bench`]
+/// (benchmark / CI-gate support, not a public API).
+#[doc(hidden)]
+pub struct EvaluationBench<'a> {
+    state: OptimizerState<'a>,
+    grown: GrownState,
+}
+
+impl EvaluationBench<'_> {
+    /// Number of leaves of the fully grown tree (benches gate on tree depth).
+    pub fn leaves(&self) -> usize {
+        self.grown.tree.num_leaves()
+    }
+
+    /// Run one evaluation of the final optimizer state under the configured
+    /// [`Evaluator`], returning the predicted join time (so callers can black-box
+    /// the result).
+    pub fn evaluate_once(&mut self) -> f64 {
+        let mut counters = EvalCounters::default();
+        self.state
+            .evaluate(
+                &self.grown.tree,
+                &self.grown.works,
+                &mut self.grown.ledger,
+                &mut counters,
+            )
+            .predicted_time
+    }
 }
 
 /// Internal optimizer state shared by the helper methods.
@@ -638,8 +1012,46 @@ struct OptimizerState<'a> {
     par: Parallelism<'a>,
 }
 
+/// Everything the tree-growth loop produces: handed to `finalize` by `run`, and kept
+/// alive by [`EvaluationBench`] for repeated-evaluation measurements.
+struct GrownState {
+    tree: SplitTree,
+    works: Vec<Option<LeafWork>>,
+    ledger: EvalLedger,
+    winner: Winner,
+    iterations: usize,
+    termination_reason: String,
+    counters: SplitSearchCounters,
+    eval_counters: EvalCounters,
+    split_search_seconds: f64,
+    evaluation_seconds: f64,
+}
+
 impl<'a> OptimizerState<'a> {
     fn run(&self, start: Instant) -> RecPartResult {
+        let grown = self.grow();
+        self.finalize(grown, start)
+    }
+
+    /// Evaluate the current tree under the configured [`Evaluator`]: the
+    /// full-recompute baseline rebuilds the whole ledger first, the incremental
+    /// evaluator trusts the deltas the growth loop applied.
+    fn evaluate(
+        &self,
+        tree: &SplitTree,
+        works: &[Option<LeafWork>],
+        ledger: &mut EvalLedger,
+        counters: &mut EvalCounters,
+    ) -> Evaluation {
+        if self.cfg.evaluator == Evaluator::FullRecompute {
+            ledger.rebuild(self, tree, works, counters);
+        }
+        counters.evaluations += 1;
+        ledger.evaluate(self, counters)
+    }
+
+    /// Grow the split tree to termination (the repeat loop of Algorithm 1).
+    fn grow(&self) -> GrownState {
         let cfg = self.cfg;
         let mut tree = SplitTree::new(self.dims);
 
@@ -650,6 +1062,9 @@ impl<'a> OptimizerState<'a> {
         let mut works: Vec<Option<LeafWork>> = Vec::new();
         let mut counters = SplitSearchCounters::default();
         let mut split_search_seconds = 0.0f64;
+        let mut ledger = EvalLedger::default();
+        let mut eval_counters = EvalCounters::default();
+        let mut evaluation_seconds = 0.0f64;
         let root_small = self.is_small(&tree, tree.root(), &domain);
         let root_work = LeafWork {
             node: tree.root(),
@@ -682,8 +1097,15 @@ impl<'a> OptimizerState<'a> {
         let mut iterations = 0usize;
         let mut termination_reason = String::from("no more useful splits");
 
+        // Seed the incremental ledger with the initial (single-leaf) state; the
+        // full-recompute evaluator rebuilds on every evaluation anyway.
+        let e0 = Instant::now();
+        if cfg.evaluator == Evaluator::Incremental {
+            ledger.rebuild(self, &tree, &works, &mut eval_counters);
+        }
         // Evaluate the initial (single-partition) state so the winner is always defined.
-        let eval = self.evaluate(&tree, &works);
+        let eval = self.evaluate(&tree, &works, &mut ledger, &mut eval_counters);
+        evaluation_seconds += e0.elapsed().as_secs_f64();
         best_load_overhead = best_load_overhead.min(eval.load_overhead);
         paid_time_history.push(eval.predicted_time);
         Self::consider_winner(&mut winner, &tree, 0, eval, cfg);
@@ -723,6 +1145,17 @@ impl<'a> OptimizerState<'a> {
                     let (l, r) = self.apply_plane_split(
                         &mut tree, &mut works, leaf_id, dim, value, kind, &domain,
                     );
+                    if cfg.evaluator == Evaluator::Incremental {
+                        let e0 = Instant::now();
+                        ledger.apply_plane_split(
+                            self,
+                            leaf_id,
+                            works[l as usize].as_ref().expect("left child work"),
+                            works[r as usize].as_ref().expect("right child work"),
+                            &mut eval_counters,
+                        );
+                        evaluation_seconds += e0.elapsed().as_secs_f64();
+                    }
                     let t0 = Instant::now();
                     counters.merge(self.refresh_leaves(&mut works, &tree, &[l, r], &domain));
                     split_search_seconds += t0.elapsed().as_secs_f64();
@@ -738,6 +1171,15 @@ impl<'a> OptimizerState<'a> {
                     }
                     work.version += 1;
                     tree.set_leaf_grid(leaf_id, work.grid);
+                    if cfg.evaluator == Evaluator::Incremental {
+                        let e0 = Instant::now();
+                        ledger.apply_grid_change(
+                            self,
+                            works[leaf_id as usize].as_ref().expect("validated above"),
+                            &mut eval_counters,
+                        );
+                        evaluation_seconds += e0.elapsed().as_secs_f64();
+                    }
                     let t0 = Instant::now();
                     counters.merge(self.refresh_leaves(&mut works, &tree, &[leaf_id], &domain));
                     split_search_seconds += t0.elapsed().as_secs_f64();
@@ -749,7 +1191,9 @@ impl<'a> OptimizerState<'a> {
                 }
             }
 
-            let eval = self.evaluate(&tree, &works);
+            let e0 = Instant::now();
+            let eval = self.evaluate(&tree, &works, &mut ledger, &mut eval_counters);
+            evaluation_seconds += e0.elapsed().as_secs_f64();
             best_load_overhead = best_load_overhead.min(eval.load_overhead);
             if paid_duplication {
                 paid_time_history.push(eval.predicted_time);
@@ -796,15 +1240,18 @@ impl<'a> OptimizerState<'a> {
             termination_reason = "reached the iteration cap".into();
         }
 
-        let winner = winner.expect("at least the initial evaluation is recorded");
-        self.finalize(
-            winner,
+        GrownState {
+            tree,
+            works,
+            ledger,
+            winner: winner.expect("at least the initial evaluation is recorded"),
             iterations,
             termination_reason,
-            start,
             counters,
+            eval_counters,
             split_search_seconds,
-        )
+            evaluation_seconds,
+        }
     }
 
     fn domain_box(&self) -> Rect {
@@ -1045,24 +1492,40 @@ impl<'a> OptimizerState<'a> {
 
     /// Build the root leaf's cached projections by argsorting the samples once per
     /// dimension (every later leaf inherits its arrays through stable partitions).
+    /// The band-shifted copies and the candidate boundaries are computed here too —
+    /// like the value arrays, they are built exactly once per leaf.
     fn build_root_projections(&self) -> LeafProjections {
-        let build = |d: usize| DimProjection {
-            s: SortedProj::gather(self.s_sample.argsort_by_dim(d), |i| {
-                self.s_sample.key(i as usize)[d]
-            }),
-            t: SortedProj::gather(self.t_sample.argsort_by_dim(d), |i| {
-                self.t_sample.key(i as usize)[d]
-            }),
-            o_s: SortedProj::gather(self.o_sample.argsort_by_s_dim(d), |i| {
-                self.o_sample.s_key(i as usize)[d]
-            }),
-            o_t: if self.cfg.symmetric {
-                SortedProj::gather(self.o_sample.argsort_by_t_dim(d), |i| {
-                    self.o_sample.t_key(i as usize)[d]
-                })
-            } else {
-                SortedProj::default()
-            },
+        let build = |d: usize| {
+            let eps_lo = self.band.eps_low(d);
+            let eps_hi = self.band.eps_high(d);
+            // T is duplicated by T-splits with tests `t − ε_lo < x` / `t + ε_hi ≥ x`;
+            // S only needs its (role-swapped) shifts under symmetric partitioning.
+            let s = BandProj::gather(
+                self.s_sample.argsort_by_dim(d),
+                |i| self.s_sample.key(i as usize)[d],
+                self.cfg.symmetric.then_some((eps_hi, eps_lo)),
+            );
+            let t = BandProj::gather(
+                self.t_sample.argsort_by_dim(d),
+                |i| self.t_sample.key(i as usize)[d],
+                Some((eps_lo, eps_hi)),
+            );
+            let bounds = merge_dedup(&s.vals, &t.vals);
+            DimProjection {
+                s,
+                t,
+                o_s: SortedProj::gather(self.o_sample.argsort_by_s_dim(d), |i| {
+                    self.o_sample.s_key(i as usize)[d]
+                }),
+                o_t: if self.cfg.symmetric {
+                    SortedProj::gather(self.o_sample.argsort_by_t_dim(d), |i| {
+                        self.o_sample.t_key(i as usize)[d]
+                    })
+                } else {
+                    SortedProj::default()
+                },
+                bounds,
+            }
         };
         let points = self.s_sample.len() + self.t_sample.len() + self.o_sample.len();
         let dims = if self.par.is_parallel() && self.dims > 1 && points >= MIN_PARALLEL_POINTS {
@@ -1076,7 +1539,10 @@ impl<'a> OptimizerState<'a> {
 
     /// Distribute a leaf's cached projections to the two children of a plane split
     /// with stable linear partitions: every output array stays sorted by its
-    /// dimension's key, and the work is proportional to the leaf's sample size.
+    /// dimension's key, and the work is proportional to the leaf's sample size. The
+    /// band-shifted columns travel in lockstep with the values, and each child's
+    /// candidate boundaries are re-derived from its freshly split value arrays —
+    /// so no later leaf visit materializes anything.
     fn split_projections(
         &self,
         proj: &LeafProjections,
@@ -1087,60 +1553,60 @@ impl<'a> OptimizerState<'a> {
     ) -> (LeafProjections, LeafProjections) {
         let split_dim = |d: usize| -> (DimProjection, DimProjection) {
             let src = &proj.dims[d];
-            match kind {
+            let ((sl, sr), (tl, tr), (osl, osr), (otl, otr)) = match kind {
                 SplitKind::TSplit => {
-                    let (sl, sr) =
-                        partition_exclusive(&src.s, |i| self.s_sample.key(i as usize)[dim] < value);
-                    let (tl, tr) = partition_duplicating(&src.t, |i| {
+                    let s = partition_banded_exclusive(&src.s, |i| {
+                        self.s_sample.key(i as usize)[dim] < value
+                    });
+                    let t = partition_banded_duplicating(&src.t, |i| {
                         let v = self.t_sample.key(i as usize)[dim];
                         let (lo, hi) = self.band.range_around_t(dim, v);
                         (lo < value, hi >= value)
                     });
                     let o_left = |i: u32| self.o_sample.s_key(i as usize)[dim] < value;
-                    let (osl, osr) = partition_exclusive(&src.o_s, o_left);
-                    let (otl, otr) = partition_exclusive(&src.o_t, o_left);
                     (
-                        DimProjection {
-                            s: sl,
-                            t: tl,
-                            o_s: osl,
-                            o_t: otl,
-                        },
-                        DimProjection {
-                            s: sr,
-                            t: tr,
-                            o_s: osr,
-                            o_t: otr,
-                        },
+                        s,
+                        t,
+                        partition_exclusive(&src.o_s, o_left),
+                        partition_exclusive(&src.o_t, o_left),
                     )
                 }
                 SplitKind::SSplit => {
-                    let (tl, tr) =
-                        partition_exclusive(&src.t, |i| self.t_sample.key(i as usize)[dim] < value);
-                    let (sl, sr) = partition_duplicating(&src.s, |i| {
+                    let t = partition_banded_exclusive(&src.t, |i| {
+                        self.t_sample.key(i as usize)[dim] < value
+                    });
+                    let s = partition_banded_duplicating(&src.s, |i| {
                         let v = self.s_sample.key(i as usize)[dim];
                         let (lo, hi) = self.band.range_around_s(dim, v);
                         (lo < value, hi >= value)
                     });
                     let o_left = |i: u32| self.o_sample.t_key(i as usize)[dim] < value;
-                    let (osl, osr) = partition_exclusive(&src.o_s, o_left);
-                    let (otl, otr) = partition_exclusive(&src.o_t, o_left);
                     (
-                        DimProjection {
-                            s: sl,
-                            t: tl,
-                            o_s: osl,
-                            o_t: otl,
-                        },
-                        DimProjection {
-                            s: sr,
-                            t: tr,
-                            o_s: osr,
-                            o_t: otr,
-                        },
+                        s,
+                        t,
+                        partition_exclusive(&src.o_s, o_left),
+                        partition_exclusive(&src.o_t, o_left),
                     )
                 }
-            }
+            };
+            let bounds_l = merge_dedup(&sl.vals, &tl.vals);
+            let bounds_r = merge_dedup(&sr.vals, &tr.vals);
+            (
+                DimProjection {
+                    s: sl,
+                    t: tl,
+                    o_s: osl,
+                    o_t: otl,
+                    bounds: bounds_l,
+                },
+                DimProjection {
+                    s: sr,
+                    t: tr,
+                    o_s: osr,
+                    o_t: otr,
+                    bounds: bounds_r,
+                },
+            )
         };
         let pairs: Vec<(DimProjection, DimProjection)> = if parallel && self.dims > 1 {
             self.par
@@ -1161,47 +1627,29 @@ impl<'a> OptimizerState<'a> {
         (left, right)
     }
 
-    /// Derive one dimension's sweep arrays from a leaf's cached projections: the
-    /// sorted value arrays are borrowed straight from the cache (no per-visit
-    /// gather); only their band-shifted copies and the candidate boundaries are
-    /// built here.
+    /// Borrow one dimension's sweep arrays from a leaf's cached projections. This
+    /// materializes nothing: the sorted values, their band-shifted copies, and the
+    /// candidate boundaries all live in the cache and were split to this leaf in
+    /// lockstep when it was created.
     fn build_dim_arrays<'w>(&self, work: &'w LeafWork, region: &Rect, dim: usize) -> DimArrays<'w> {
         let proj = work
             .proj
             .as_ref()
             .expect("sweep scorer requires cached projections");
         let src = &proj.dims[dim];
-        let eps_lo = self.band.eps_low(dim);
-        let eps_hi = self.band.eps_high(dim);
-        let s_vals: &[f64] = &src.s.vals;
-        let t_vals: &[f64] = &src.t.vals;
-        // Shifting by a constant is monotone under IEEE rounding, so the shifted
-        // copies of a sorted array are sorted and answer the reference scorer's
-        // shifted predicates (`v − ε_lo < x` etc.) with plain `< x` comparisons.
-        let t_minus: Vec<f64> = t_vals.iter().map(|&v| v - eps_lo).collect();
-        let t_plus: Vec<f64> = t_vals.iter().map(|&v| v + eps_hi).collect();
-        let (s_minus, s_plus) = if self.cfg.symmetric {
-            (
-                s_vals.iter().map(|&v| v - eps_hi).collect(),
-                s_vals.iter().map(|&v| v + eps_lo).collect(),
-            )
-        } else {
-            (Vec::new(), Vec::new())
-        };
-        let bounds = merge_dedup(s_vals, t_vals);
         DimArrays {
             dim,
             lo: region.lo(dim),
             hi: region.hi(dim),
-            s_vals,
-            t_vals,
-            t_minus,
-            t_plus,
+            s_vals: &src.s.vals,
+            t_vals: &src.t.vals,
+            t_minus: &src.t.minus,
+            t_plus: &src.t.plus,
             o_s: &src.o_s.vals,
-            s_minus,
-            s_plus,
+            s_minus: &src.s.minus,
+            s_plus: &src.s.plus,
             o_t: &src.o_t.vals,
-            bounds,
+            bounds: &src.bounds,
         }
     }
 
@@ -1254,8 +1702,8 @@ impl<'a> OptimizerState<'a> {
                 continue;
             }
             advance(a.s_vals, &mut ps, x);
-            advance(&a.t_minus, &mut ptm, x);
-            advance(&a.t_plus, &mut ptp, x);
+            advance(a.t_minus, &mut ptm, x);
+            advance(a.t_plus, &mut ptp, x);
             advance(a.o_s, &mut pos, x);
 
             // --- T-split: S partitioned at x, T duplicated near x. ---
@@ -1298,8 +1746,8 @@ impl<'a> OptimizerState<'a> {
             // --- S-split: T partitioned at x, S duplicated near x. ---
             if symmetric {
                 advance(a.t_vals, &mut pt, x);
-                advance(&a.s_minus, &mut psm, x);
-                advance(&a.s_plus, &mut psp, x);
+                advance(a.s_minus, &mut psm, x);
+                advance(a.s_plus, &mut psp, x);
                 advance(a.o_t, &mut pot, x);
                 let ntl = pt as f64;
                 let ntr = nt - ntl;
@@ -1646,94 +2094,28 @@ impl<'a> OptimizerState<'a> {
         (left_id, right_id)
     }
 
-    /// Estimate per-cell loads, map cells onto the workers (longest-processing-time
-    /// first), and compute the overheads against the lower bounds.
-    fn evaluate(&self, tree: &SplitTree, works: &[Option<LeafWork>]) -> Evaluation {
+    /// Build one leaf's cost-ledger entry from its working state: the estimated
+    /// input/output of one cell (a small leaf's 1-Bucket cells are identical) and
+    /// the per-cell load under the configured model.
+    fn ledger_entry(&self, work: &LeafWork) -> LedgerEntry {
         let lm = &self.cfg.load_model;
-        let mut cells: Vec<CellEst> = Vec::new();
-        // Depth-first leaf order without materializing an id list — this runs after
-        // every applied split.
-        tree.for_each_leaf(|leaf_id, _| {
-            let Some(Some(work)) = works.get(leaf_id as usize) else {
-                return;
-            };
-            let (s_in, t_in, out) = self.leaf_estimates(work);
-            let grid = work.grid;
-            if grid.cells() == 1 {
-                cells.push(CellEst {
-                    input: s_in + t_in,
-                    output: out,
-                });
-            } else {
-                let cell_input = s_in / grid.rows as f64 + t_in / grid.cols as f64;
-                let cell_output = out / grid.cells() as f64;
-                for _ in 0..grid.cells() {
-                    cells.push(CellEst {
-                        input: cell_input,
-                        output: cell_output,
-                    });
-                }
-            }
-        });
-
-        // LPT mapping of cells onto workers via a min-heap keyed on (load, worker
-        // index). Popping the heap yields the lowest-loaded worker, lowest index
-        // among equal loads — exactly the worker the previous O(cells·w) scan chose
-        // (`Iterator::min_by` returns the *first* minimum), and the loads pushed
-        // back are computed by the same `lm.load` call on the same accumulators, so
-        // the mapping is bit-identical while each cell costs O(log w) instead of
-        // O(w). This runs after every applied split, where it used to dominate the
-        // non-scoring share of optimizer time at large worker counts.
-        let w = self.cfg.workers;
-        let mut order: Vec<usize> = (0..cells.len()).collect();
-        order.sort_unstable_by(|&a, &b| {
-            let la = lm.load(cells[a].input, cells[a].output);
-            let lb = lm.load(cells[b].input, cells[b].output);
-            lb.partial_cmp(&la).unwrap_or(Ordering::Equal)
-        });
-        let mut worker_in = vec![0.0f64; w];
-        let mut worker_out = vec![0.0f64; w];
-        let mut heap: BinaryHeap<std::cmp::Reverse<LptEntry>> = (0..w)
-            .map(|i| {
-                std::cmp::Reverse(LptEntry {
-                    load: lm.load(0.0, 0.0),
-                    worker: i,
-                })
-            })
-            .collect();
-        for &c in &order {
-            let std::cmp::Reverse(entry) = heap.pop().expect("at least one worker");
-            let target = entry.worker;
-            worker_in[target] += cells[c].input;
-            worker_out[target] += cells[c].output;
-            heap.push(std::cmp::Reverse(LptEntry {
-                load: lm.load(worker_in[target], worker_out[target]),
-                worker: target,
-            }));
-        }
-        let (max_idx, max_load) = (0..w)
-            .map(|i| (i, lm.load(worker_in[i], worker_out[i])))
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(Ordering::Equal))
-            .expect("at least one worker");
-
-        let total_input: f64 = cells.iter().map(|c| c.input).sum();
-        let input_lb = (self.s_len + self.t_len) as f64;
-        let load_lb = lm.load(input_lb, self.est_output) / w as f64;
-        let dup_overhead = (total_input - input_lb) / input_lb;
-        let load_overhead = if load_lb > 0.0 {
-            (max_load - load_lb) / load_lb
+        let (s_in, t_in, out) = self.leaf_estimates(work);
+        let grid = work.grid;
+        let (input, output, count) = if grid.cells() == 1 {
+            (s_in + t_in, out, 1)
         } else {
-            0.0
+            (
+                s_in / grid.rows as f64 + t_in / grid.cols as f64,
+                out / grid.cells() as f64,
+                grid.cells(),
+            )
         };
-        let predicted_time =
-            self.cfg
-                .predict_time(total_input, worker_in[max_idx], worker_out[max_idx]);
-
-        Evaluation {
-            total_input,
-            dup_overhead,
-            load_overhead,
-            predicted_time,
+        LedgerEntry {
+            node: work.node,
+            input,
+            output,
+            count,
+            load: lm.load(input, output),
         }
     }
 
@@ -1762,15 +2144,17 @@ impl<'a> OptimizerState<'a> {
         }
     }
 
-    fn finalize(
-        &self,
-        winner: Winner,
-        iterations: usize,
-        termination_reason: String,
-        start: Instant,
-        split_search: SplitSearchCounters,
-        split_search_seconds: f64,
-    ) -> RecPartResult {
+    fn finalize(&self, grown: GrownState, start: Instant) -> RecPartResult {
+        let GrownState {
+            winner,
+            iterations,
+            termination_reason,
+            counters: split_search,
+            eval_counters,
+            split_search_seconds,
+            evaluation_seconds,
+            ..
+        } = grown;
         let mut tree = winner.tree;
         tree.assign_partition_ids();
         let router = CompiledRouter::compile(&tree, self.band, self.cfg.seed);
@@ -1836,7 +2220,9 @@ impl<'a> OptimizerState<'a> {
             predicted_time: winner.eval.predicted_time,
             optimization_seconds: start.elapsed().as_secs_f64(),
             split_search_seconds,
+            evaluation_seconds,
             split_search,
+            evaluation: eval_counters,
             termination_reason,
         };
         let partitioner = SplitTreePartitioner {
@@ -2134,6 +2520,21 @@ mod tests {
     /// Everything of two optimization results that must be bit-identical across
     /// scorers and thread counts (wall-clock fields are excluded by construction).
     fn assert_results_bit_identical(a: &RecPartResult, b: &RecPartResult, label: &str) {
+        assert_eq!(
+            a.report.evaluation, b.report.evaluation,
+            "{label}: evaluation counters"
+        );
+        assert_results_bit_identical_except_eval_counters(a, b, label);
+    }
+
+    /// [`assert_results_bit_identical`] minus the evaluation work counters — the
+    /// comparison used across *evaluators*, whose `ledger_leaf_visits` differ by
+    /// design while everything they compute must not.
+    fn assert_results_bit_identical_except_eval_counters(
+        a: &RecPartResult,
+        b: &RecPartResult,
+        label: &str,
+    ) {
         assert_eq!(a.partitioner.tree(), b.partitioner.tree(), "{label}: tree");
         assert_eq!(
             a.partitioner.num_partitions(),
@@ -2204,6 +2605,237 @@ mod tests {
         for threads in [0usize, 4] {
             let parallel = run(threads);
             assert_results_bit_identical(&sequential, &parallel, "threads");
+        }
+    }
+
+    /// The incremental evaluator must change nothing the optimizer computes — only
+    /// how much work evaluation does, which the `ledger_leaf_visits` counter proves:
+    /// the full-recompute baseline revisits every leaf on every evaluation, the
+    /// incremental ledger touches two leaves per plane split.
+    #[test]
+    fn incremental_evaluator_matches_full_recompute_end_to_end() {
+        let s = pareto_relation(3000, 2, 1.3, 60);
+        let t = pareto_relation(3000, 2, 1.3, 61);
+        let band = BandCondition::symmetric(&[0.3, 0.3]);
+        for symmetric in [true, false] {
+            let mut cfg = RecPartConfig::new(8)
+                .with_sample(small_sample_config())
+                .with_threads(1);
+            cfg.symmetric = symmetric;
+            let run = |evaluator: Evaluator| {
+                let mut rng = StdRng::seed_from_u64(62);
+                RecPart::new(cfg.clone().with_evaluator(evaluator))
+                    .optimize(&s, &t, &band, &mut rng)
+            };
+            let incremental = run(Evaluator::Incremental);
+            let full = run(Evaluator::FullRecompute);
+            assert_results_bit_identical_except_eval_counters(
+                &incremental,
+                &full,
+                "incremental vs full recompute",
+            );
+
+            // Same evaluations, same LPT work — the mapping itself is exact.
+            let (ie, fe) = (incremental.report.evaluation, full.report.evaluation);
+            assert_eq!(ie.evaluations, fe.evaluations);
+            assert_eq!(ie.lpt_cells, fe.lpt_cells);
+            assert!(ie.evaluations > 1, "the run must have applied splits");
+            // evaluate() no longer iterates all leaves per split: the incremental
+            // ledger's visits are bounded by the deltas (≤ 2 per evaluation after
+            // the initial build), while the full recompute pays leaves × evaluations.
+            assert!(
+                ie.ledger_leaf_visits <= 2 * ie.evaluations,
+                "incremental ledger visits {} exceed the delta bound for {} evaluations",
+                ie.ledger_leaf_visits,
+                ie.evaluations
+            );
+            assert!(
+                fe.ledger_leaf_visits > ie.ledger_leaf_visits,
+                "full recompute must visit strictly more leaves ({} vs {})",
+                fe.ledger_leaf_visits,
+                ie.ledger_leaf_visits
+            );
+        }
+    }
+
+    mod eval_property {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Drive a random sequence of best-splits through the optimizer state,
+        /// maintaining one ledger incrementally, and after **every** applied split
+        /// compare its `Evaluation` bit for bit against a ledger rebuilt from
+        /// scratch (the [`Evaluator::FullRecompute`] oracle).
+        fn compare_evaluations(
+            s: &Relation,
+            t: &Relation,
+            band: &BandCondition,
+            symmetric: bool,
+            workers: usize,
+            seed: u64,
+        ) {
+            let mut cfg = RecPartConfig::new(workers).with_sample(SampleConfig {
+                input_sample_size: 400,
+                output_sample_size: 200,
+                output_probe_count: 200,
+            });
+            cfg.symmetric = symmetric;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let s_sample = InputSample::draw(s, 200, &mut rng);
+            let t_sample = InputSample::draw(t, 200, &mut rng);
+            let o_sample = OutputSample::draw(s, t, band, &cfg.sample, &mut rng);
+            let state = OptimizerState {
+                cfg: &cfg,
+                band,
+                dims: band.dims(),
+                s_len: s.len(),
+                t_len: t.len(),
+                ws: s_sample.weight(),
+                wt: t_sample.weight(),
+                wo: o_sample.weight(),
+                est_output: o_sample.estimated_output(),
+                s_sample: &s_sample,
+                t_sample: &t_sample,
+                o_sample: &o_sample,
+                par: Parallelism::Sequential,
+            };
+
+            let mut tree = SplitTree::new(band.dims());
+            let domain = state.domain_box();
+            let root = tree.root();
+            let root_small = state.is_small(&tree, root, &domain);
+            let mut works: Vec<Option<LeafWork>> = Vec::new();
+            OptimizerState::store_work(
+                &mut works,
+                LeafWork {
+                    node: root,
+                    s_pts: (0..s_sample.len() as u32).collect(),
+                    t_pts: (0..t_sample.len() as u32).collect(),
+                    o_pts: (0..o_sample.len() as u32).collect(),
+                    proj: (!root_small).then(|| state.build_root_projections()),
+                    grid: BucketGrid::default(),
+                    is_small: root_small,
+                    best: BestSplit::none(),
+                    version: 0,
+                },
+            );
+            state.refresh_leaves(&mut works, &tree, &[root], &domain);
+
+            let mut ec = EvalCounters::default();
+            let mut incremental = EvalLedger::default();
+            incremental.rebuild(&state, &tree, &works, &mut ec);
+
+            let compare = |incremental: &mut EvalLedger,
+                           step: usize,
+                           tree: &SplitTree,
+                           works: &[Option<LeafWork>]| {
+                let mut ec = EvalCounters::default();
+                let a = incremental.evaluate(&state, &mut ec);
+                let mut oracle = EvalLedger::default();
+                oracle.rebuild(&state, tree, works, &mut ec);
+                let b = oracle.evaluate(&state, &mut ec);
+                for (x, y, what) in [
+                    (a.total_input, b.total_input, "total_input"),
+                    (a.dup_overhead, b.dup_overhead, "dup_overhead"),
+                    (a.load_overhead, b.load_overhead, "load_overhead"),
+                    (a.predicted_time, b.predicted_time, "predicted_time"),
+                ] {
+                    prop_assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "step {}: {} diverged ({} vs {})",
+                        step,
+                        what,
+                        x,
+                        y
+                    );
+                }
+            };
+            compare(&mut incremental, 0, &tree, &works);
+
+            let mut pick = StdRng::seed_from_u64(seed ^ 0xE7A1);
+            for step in 1..=12 {
+                // Current splittable leaves, in depth-first order.
+                let splittable: Vec<NodeId> = tree
+                    .leaf_ids()
+                    .into_iter()
+                    .filter(|&id| {
+                        works[id as usize]
+                            .as_ref()
+                            .is_some_and(|w| w.best.score.is_splittable())
+                    })
+                    .collect();
+                if splittable.is_empty() {
+                    break;
+                }
+                let leaf_id = splittable[pick.gen_range(0..splittable.len())];
+                let best = works[leaf_id as usize].as_ref().unwrap().best;
+                match best.action {
+                    SplitAction::Plane { dim, value, kind } => {
+                        let (l, r) = state.apply_plane_split(
+                            &mut tree, &mut works, leaf_id, dim, value, kind, &domain,
+                        );
+                        incremental.apply_plane_split(
+                            &state,
+                            leaf_id,
+                            works[l as usize].as_ref().unwrap(),
+                            works[r as usize].as_ref().unwrap(),
+                            &mut ec,
+                        );
+                        state.refresh_leaves(&mut works, &tree, &[l, r], &domain);
+                    }
+                    SplitAction::Grid { add_row } => {
+                        let work = works[leaf_id as usize].as_mut().unwrap();
+                        if add_row {
+                            work.grid.rows += 1;
+                        } else {
+                            work.grid.cols += 1;
+                        }
+                        work.version += 1;
+                        tree.set_leaf_grid(leaf_id, work.grid);
+                        incremental.apply_grid_change(
+                            &state,
+                            works[leaf_id as usize].as_ref().unwrap(),
+                            &mut ec,
+                        );
+                        state.refresh_leaves(&mut works, &tree, &[leaf_id], &domain);
+                    }
+                    SplitAction::None => break,
+                }
+                compare(&mut incremental, step, &tree, &works);
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            /// Incremental `evaluate()` equals a full ledger recompute — bit for
+            /// bit, after every split of a random split sequence — on skewed and
+            /// uniform data, 1–3 dimensions, narrow and wide (grid-heavy) bands,
+            /// both role configurations.
+            #[test]
+            fn incremental_evaluation_equals_full_recompute_on_random_split_sequences(
+                seed in 0u64..5_000,
+                dims in 1usize..4,
+                eps in 0.05f64..30.0,
+                skewed in 0u32..2,
+                symmetric in 0u32..2,
+                workers in 2usize..17,
+            ) {
+                let (s, t) = if skewed == 1 {
+                    (
+                        pareto_relation(600, dims, 1.4, seed),
+                        pareto_relation(600, dims, 1.4, seed ^ 0xA5),
+                    )
+                } else {
+                    (
+                        uniform_relation(600, dims, 0.0, 60.0, seed),
+                        uniform_relation(600, dims, 0.0, 60.0, seed ^ 0xA5),
+                    )
+                };
+                let band = BandCondition::symmetric(&vec![eps; dims]);
+                compare_evaluations(&s, &t, &band, symmetric == 1, workers, seed ^ 0x5EED);
+            }
         }
     }
 

@@ -116,6 +116,43 @@ pub fn variance_term(workers: usize, load: f64) -> f64 {
     variance_factor(workers) * load * load
 }
 
+/// Merge two individually sorted (by `f64::total_cmp`) value arrays into their sorted
+/// sequence of *distinct* values, replicating `sort_unstable_by(total_cmp)` followed
+/// by `dedup()` (which removes consecutive `==`-equal values) on the concatenation.
+///
+/// This is how the sweep scorer's candidate split boundaries are derived from a
+/// leaf's cached per-dimension projections — once per leaf at projection-split time,
+/// never per visit (see `recpart`'s `DimProjection::bounds`).
+pub(crate) fn merge_dedup(a: &[f64], b: &[f64]) -> Vec<f64> {
+    let mut out: Vec<f64> = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() || j < b.len() {
+        let take_a = j >= b.len() || (i < a.len() && a[i].total_cmp(&b[j]).is_le());
+        let v = if take_a {
+            i += 1;
+            a[i - 1]
+        } else {
+            j += 1;
+            b[j - 1]
+        };
+        match out.last() {
+            Some(&last) if last == v => {}
+            _ => out.push(v),
+        }
+    }
+    out
+}
+
+/// Advance a sweep pointer so that `*p == arr.partition_point(|&v| v < x)` for a
+/// sorted (non-decreasing) array and a candidate value `x` that never decreases
+/// between calls.
+#[inline]
+pub(crate) fn advance(arr: &[f64], p: &mut usize, x: f64) {
+    while *p < arr.len() && arr[*p] < x {
+        *p += 1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,6 +229,29 @@ mod tests {
         assert_eq!(l, 60.0);
         let v = variance_term(2, l);
         assert!((v - 0.25 * 3600.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_dedup_replicates_sort_and_dedup() {
+        let a = [1.0, 1.0, 2.5, 4.0];
+        let b = [0.5, 2.5, 2.5, 7.0];
+        let merged = merge_dedup(&a, &b);
+        let mut reference: Vec<f64> = a.iter().chain(&b).copied().collect();
+        reference.sort_unstable_by(f64::total_cmp);
+        reference.dedup();
+        assert_eq!(merged, reference);
+        assert!(merge_dedup(&[], &[]).is_empty());
+        assert_eq!(merge_dedup(&[3.0], &[]), vec![3.0]);
+    }
+
+    #[test]
+    fn advance_matches_partition_point() {
+        let arr = [0.0, 1.0, 1.0, 2.0, 5.0];
+        let mut p = 0;
+        for x in [0.5, 1.0, 1.5, 4.9, 9.0] {
+            advance(&arr, &mut p, x);
+            assert_eq!(p, arr.partition_point(|&v| v < x), "x = {x}");
+        }
     }
 
     #[test]

@@ -69,12 +69,41 @@ pub enum Node {
 }
 
 /// The recursive partitioning of the join-attribute space.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct SplitTree {
     nodes: Vec<Node>,
     root: NodeId,
     dims: usize,
     num_partitions: usize,
+    /// Leaf count, maintained on every split so the optimizer's per-iteration
+    /// bookkeeping never has to walk the tree to know it. Not part of the
+    /// serialized contract: deserialization recomputes it from the node arena
+    /// (see the manual `Deserialize` below), so pre-existing serialized trees
+    /// still load and a hand-edited count cannot go stale.
+    num_leaves: usize,
+}
+
+/// Manual `Deserialize`: read the serialized fields the pre-PR 5 format carried and
+/// **recompute** the maintained leaf count from the node arena instead of trusting
+/// (or requiring) a serialized value. Counting arena leaves equals counting reachable
+/// leaves for every tree this crate builds (the arena only ever grows by splitting a
+/// reachable leaf) and stays robust for corrupt inputs, which a reachability walk
+/// would not be.
+impl serde::Deserialize for SplitTree {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let map = v
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected map for SplitTree"))?;
+        let nodes: Vec<Node> = serde::Deserialize::from_value(serde::__get(map, "nodes")?)?;
+        let num_leaves = nodes.iter().filter(|n| matches!(n, Node::Leaf(_))).count();
+        Ok(SplitTree {
+            num_leaves,
+            root: serde::Deserialize::from_value(serde::__get(map, "root")?)?,
+            dims: serde::Deserialize::from_value(serde::__get(map, "dims")?)?,
+            num_partitions: serde::Deserialize::from_value(serde::__get(map, "num_partitions")?)?,
+            nodes,
+        })
+    }
 }
 
 impl SplitTree {
@@ -89,6 +118,7 @@ impl SplitTree {
             root: 0,
             dims,
             num_partitions: 1,
+            num_leaves: 1,
         }
     }
 
@@ -151,11 +181,9 @@ impl SplitTree {
         out
     }
 
-    /// Number of leaves.
+    /// Number of leaves (`O(1)` — maintained by [`SplitTree::split_leaf`]).
     pub fn num_leaves(&self) -> usize {
-        let mut n = 0;
-        self.for_each_leaf(|_, _| n += 1);
-        n
+        self.num_leaves
     }
 
     /// Maximum depth of the tree (a single leaf has depth 1).
@@ -204,6 +232,7 @@ impl SplitTree {
             left: left_id,
             right: right_id,
         });
+        self.num_leaves += 1;
         (left_id, right_id)
     }
 
@@ -498,6 +527,44 @@ mod tests {
         tree.route_s(&[-1.0, 3.0], 42, &band, 5, &mut a);
         tree.route_s(&[-1.0, 3.0], 42, &band, 5, &mut b);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn maintained_leaf_count_matches_the_walk() {
+        let mut tree = SplitTree::new(2);
+        let (l, r) = tree.split_leaf(tree.root(), 0, 5.0, SplitKind::TSplit);
+        tree.split_leaf(l, 1, 2.0, SplitKind::SSplit);
+        tree.split_leaf(r, 0, 8.0, SplitKind::TSplit);
+        assert_eq!(tree.num_leaves(), 4);
+        assert_eq!(tree.num_leaves(), tree.leaf_ids().len());
+    }
+
+    /// Deserialization recomputes the leaf count — round-trips are exact, and the
+    /// pre-PR 5 serialized format (no `num_leaves` entry) still loads. Exercised at
+    /// the serde `Value` layer because the unbounded root region's ±∞ bounds are
+    /// not representable in the JSON text format.
+    #[test]
+    fn deserialize_recomputes_leaf_count_and_accepts_legacy_blobs() {
+        let mut tree = SplitTree::new(1);
+        let (l, _) = tree.split_leaf(tree.root(), 0, 5.0, SplitKind::TSplit);
+        tree.split_leaf(l, 0, 2.0, SplitKind::SSplit);
+        tree.assign_partition_ids();
+        let value = serde::Serialize::to_value(&tree);
+        let back: SplitTree = serde::Deserialize::from_value(&value).expect("round-trip");
+        assert_eq!(back, tree);
+        assert_eq!(back.num_leaves(), 3);
+        // Strip the maintained field to emulate a blob written before it existed.
+        let serde::Value::Map(entries) = value else {
+            panic!("tree must serialize to a map");
+        };
+        let legacy: Vec<(String, serde::Value)> = entries
+            .into_iter()
+            .filter(|(name, _)| name != "num_leaves")
+            .collect();
+        assert_eq!(legacy.len(), 4, "legacy blob carries the pre-PR 5 fields");
+        let from_legacy: SplitTree =
+            serde::Deserialize::from_value(&serde::Value::Map(legacy)).expect("legacy blob");
+        assert_eq!(from_legacy, tree);
     }
 
     #[test]

@@ -7,8 +7,8 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use recpart::{
-    BandCondition, Partitioner, RecPart, RecPartConfig, RecPartResult, Relation, SampleConfig,
-    SplitScorer,
+    BandCondition, Evaluator, Partitioner, RecPart, RecPartConfig, RecPartResult, Relation,
+    SampleConfig, SplitScorer,
 };
 
 fn pareto_relation(n: usize, dims: usize, z: f64, seed: u64) -> Relation {
@@ -52,6 +52,17 @@ fn sample_config() -> SampleConfig {
 
 /// Compare everything of two results except the wall-clock fields.
 fn assert_bit_identical(a: &RecPartResult, b: &RecPartResult, label: &str) {
+    assert_eq!(
+        a.report.evaluation, b.report.evaluation,
+        "{label}: evaluation counters"
+    );
+    assert_bit_identical_except_eval_counters(a, b, label);
+}
+
+/// [`assert_bit_identical`] minus the evaluation work counters — the comparison
+/// across *evaluators*, whose `ledger_leaf_visits` differ by design while everything
+/// they compute must not.
+fn assert_bit_identical_except_eval_counters(a: &RecPartResult, b: &RecPartResult, label: &str) {
     assert_eq!(a.partitioner.tree(), b.partitioner.tree(), "{label}: tree");
     assert_eq!(
         a.partitioner.num_partitions(),
@@ -202,6 +213,88 @@ fn grid_heavy_workload_is_bit_identical_across_threads() {
     assert_bit_identical(&baseline, &reference, "grid-heavy reference scorer");
 }
 
+fn run_with_evaluator(
+    cfg: &RecPartConfig,
+    s: &Relation,
+    t: &Relation,
+    band: &BandCondition,
+    threads: usize,
+    evaluator: Evaluator,
+) -> RecPartResult {
+    let mut rng = StdRng::seed_from_u64(0x0D15_EA5E);
+    RecPart::new(cfg.clone().with_threads(threads).with_evaluator(evaluator))
+        .optimize(s, t, band, &mut rng)
+}
+
+/// Incremental evaluation at threads 1 / 0 / 4 must be bit-identical to the
+/// full-recompute oracle — everything the optimizer computes (tree, loads, report
+/// estimates) is shared; only `ledger_leaf_visits` may differ, and it must show the
+/// incremental path doing delta-sized work. One hard-skew 1-D workload with deep
+/// trees, one multi-dimensional catalog with S-splits, one wide-band grid-heavy
+/// workload where grid increments dominate.
+#[test]
+fn incremental_evaluator_is_bit_identical_across_threads_and_oracles() {
+    let workloads: Vec<(&str, Relation, Relation, BandCondition, RecPartConfig)> = vec![
+        (
+            "pareto-1d",
+            pareto_relation(20_000, 1, 1.5, 71),
+            pareto_relation(20_000, 1, 1.5, 72),
+            BandCondition::symmetric(&[0.01]),
+            RecPartConfig::new(32).with_sample(sample_config()),
+        ),
+        (
+            "catalog-3d",
+            catalog_relation(15_000, 3, 73),
+            catalog_relation(15_000, 3, 74),
+            BandCondition::symmetric(&[0.5, 2.0, 2.0]),
+            RecPartConfig::new(16).with_sample(sample_config()),
+        ),
+        (
+            "grid-heavy",
+            pareto_relation(10_000, 1, 1.5, 75),
+            pareto_relation(10_000, 1, 1.5, 76),
+            BandCondition::symmetric(&[3.0]),
+            RecPartConfig::new(12).with_sample(sample_config()),
+        ),
+    ];
+    for (label, s, t, band, cfg) in &workloads {
+        let oracle = run_with_evaluator(cfg, s, t, band, 1, Evaluator::FullRecompute);
+        let baseline = run_with_evaluator(cfg, s, t, band, 1, Evaluator::Incremental);
+        assert_bit_identical_except_eval_counters(
+            &oracle,
+            &baseline,
+            &format!("{label}: incremental vs full recompute"),
+        );
+        // evaluate() no longer iterates all leaves per split: after the initial
+        // build the ledger is touched at most twice per evaluation, while the
+        // oracle pays leaves × evaluations.
+        let (ie, oe) = (baseline.report.evaluation, oracle.report.evaluation);
+        assert_eq!(ie.evaluations, oe.evaluations, "{label}");
+        assert_eq!(ie.lpt_cells, oe.lpt_cells, "{label}");
+        assert!(
+            ie.ledger_leaf_visits <= 2 * ie.evaluations,
+            "{label}: incremental ledger visits {} exceed the delta bound for {} evaluations",
+            ie.ledger_leaf_visits,
+            ie.evaluations
+        );
+        assert!(
+            oe.ledger_leaf_visits > 2 * ie.ledger_leaf_visits,
+            "{label}: oracle must re-walk far more leaves ({} vs {})",
+            oe.ledger_leaf_visits,
+            ie.ledger_leaf_visits
+        );
+        // Thread determinism of the incremental path (counters included).
+        for threads in [0usize, 4] {
+            let parallel = run_with_evaluator(cfg, s, t, band, threads, Evaluator::Incremental);
+            assert_bit_identical(
+                &baseline,
+                &parallel,
+                &format!("{label}: incremental threads={threads}"),
+            );
+        }
+    }
+}
+
 /// The split-search counters are non-trivial and reported alongside the wall-clock.
 #[test]
 fn split_search_counters_are_populated() {
@@ -216,4 +309,10 @@ fn split_search_counters_are_populated() {
     assert!(c.candidates_scored > c.dims_scanned, "{c:?}");
     assert!(result.report.split_search_seconds >= 0.0);
     assert!(result.report.split_search_seconds <= result.report.optimization_seconds);
+    let e = result.report.evaluation;
+    assert!(e.evaluations > 0);
+    assert!(e.ledger_leaf_visits > 0);
+    assert!(e.lpt_cells >= e.evaluations, "{e:?}");
+    assert!(result.report.evaluation_seconds >= 0.0);
+    assert!(result.report.evaluation_seconds <= result.report.optimization_seconds);
 }

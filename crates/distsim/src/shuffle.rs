@@ -2,24 +2,35 @@
 //! materialize per-partition input index lists.
 //!
 //! The per-partition lists live in one flat arena per side ([`PartitionedIndex`]),
-//! built with a **two-pass counting layout**: pass 1 routes each contiguous input
-//! chunk once through the partitioner's **block API**
+//! built with a **two-pass count/scatter layout** over the partitioner's block API
 //! (`Partitioner::assign_s_block`/`assign_t_block` into an
-//! [`AssignmentSink`](recpart::AssignmentSink) — the sink records the chunk's
-//! `(partition, index)` assignments in routing order plus a per-partition count);
-//! the counts of all chunks are prefix-summed into exact arena offsets; pass 2
-//! scatters every chunk's assignments directly into its disjoint arena slices. No
-//! per-tuple `Vec<PartitionId>` buffer, no per-chunk per-partition buckets, and no
-//! merge copy — each assignment is written to its final location exactly once.
-//! Chunks are contiguous ascending index ranges laid out in chunk order, and the
-//! block API is required to emit assignments in per-tuple routing order, so the
-//! arena contents are bit-identical to per-tuple sequential routing no matter how
-//! many threads ran the fan-out. Downstream local joins and verification therefore
-//! see exactly the same inputs for every `threads` setting.
+//! [`AssignmentSink`](recpart::AssignmentSink)):
+//!
+//! * **pass 1 (count)** routes each contiguous input chunk through a *count-only*
+//!   sink — per-partition assignment counts, nothing materialized;
+//! * the counts of all chunks are prefix-summed into exact per-(chunk, partition)
+//!   arena offsets;
+//! * **pass 2 (scatter)** routes each chunk again through an *offset-aware* sink
+//!   whose per-partition write cursors start at those offsets, so every block
+//!   scatters each tuple index **directly to its final arena slot**.
+//!
+//! No per-tuple `Vec<PartitionId>` buffer, no per-chunk per-partition buckets, and
+//! no merge copy. Whether pass 2 *re-routes* (the offset-aware path above — routing
+//! runs twice, but no `(partition, tuple)` pair list is ever materialized) or
+//! replays pairs pass 1 recorded (routing runs once, 8 bytes of buffer traffic per
+//! assignment) is the partitioner's declared
+//! [`ScatterPolicy`](recpart::ScatterPolicy): cheap closed-form strategies re-route,
+//! compute-heavy split-tree descent keeps the pair list. Both policies write the
+//! identical arena. Chunks are contiguous ascending index ranges laid out in chunk
+//! order, and the block API is required to emit assignments in per-tuple routing
+//! order, so the arena contents are bit-identical to per-tuple sequential routing —
+//! and across policies — no matter how many threads ran the fan-out. Downstream
+//! local joins and verification therefore see exactly the same inputs for every
+//! `threads` setting.
 
 use crate::parallel::{chunk_ranges, Parallelism};
 use rayon::prelude::*;
-use recpart::{AssignmentSink, Partitioner, Relation};
+use recpart::{AssignmentSink, Partitioner, Relation, ScatterPolicy};
 use std::time::Instant;
 
 /// Below this many tuples a side is routed as a single chunk even in parallel mode:
@@ -125,10 +136,11 @@ struct ArenaPtr(*mut u32);
 unsafe impl Send for ArenaPtr {}
 unsafe impl Sync for ArenaPtr {}
 
-/// Route one relation into a flat per-partition arena with the two-pass counting
-/// layout described in the module docs. Pass 1 hands each contiguous chunk to the
-/// partitioner's block API — there is no per-tuple routing buffer anywhere on this
-/// path anymore.
+/// Route one relation into a flat per-partition arena with the two-pass
+/// count/scatter layout described in the module docs. Both passes hand each
+/// contiguous chunk to the partitioner's block API — there is no per-tuple routing
+/// buffer anywhere on this path, and under [`ScatterPolicy::Reroute`] no
+/// materialized pair list either.
 fn route_side<P: Partitioner + ?Sized>(
     partitioner: &P,
     rel: &Relation,
@@ -148,34 +160,41 @@ fn route_side<P: Partitioner + ?Sized>(
         return PartitionedIndex::empty(num_partitions);
     }
 
-    // Pass 1 (count): route every chunk once through the block API.
-    let route_one = |(lo, hi): (usize, usize)| -> AssignmentSink {
-        let mut sink = AssignmentSink::new(num_partitions);
-        sink.reserve(hi - lo);
-        match side {
-            Side::S => partitioner.assign_s_block(rel, lo..hi, &mut sink),
-            Side::T => partitioner.assign_t_block(rel, lo..hi, &mut sink),
-        }
+    let policy = partitioner.scatter_policy();
+    let route_chunk = |sink: &mut AssignmentSink, (lo, hi): (usize, usize)| match side {
+        Side::S => partitioner.assign_s_block(rel, lo..hi, sink),
+        Side::T => partitioner.assign_t_block(rel, lo..hi, sink),
+    };
+
+    // Pass 1 (count): route every chunk through a count-only sink — or, under
+    // [`ScatterPolicy::PairList`], a pair-recording sink so pass 2 can replay the
+    // assignments instead of re-deriving them.
+    let count_one = |range: (usize, usize)| -> AssignmentSink {
+        let mut sink = match policy {
+            ScatterPolicy::Reroute => AssignmentSink::counting(num_partitions),
+            ScatterPolicy::PairList => {
+                let mut sink = AssignmentSink::new(num_partitions);
+                sink.reserve(range.1 - range.0);
+                sink
+            }
+        };
         // Definition 1 requires h(x) ≠ ∅ for *every* tuple — check coverage per
         // tuple, not just in aggregate (a dropped tuple could otherwise hide
         // behind another tuple's duplicate).
         #[cfg(debug_assertions)]
-        {
-            let mut seen = vec![false; hi - lo];
-            for &(_, i) in sink.pairs() {
-                seen[i as usize - lo] = true;
-            }
-            debug_assert!(
-                seen.iter().all(|&s| s),
-                "partitioner dropped a tuple (Definition 1 requires h(x) != empty)"
-            );
-        }
+        sink.track_coverage(range.0..range.1);
+        route_chunk(&mut sink, range);
+        #[cfg(debug_assertions)]
+        debug_assert!(
+            sink.covered_every_tuple(),
+            "partitioner dropped a tuple (Definition 1 requires h(x) != empty)"
+        );
         sink
     };
     let chunks: Vec<AssignmentSink> = if parallel {
-        par.run(|| ranges.clone().into_par_iter().map(route_one).collect())
+        par.run(|| ranges.clone().into_par_iter().map(count_one).collect())
     } else {
-        ranges.iter().map(|&r| route_one(r)).collect()
+        ranges.iter().map(|&r| count_one(r)).collect()
     };
 
     // Exact arena offsets: partition-major totals, then per-(partition, chunk)
@@ -199,22 +218,44 @@ fn route_side<P: Partitioner + ?Sized>(
         debug_assert_eq!(&cursor, &offsets[1..]);
     }
 
-    // Pass 2: scatter every chunk's assignments into its disjoint arena slices.
+    // Pass 2 (scatter). Under [`ScatterPolicy::Reroute`], route every chunk again
+    // through an offset-aware sink — each block writes every tuple index straight to
+    // its final arena slot, and no pair list ever existed. Under
+    // [`ScatterPolicy::PairList`], replay the pairs pass 1 recorded. The two
+    // policies write the identical arena: same per-(chunk, partition) slices, same
+    // routing order within each slice.
     let mut data = vec![0u32; total];
     let arena = ArenaPtr(data.as_mut_ptr());
     // Borrow the wrapper (not the raw pointer field) so the scatter closure stays
     // `Sync` under edition-2021 disjoint capture.
     let arena = &arena;
-    let scatter = |c: usize| {
-        let mut cursor = chunk_bases[c].clone();
-        for &(p, i) in chunks[c].pairs() {
-            // Safety: `cursor[p]` stays within this chunk's slice of partition `p`
-            // (it starts at the chunk's base and advances once per counted pair),
-            // and those slices are disjoint across chunks and partitions.
-            unsafe {
-                *arena.0.add(cursor[p as usize]) = i;
+    let scatter = |c: usize| match policy {
+        ScatterPolicy::Reroute => {
+            // SAFETY: `chunk_bases[c]` starts each partition cursor at this chunk's
+            // disjoint slice of the arena (disjoint across chunks and partitions by
+            // the prefix-sum layout), the pass-1 counts size those slices exactly,
+            // and routing is a pure function of the immutable partitioner — so
+            // pass 2 emits the same assignment stream pass 1 counted.
+            let mut sink =
+                unsafe { AssignmentSink::scattering(arena.0, total, chunk_bases[c].clone()) };
+            route_chunk(&mut sink, ranges[c]);
+            debug_assert_eq!(
+                sink.len(),
+                chunks[c].len(),
+                "scatter pass routed a different assignment stream than the count pass"
+            );
+        }
+        ScatterPolicy::PairList => {
+            let mut cursor = chunk_bases[c].clone();
+            for &(p, i) in chunks[c].pairs() {
+                // SAFETY: `cursor[p]` stays within this chunk's slice of partition
+                // `p` (it starts at the chunk's base and advances once per counted
+                // pair), and those slices are disjoint across chunks and partitions.
+                unsafe {
+                    *arena.0.add(cursor[p as usize]) = i;
+                }
+                cursor[p as usize] += 1;
             }
-            cursor[p as usize] += 1;
         }
     };
     if parallel {
@@ -332,6 +373,47 @@ mod tests {
             let per_tuple = shuffle(&PerTupleFallback(&SinglePartition), &s, &t, 1, &par);
             assert_eq!(block.s_parts, per_tuple.s_parts);
             assert_eq!(block.t_parts, per_tuple.t_parts);
+        }
+    }
+
+    /// Adapter that overrides a partitioner's declared [`ScatterPolicy`], so the
+    /// tests can drive the same partitioner through both pass-2 pipelines.
+    struct ForcePolicy<'a, P: ?Sized>(&'a P, ScatterPolicy);
+    impl<P: Partitioner + ?Sized> Partitioner for ForcePolicy<'_, P> {
+        fn num_partitions(&self) -> usize {
+            self.0.num_partitions()
+        }
+        fn assign_s(&self, key: &[f64], tuple_id: u64, out: &mut Vec<PartitionId>) {
+            self.0.assign_s(key, tuple_id, out)
+        }
+        fn assign_t(&self, key: &[f64], tuple_id: u64, out: &mut Vec<PartitionId>) {
+            self.0.assign_t(key, tuple_id, out)
+        }
+        fn scatter_policy(&self) -> ScatterPolicy {
+            self.1
+        }
+        fn name(&self) -> &str {
+            self.0.name()
+        }
+    }
+
+    /// The offset-aware re-route pipeline and the pair-list pipeline must produce
+    /// bit-identical arenas — multi-partition, multi-assignment, sequential and
+    /// parallel, regardless of which policy the partitioner declares.
+    #[test]
+    fn scatter_policies_produce_identical_arenas() {
+        let s = relation(10_000);
+        let t = relation(4_321);
+        let p = ModPartitioner(11);
+        let pool = four_thread_pool();
+        let reroute = ForcePolicy(&p, ScatterPolicy::Reroute);
+        let pair_list = ForcePolicy(&p, ScatterPolicy::PairList);
+        for (rel, side) in [(&s, Side::S), (&t, Side::T)] {
+            let oracle = route_side(&pair_list, rel, 11, &Parallelism::Sequential, side);
+            for par in [Parallelism::Sequential, Parallelism::Pool(&pool)] {
+                assert_eq!(route_side(&reroute, rel, 11, &par, side), oracle);
+                assert_eq!(route_side(&pair_list, rel, 11, &par, side), oracle);
+            }
         }
     }
 

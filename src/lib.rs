@@ -59,9 +59,9 @@ pub mod prelude {
         VerificationLevel,
     };
     pub use recpart::{
-        AssignmentSink, BandCondition, CompiledRouter, LoadModel, OptimizationReport, PartitionId,
-        Partitioner, PartitioningStats, PerTupleFallback, RecPart, RecPartConfig, RecPartResult,
-        Relation, SampleConfig, SplitScorer, SplitSearchCounters, SplitTreePartitioner,
-        Termination,
+        AssignmentSink, BandCondition, CompiledRouter, EvalCounters, Evaluator, LoadModel,
+        OptimizationReport, PartitionId, Partitioner, PartitioningStats, PerTupleFallback, RecPart,
+        RecPartConfig, RecPartResult, Relation, SampleConfig, ScatterPolicy, SplitScorer,
+        SplitSearchCounters, SplitTreePartitioner, Termination,
     };
 }
