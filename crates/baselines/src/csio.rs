@@ -166,13 +166,13 @@ impl CsioPartitioner {
         // --- Per-range statistics from the full inputs (counts + attribute bounds). ---
         let mut s_stats = RangeStats::new(rows, dims);
         for key in s.iter() {
-            let r = range_of(&s_bounds, lin.key(key));
-            s_stats.add(r, key);
+            let r = range_of(&s_bounds, lin.key(&key));
+            s_stats.add(r, &key);
         }
         let mut t_stats = RangeStats::new(cols, dims);
         for key in t.iter() {
-            let c = range_of(&t_bounds, lin.key(key));
-            t_stats.add(c, key);
+            let c = range_of(&t_bounds, lin.key(&key));
+            t_stats.add(c, &key);
         }
 
         // --- Per-cell output estimates from the output sample. ---
@@ -274,7 +274,7 @@ impl Partitioner for CsioPartitioner {
     fn assign_s_block(&self, rel: &Relation, rows: Range<usize>, sink: &mut AssignmentSink) {
         sink.reserve(rows.len());
         for i in rows {
-            let r = range_of(&self.s_bounds, self.lin.key(rel.key(i)));
+            let r = range_of(&self.s_bounds, self.lin.key(&rel.key(i)));
             for &p in &self.s_range_partitions[r] {
                 sink.push(p, i as u32);
             }
@@ -284,7 +284,7 @@ impl Partitioner for CsioPartitioner {
     fn assign_t_block(&self, rel: &Relation, rows: Range<usize>, sink: &mut AssignmentSink) {
         sink.reserve(rows.len());
         for i in rows {
-            let c = range_of(&self.t_bounds, self.lin.key(rel.key(i)));
+            let c = range_of(&self.t_bounds, self.lin.key(&rel.key(i)));
             for &p in &self.t_range_partitions[c] {
                 sink.push(p, i as u32);
             }
@@ -770,14 +770,14 @@ mod tests {
         let mut t_parts = Vec::new();
         for (si, sk) in s.iter().enumerate() {
             s_parts.clear();
-            p.assign_s(sk, si as u64, &mut s_parts);
+            p.assign_s(&sk, si as u64, &mut s_parts);
             assert!(!s_parts.is_empty(), "S#{si} unassigned");
             for (ti, tk) in t.iter().enumerate() {
-                if !band.matches(sk, tk) {
+                if !band.matches(&sk, &tk) {
                     continue;
                 }
                 t_parts.clear();
-                p.assign_t(tk, ti as u64, &mut t_parts);
+                p.assign_t(&tk, ti as u64, &mut t_parts);
                 assert!(!t_parts.is_empty(), "T#{ti} unassigned");
                 let common = s_parts.iter().filter(|x| t_parts.contains(x)).count();
                 assert_eq!(common, 1, "pair (S#{si}, T#{ti}) met {common} times");

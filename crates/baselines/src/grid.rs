@@ -83,11 +83,11 @@ impl GridPartitioner {
         // tuple ends up unassigned, as Definition 1 requires h(x) ≠ ∅).
         let mut coords = vec![0i64; dims];
         for key in s.iter() {
-            builder.cell_coords(key, &mut coords);
+            builder.cell_coords(&key, &mut coords);
             builder.intern(&coords, 1.0);
         }
         for key in t.iter() {
-            builder.cell_coords(key, &mut coords);
+            builder.cell_coords(&key, &mut coords);
             builder.intern(&coords, 1.0);
         }
         builder
@@ -219,7 +219,7 @@ impl Partitioner for GridPartitioner {
         let mut coords = vec![0i64; self.band.dims()];
         sink.reserve(rows.len());
         for i in rows {
-            let id = self.cell_or_default(rel.key(i), &mut coords);
+            let id = self.cell_or_default(&rel.key(i), &mut coords);
             sink.push(id, i as u32);
         }
     }
@@ -230,9 +230,9 @@ impl Partitioner for GridPartitioner {
         sink.reserve(rows.len());
         for i in rows {
             let key = rel.key(i);
-            let any = self.for_each_t_range_cell(key, &mut scratch, |id| sink.push(id, i as u32));
+            let any = self.for_each_t_range_cell(&key, &mut scratch, |id| sink.push(id, i as u32));
             if !any {
-                let id = self.cell_or_default(key, &mut coords);
+                let id = self.cell_or_default(&key, &mut coords);
                 sink.push(id, i as u32);
             }
         }
@@ -277,14 +277,14 @@ mod tests {
         let mut t_parts = Vec::new();
         for (si, sk) in s.iter().enumerate() {
             s_parts.clear();
-            grid.assign_s(sk, si as u64, &mut s_parts);
+            grid.assign_s(&sk, si as u64, &mut s_parts);
             assert_eq!(s_parts.len(), 1, "S-tuples go to exactly one cell");
             for (ti, tk) in t.iter().enumerate() {
-                if !band.matches(sk, tk) {
+                if !band.matches(&sk, &tk) {
                     continue;
                 }
                 t_parts.clear();
-                grid.assign_t(tk, ti as u64, &mut t_parts);
+                grid.assign_t(&tk, ti as u64, &mut t_parts);
                 let common = s_parts.iter().filter(|p| t_parts.contains(p)).count();
                 assert_eq!(common, 1, "pair (S#{si}, T#{ti}) must meet exactly once");
             }
@@ -321,7 +321,7 @@ mod tests {
         let mut max_copies = 0;
         for (i, key) in t.iter().enumerate() {
             out.clear();
-            grid.assign_t(key, i as u64, &mut out);
+            grid.assign_t(&key, i as u64, &mut out);
             assert!(!out.is_empty());
             max_copies = max_copies.max(out.len());
         }

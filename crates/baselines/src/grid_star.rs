@@ -11,7 +11,6 @@ use distsim::CostModel;
 use rand::Rng;
 use recpart::{BandCondition, OutputSample, Partitioner, Relation, SampleConfig, ScatterPolicy};
 use serde::{Deserialize, Serialize};
-use std::cmp::Ordering;
 
 /// Report of the Grid\* search.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -146,19 +145,21 @@ fn predict_time(
     // LPT mapping onto workers using the cost model's per-worker weights.
     let mut order: Vec<usize> = (0..partitions).collect();
     let load = |i: f64, o: f64| cost_model.beta2 * i + cost_model.beta3 * o;
+    // Total order `(load desc, cell index asc)` via `total_cmp`, matching the
+    // executor's LPT mapping: `partial_cmp(..).unwrap_or(Equal)` under an
+    // unstable sort left the tied-cell order at the mercy of the std sort
+    // implementation, and with it the predicted max-loaded worker.
     order.sort_unstable_by(|&a, &b| {
         load(cell_input[b], cell_output[b])
-            .partial_cmp(&load(cell_input[a], cell_output[a]))
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&load(cell_input[a], cell_output[a]))
+            .then_with(|| a.cmp(&b))
     });
     let mut worker_in = vec![0.0f64; workers];
     let mut worker_out = vec![0.0f64; workers];
     for &c in &order {
         let target = (0..workers)
             .min_by(|&a, &b| {
-                load(worker_in[a], worker_out[a])
-                    .partial_cmp(&load(worker_in[b], worker_out[b]))
-                    .unwrap_or(Ordering::Equal)
+                load(worker_in[a], worker_out[a]).total_cmp(&load(worker_in[b], worker_out[b]))
             })
             .expect("at least one worker");
         worker_in[target] += cell_input[c];
@@ -166,11 +167,7 @@ fn predict_time(
     }
     let (max_in, max_out) = (0..workers)
         .map(|w| (worker_in[w], worker_out[w]))
-        .max_by(|a, b| {
-            load(a.0, a.1)
-                .partial_cmp(&load(b.0, b.1))
-                .unwrap_or(Ordering::Equal)
-        })
+        .max_by(|a, b| load(a.0, a.1).total_cmp(&load(b.0, b.1)))
         .expect("at least one worker");
 
     cost_model.predict(total_input, max_in, max_out)
@@ -267,13 +264,13 @@ mod tests {
         let mut t_parts = Vec::new();
         for (si, sk) in s.iter().enumerate() {
             s_parts.clear();
-            gs.assign_s(sk, si as u64, &mut s_parts);
+            gs.assign_s(&sk, si as u64, &mut s_parts);
             for (ti, tk) in t.iter().enumerate() {
-                if !band.matches(sk, tk) {
+                if !band.matches(&sk, &tk) {
                     continue;
                 }
                 t_parts.clear();
-                gs.assign_t(tk, ti as u64, &mut t_parts);
+                gs.assign_t(&tk, ti as u64, &mut t_parts);
                 let common = s_parts.iter().filter(|p| t_parts.contains(p)).count();
                 assert_eq!(common, 1);
             }

@@ -226,14 +226,14 @@ mod tests {
         let mut t_parts = Vec::new();
         for (si, sk) in s.iter().enumerate() {
             s_parts.clear();
-            p.assign_s(sk, si as u64, &mut s_parts);
+            p.assign_s(&sk, si as u64, &mut s_parts);
             assert!(!s_parts.is_empty());
             for (ti, tk) in t.iter().enumerate() {
-                if !band.matches(sk, tk) {
+                if !band.matches(&sk, &tk) {
                     continue;
                 }
                 t_parts.clear();
-                p.assign_t(tk, ti as u64, &mut t_parts);
+                p.assign_t(&tk, ti as u64, &mut t_parts);
                 let common = s_parts.iter().filter(|x| t_parts.contains(x)).count();
                 assert_eq!(common, 1, "pair (S#{si}, T#{ti})");
             }
@@ -254,12 +254,12 @@ mod tests {
         let mut out = Vec::new();
         for (i, key) in s.iter().enumerate() {
             out.clear();
-            p.assign_s(key, i as u64, &mut out);
+            p.assign_s(&key, i as u64, &mut out);
             assert!(!out.is_empty());
         }
         for (i, key) in t.iter().enumerate() {
             out.clear();
-            p.assign_t(key, i as u64, &mut out);
+            p.assign_t(&key, i as u64, &mut out);
             assert!(!out.is_empty());
         }
     }

@@ -15,8 +15,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use recpart::{
-    AssignmentSink, BandCondition, Partitioner, PerTupleFallback, RecPart, RecPartConfig, Relation,
-    DEFAULT_BLOCK_TUPLES,
+    AssignmentSink, BandCondition, CompiledRouter, Partitioner, PerTupleFallback, RecPart,
+    RecPartConfig, Relation, RouteKernel, DEFAULT_BLOCK_TUPLES,
 };
 
 const WORKERS: usize = 64;
@@ -57,6 +57,32 @@ fn route_blocks<P: Partitioner + ?Sized>(p: &P, s: &Relation, t: &Relation) -> u
     total
 }
 
+/// Route both sides through the compiled router with an explicit kernel.
+fn route_blocks_with_kernel(
+    router: &CompiledRouter,
+    kernel: RouteKernel,
+    s: &Relation,
+    t: &Relation,
+) -> u64 {
+    let mut sink = AssignmentSink::new(router.num_partitions());
+    let mut total = 0u64;
+    for (rel, t_side) in [(s, false), (t, true)] {
+        let mut lo = 0;
+        while lo < rel.len() {
+            let hi = (lo + DEFAULT_BLOCK_TUPLES).min(rel.len());
+            sink.reset(sink.num_partitions());
+            if t_side {
+                router.route_t_block_with(kernel, rel, lo..hi, &mut sink);
+            } else {
+                router.route_s_block_with(kernel, rel, lo..hi, &mut sink);
+            }
+            total += sink.len() as u64;
+            lo = hi;
+        }
+    }
+    total
+}
+
 /// Route both sides with the per-tuple loop (one reused buffer).
 fn route_per_tuple<P: Partitioner + ?Sized>(p: &P, s: &Relation, t: &Relation) -> u64 {
     let mut buf = Vec::new();
@@ -65,9 +91,9 @@ fn route_per_tuple<P: Partitioner + ?Sized>(p: &P, s: &Relation, t: &Relation) -
         for i in 0..rel.len() {
             buf.clear();
             if t_side {
-                p.assign_t(rel.key(i), i as u64, &mut buf);
+                p.assign_t(&rel.key(i), i as u64, &mut buf);
             } else {
-                p.assign_s(rel.key(i), i as u64, &mut buf);
+                p.assign_s(&rel.key(i), i as u64, &mut buf);
             }
             total += buf.len() as u64;
         }
@@ -89,9 +115,9 @@ fn assert_block_identity<P: Partitioner + ?Sized>(p: &P, s: &Relation, t: &Relat
         for i in 0..rel.len() {
             buf.clear();
             if t_side {
-                p.assign_t(rel.key(i), i as u64, &mut buf);
+                p.assign_t(&rel.key(i), i as u64, &mut buf);
             } else {
-                p.assign_s(rel.key(i), i as u64, &mut buf);
+                p.assign_s(&rel.key(i), i as u64, &mut buf);
             }
             for &part in &buf {
                 expected.push((part, i as u32));
@@ -122,10 +148,35 @@ fn bench_recpart_routing(c: &mut Criterion) {
     group.bench_function(BenchmarkId::new("block-default-impl", tuples), |b| {
         b.iter(|| route_blocks(&fallback, &s, &t))
     });
-    // The compiled SoA router.
+    // The compiled SoA router (whatever kernel `RouteKernel::active()` picked).
     group.bench_function(BenchmarkId::new("compiled-router", tuples), |b| {
         b.iter(|| route_blocks(&part, &s, &t))
     });
+    // One row per routing kernel: scalar per-tuple descent vs the batch
+    // segment-DFS with the portable and (where supported) AVX2 partition
+    // kernels. Each batch kernel is asserted bit-identical to scalar first.
+    let router = part.router();
+    let scalar_pairs = {
+        let mut sink = AssignmentSink::new(router.num_partitions());
+        router.route_s_block_with(RouteKernel::Scalar, &s, 0..s.len(), &mut sink);
+        router.route_t_block_with(RouteKernel::Scalar, &t, 0..t.len(), &mut sink);
+        sink.pairs().to_vec()
+    };
+    for kernel in RouteKernel::all_supported() {
+        let mut sink = AssignmentSink::new(router.num_partitions());
+        router.route_s_block_with(kernel, &s, 0..s.len(), &mut sink);
+        router.route_t_block_with(kernel, &t, 0..t.len(), &mut sink);
+        assert_eq!(
+            sink.pairs(),
+            &scalar_pairs[..],
+            "kernel {} diverged from scalar",
+            kernel.name()
+        );
+        group.bench_function(
+            BenchmarkId::new(&format!("router-kernel/{}", kernel.name()), tuples),
+            |b| b.iter(|| route_blocks_with_kernel(router, kernel, &s, &t)),
+        );
+    }
     group.finish();
 }
 

@@ -38,12 +38,12 @@ fn bench_assignment_throughput(c: &mut Criterion) {
                 let mut assignments = 0usize;
                 for (i, key) in s.iter().enumerate() {
                     buf.clear();
-                    partitioner.assign_s(key, i as u64, &mut buf);
+                    partitioner.assign_s(&key, i as u64, &mut buf);
                     assignments += buf.len();
                 }
                 for (i, key) in t.iter().enumerate() {
                     buf.clear();
-                    partitioner.assign_t(key, i as u64, &mut buf);
+                    partitioner.assign_t(&key, i as u64, &mut buf);
                     assignments += buf.len();
                 }
                 assignments

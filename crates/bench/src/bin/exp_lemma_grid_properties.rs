@@ -22,7 +22,7 @@ fn max_t_cell_count(grid: &GridPartitioner, t: &Relation) -> usize {
     let mut buf = Vec::new();
     for (i, key) in t.iter().enumerate() {
         buf.clear();
-        grid.assign_t(key, i as u64, &mut buf);
+        grid.assign_t(&key, i as u64, &mut buf);
         for &p in &buf {
             counts[p as usize] += 1;
         }

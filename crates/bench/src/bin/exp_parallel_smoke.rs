@@ -28,6 +28,12 @@
 //! produce a bit-identical arena and be no slower than the per-tuple baseline
 //! (`PerTupleFallback`, the pre-block-API path) at `threads = 1` and `threads = 0`.
 //!
+//! Finally it gates the **SIMD routing kernels**: every batch kernel
+//! (`portable`, and `avx2` where the CPU supports it) must route bit-identically
+//! to the scalar per-tuple descent and never be slower than it, and the
+//! auto-detected vector kernel must beat scalar ≥1.3× on supported hardware.
+//! The per-kernel best-of-rounds timings are written to `BENCH_routing.json`.
+//!
 //! Every timing gate takes the **minimum of three timed rounds for each side**
 //! before applying its threshold, so a noisy neighbour on a shared CI runner cannot
 //! fail the gate spuriously.
@@ -43,8 +49,8 @@ use distsim::{ExecutionReport, Executor, ExecutorConfig, VerificationLevel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use recpart::{
-    BandCondition, Evaluator, InputSample, OutputSample, PerTupleFallback, RecPart, RecPartConfig,
-    RecPartResult, SampleConfig, SplitScorer,
+    AssignmentSink, BandCondition, Evaluator, InputSample, OutputSample, PerTupleFallback, RecPart,
+    RecPartConfig, RecPartResult, RouteKernel, SampleConfig, SplitScorer, DEFAULT_BLOCK_TUPLES,
 };
 use std::time::Instant;
 
@@ -380,6 +386,98 @@ fn main() {
                  {block_best:.4}s vs {per_tuple_best:.4}s over {ROUNDS} rounds"
             ));
         }
+    }
+
+    // --- SIMD routing-kernel gate: every batch kernel must route bit-identically
+    // to the scalar per-tuple descent, no batch kernel may be slower than scalar,
+    // and on hardware with a vector unit the detected kernel must win >= 1.3x.
+    // Min of ROUNDS single-threaded rounds per kernel; a counting sink keeps the
+    // measurement on the routing itself rather than pair materialization. ---
+    let router = sweep_result.partitioner.router();
+    let pairs_of = |kernel: RouteKernel| -> Vec<(u32, u32)> {
+        let mut sink = AssignmentSink::new(router.num_partitions());
+        router.route_s_block_with(kernel, &s, 0..s.len(), &mut sink);
+        router.route_t_block_with(kernel, &t, 0..t.len(), &mut sink);
+        sink.pairs().to_vec()
+    };
+    let time_kernel = |kernel: RouteKernel| -> f64 {
+        let mut sink = AssignmentSink::counting(router.num_partitions());
+        let mut best = f64::INFINITY;
+        for _ in 0..ROUNDS {
+            let start = Instant::now();
+            for (rel, t_side) in [(&s, false), (&t, true)] {
+                let mut lo = 0;
+                while lo < rel.len() {
+                    let hi = (lo + DEFAULT_BLOCK_TUPLES).min(rel.len());
+                    sink.reset(router.num_partitions());
+                    if t_side {
+                        router.route_t_block_with(kernel, rel, lo..hi, &mut sink);
+                    } else {
+                        router.route_s_block_with(kernel, rel, lo..hi, &mut sink);
+                    }
+                    lo = hi;
+                }
+            }
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        best
+    };
+    let scalar_pairs = pairs_of(RouteKernel::Scalar);
+    let scalar_time = time_kernel(RouteKernel::Scalar);
+    let detected = RouteKernel::detect();
+    let mut kernel_report = vec![(RouteKernel::Scalar, scalar_time)];
+    for kernel in RouteKernel::all_supported() {
+        if kernel == RouteKernel::Scalar {
+            continue;
+        }
+        if pairs_of(kernel) != scalar_pairs {
+            failures.push(format!(
+                "routing kernel {} is not bit-identical to the scalar descent",
+                kernel.name()
+            ));
+            continue;
+        }
+        let time = time_kernel(kernel);
+        let speedup = scalar_time / time;
+        println!(
+            "routing kernel {}: best-of-{ROUNDS} {time:.4}s vs scalar {scalar_time:.4}s \
+             = {speedup:.2}x",
+            kernel.name()
+        );
+        if time > scalar_time * 1.05 {
+            failures.push(format!(
+                "routing kernel {} slower than the scalar baseline: {time:.4}s vs \
+                 {scalar_time:.4}s over {ROUNDS} rounds",
+                kernel.name()
+            ));
+        }
+        if !args.quick && kernel == detected && detected != RouteKernel::Portable && speedup < 1.3 {
+            failures.push(format!(
+                "vectorized routing kernel {} only {speedup:.2}x over scalar (< 1.3x) \
+                 over {ROUNDS} rounds",
+                kernel.name()
+            ));
+        }
+        kernel_report.push((kernel, time));
+    }
+
+    // Raw per-kernel timings for plotting / regression tracking.
+    let json = format!(
+        "{{\n  \"workload\": \"pareto-1d\",\n  \"tuples\": {},\n  \"partitions\": {},\n  \
+         \"cores\": {cores},\n  \"rounds\": {ROUNDS},\n  \"detected_kernel\": \"{}\",\n  \
+         \"best_seconds\": {{{}}}\n}}\n",
+        s.len() + t.len(),
+        router.num_partitions(),
+        detected.name(),
+        kernel_report
+            .iter()
+            .map(|(k, t)| format!("\"{}\": {t:.6}", k.name()))
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    let json_path = std::path::Path::new("BENCH_routing.json");
+    if std::fs::write(json_path, json).is_ok() {
+        println!("routing kernel timings written to {}", json_path.display());
     }
 
     if failures.is_empty() {

@@ -16,7 +16,7 @@
 //!
 //! | module | contents |
 //! |---|---|
-//! | [`relation`] | flat, row-major [`Relation`] storage for join-key vectors |
+//! | [`relation`] | columnar (one contiguous array per dimension) [`Relation`] storage for join-key vectors |
 //! | [`band`] | [`BandCondition`] — per-dimension (possibly asymmetric) band widths |
 //! | [`geometry`] | [`Rect`] — axis-aligned hyper-rectangles of the attribute space |
 //! | [`load`] | [`LoadModel`] (β coefficients), per-worker loads, lower bounds |
@@ -26,6 +26,7 @@
 //! | [`sample`] | input sampling and band-join output sampling |
 //! | [`split_tree`] | the recursive split tree grown by RecPart |
 //! | [`router`] | the split tree compiled into flat per-side routing tables for block routing |
+//! | [`simd`] | runtime-dispatched batch routing kernels ([`RouteKernel`]) |
 //! | [`scoring`] | split scoring: load-variance reduction / duplication increase |
 //! | [`small`] | 1-Bucket style internal sub-partitioning of "small" leaves |
 //! | [`recpart`] | the optimizer driver (Algorithm 1 of the paper) |
@@ -55,7 +56,7 @@
 //!
 //! // Every tuple is assigned to at least one partition.
 //! let mut out = Vec::new();
-//! partitioner.assign_s(s.key(0), 0, &mut out);
+//! partitioner.assign_s(&s.key(0), 0, &mut out);
 //! assert!(!out.is_empty());
 //! ```
 
@@ -75,6 +76,7 @@ pub mod relation;
 pub mod router;
 pub mod sample;
 pub mod scoring;
+pub mod simd;
 pub mod small;
 pub mod split_tree;
 
@@ -89,9 +91,10 @@ pub use partition::{
     AssignmentSink, PartitionId, Partitioner, PerTupleFallback, ScatterPolicy, DEFAULT_BLOCK_TUPLES,
 };
 pub use recpart::{OptimizationReport, RecPart, RecPartResult, SplitTreePartitioner};
-pub use relation::Relation;
+pub use relation::{Key, Relation};
 pub use router::CompiledRouter;
 pub use sample::{InputSample, OutputSample, SampleConfig};
+pub use simd::RouteKernel;
 
 /// Convenience re-exports for downstream users.
 pub mod prelude {
@@ -104,7 +107,8 @@ pub mod prelude {
         AssignmentSink, PartitionId, Partitioner, PerTupleFallback, ScatterPolicy,
     };
     pub use crate::recpart::{OptimizationReport, RecPart, RecPartResult, SplitTreePartitioner};
-    pub use crate::relation::Relation;
+    pub use crate::relation::{Key, Relation};
     pub use crate::router::CompiledRouter;
     pub use crate::sample::{InputSample, OutputSample, SampleConfig};
+    pub use crate::simd::RouteKernel;
 }

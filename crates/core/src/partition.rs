@@ -361,7 +361,7 @@ pub trait Partitioner: Send + Sync {
         let mut buf: Vec<PartitionId> = Vec::new();
         for i in rows {
             buf.clear();
-            self.assign_s(rel.key(i), i as u64, &mut buf);
+            self.assign_s(&rel.key(i), i as u64, &mut buf);
             for &p in &buf {
                 sink.push(p, i as u32);
             }
@@ -375,7 +375,7 @@ pub trait Partitioner: Send + Sync {
         let mut buf: Vec<PartitionId> = Vec::new();
         for i in rows {
             buf.clear();
-            self.assign_t(rel.key(i), i as u64, &mut buf);
+            self.assign_t(&rel.key(i), i as u64, &mut buf);
             for &p in &buf {
                 sink.push(p, i as u32);
             }
@@ -602,7 +602,7 @@ mod tests {
         let mut buf = Vec::new();
         for i in 0..r.len() {
             buf.clear();
-            p.assign_s(r.key(i), i as u64, &mut buf);
+            p.assign_s(&r.key(i), i as u64, &mut buf);
             for &part in &buf {
                 expected.push((part, i as u32));
             }

@@ -2294,14 +2294,14 @@ mod tests {
         let mut t_parts = Vec::new();
         for (si, sk) in s.iter().enumerate() {
             s_parts.clear();
-            partitioner.assign_s(sk, si as u64, &mut s_parts);
+            partitioner.assign_s(&sk, si as u64, &mut s_parts);
             assert!(!s_parts.is_empty(), "every S-tuple must go somewhere");
             for (ti, tk) in t.iter().enumerate() {
-                if !band.matches(sk, tk) {
+                if !band.matches(&sk, &tk) {
                     continue;
                 }
                 t_parts.clear();
-                partitioner.assign_t(tk, ti as u64, &mut t_parts);
+                partitioner.assign_t(&tk, ti as u64, &mut t_parts);
                 let common = s_parts.iter().filter(|p| t_parts.contains(p)).count();
                 assert_eq!(
                     common, 1,

@@ -1,23 +1,97 @@
-//! Flat storage for relations participating in a band-join.
+//! Columnar storage for relations participating in a band-join.
 //!
 //! A [`Relation`] stores, for each tuple, its vector of join-attribute values
 //! (`d` values of type `f64`). Non-join attributes of the original relation are
 //! irrelevant for partitioning decisions and are represented by the tuple's index,
 //! which downstream code can use as a payload identifier.
 //!
-//! Storage is row-major (`d` consecutive values per tuple) so that the dominant
-//! access pattern — reading the full key of one tuple during assignment and local
-//! joins — touches a single contiguous cache line.
+//! Storage is **column-major** (structure-of-arrays): one contiguous `Vec<f64>`
+//! per join dimension. The hot paths — the compiled router's compare-mask descent,
+//! split scoring, argsorts, min/max scans — each touch *one* dimension of *many*
+//! tuples, so a column is the unit that streams through the cache (and through
+//! SIMD lanes; see [`crate::simd`]). Reading the full key of one tuple becomes a
+//! small gather across `d` columns ([`Relation::key`] returns an owned [`Key`]),
+//! which is a constant-factor cost the per-tuple fallback paths pay — block
+//! routing reads the columns directly and never gathers.
+//!
+//! # Non-finite keys
+//!
+//! Join-attribute values are expected to be finite: a NaN satisfies no band
+//! predicate (every comparison is false) and an infinity breaks the band-shift
+//! arithmetic, so both indicate corrupt input. The constructors reject them with
+//! a `debug_assert` — cheap builds catch bad generators and tests early, release
+//! ingestion stays branch-free. Values arriving through deserialization are *not*
+//! re-checked (blobs were validated when first built); every ordering in this
+//! crate uses `f64::total_cmp`, so a non-finite key that does get in sorts
+//! deterministically (NaN last) instead of panicking or producing
+//! implementation-defined order.
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
+use std::ops::Deref;
 
-/// A relation restricted to its join attributes.
+/// A relation restricted to its join attributes, stored one column per dimension.
 ///
-/// Tuples are identified by their index in insertion order (`0..len`).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// Tuples are identified by their index in insertion order (`0..len`). See the
+/// module docs for the storage layout and the non-finite-key policy.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Relation {
-    dims: usize,
-    data: Vec<f64>,
+    len: usize,
+    /// One contiguous value vector per join dimension; all of length `len`.
+    columns: Vec<Vec<f64>>,
+}
+
+/// An owned join-attribute vector gathered from the columns of a [`Relation`].
+///
+/// Keys up to 8 dimensions (every workload in the paper) live inline on the
+/// stack; wider keys spill to a heap allocation. A `Key` derefs to `&[f64]`, so
+/// call sites pass `&key` wherever a key slice is expected.
+#[derive(Debug, Clone)]
+pub struct Key {
+    inline: [f64; Key::INLINE],
+    len: usize,
+    spill: Vec<f64>,
+}
+
+impl Key {
+    /// Dimensions stored without a heap allocation.
+    pub const INLINE: usize = 8;
+}
+
+impl Deref for Key {
+    type Target = [f64];
+
+    #[inline]
+    fn deref(&self) -> &[f64] {
+        if self.len <= Key::INLINE {
+            &self.inline[..self.len]
+        } else {
+            &self.spill
+        }
+    }
+}
+
+impl PartialEq for Key {
+    fn eq(&self, other: &Key) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl PartialEq<[f64]> for Key {
+    fn eq(&self, other: &[f64]) -> bool {
+        self[..] == *other
+    }
+}
+
+impl<const N: usize> PartialEq<[f64; N]> for Key {
+    fn eq(&self, other: &[f64; N]) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl<const N: usize> PartialEq<&[f64; N]> for Key {
+    fn eq(&self, other: &&[f64; N]) -> bool {
+        self[..] == other[..]
+    }
 }
 
 impl Relation {
@@ -28,8 +102,8 @@ impl Relation {
     pub fn new(dims: usize) -> Self {
         assert!(dims > 0, "a relation needs at least one join attribute");
         Relation {
-            dims,
-            data: Vec::new(),
+            len: 0,
+            columns: vec![Vec::new(); dims],
         }
     }
 
@@ -37,15 +111,17 @@ impl Relation {
     pub fn with_capacity(dims: usize, capacity: usize) -> Self {
         assert!(dims > 0, "a relation needs at least one join attribute");
         Relation {
-            dims,
-            data: Vec::with_capacity(capacity * dims),
+            len: 0,
+            columns: vec![Vec::with_capacity(capacity); dims],
         }
     }
 
-    /// Build a relation directly from a flat row-major buffer.
+    /// Build a relation from a flat **row-major** buffer (the interchange and
+    /// serialization format; the constructor transposes into columns).
     ///
     /// # Panics
-    /// Panics if the buffer length is not a multiple of `dims`.
+    /// Panics if the buffer length is not a multiple of `dims`, or (debug builds
+    /// only) if a value is non-finite — see the module docs for the policy.
     pub fn from_flat(dims: usize, data: Vec<f64>) -> Self {
         assert!(dims > 0, "a relation needs at least one join attribute");
         assert!(
@@ -54,76 +130,121 @@ impl Relation {
             data.len(),
             dims
         );
-        Relation { dims, data }
+        debug_assert!(
+            data.iter().all(|v| v.is_finite()),
+            "join-attribute values must be finite"
+        );
+        let len = data.len() / dims;
+        let columns = (0..dims)
+            .map(|d| data.iter().skip(d).step_by(dims).copied().collect())
+            .collect();
+        Relation { len, columns }
     }
 
     /// Build a 1-dimensional relation from a slice of values.
     pub fn from_values_1d(values: &[f64]) -> Self {
+        debug_assert!(
+            values.iter().all(|v| v.is_finite()),
+            "join-attribute values must be finite"
+        );
         Relation {
-            dims: 1,
-            data: values.to_vec(),
+            len: values.len(),
+            columns: vec![values.to_vec()],
         }
     }
 
     /// Number of join attributes (the dimensionality `d` of the band-join).
     #[inline]
     pub fn dims(&self) -> usize {
-        self.dims
+        self.columns.len()
     }
 
     /// Number of tuples.
     #[inline]
     pub fn len(&self) -> usize {
-        self.data.len() / self.dims
+        self.len
     }
 
     /// Whether the relation holds no tuples.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len == 0
     }
 
     /// Append one tuple.
     ///
     /// # Panics
-    /// Panics if `key.len() != self.dims()`.
+    /// Panics if `key.len() != self.dims()`, or (debug builds only) if a value is
+    /// non-finite — see the module docs for the policy.
     #[inline]
     pub fn push(&mut self, key: &[f64]) {
         assert_eq!(
             key.len(),
-            self.dims,
+            self.dims(),
             "tuple has {} attributes, relation expects {}",
             key.len(),
-            self.dims
+            self.dims()
         );
-        self.data.extend_from_slice(key);
+        debug_assert!(
+            key.iter().all(|v| v.is_finite()),
+            "join-attribute values must be finite"
+        );
+        for (col, &v) in self.columns.iter_mut().zip(key) {
+            col.push(v);
+        }
+        self.len += 1;
     }
 
-    /// The join-attribute vector of tuple `i`.
+    /// The join-attribute vector of tuple `i`, gathered across the columns.
     ///
     /// # Panics
     /// Panics if `i >= self.len()`.
     #[inline]
-    pub fn key(&self, i: usize) -> &[f64] {
-        let start = i * self.dims;
-        &self.data[start..start + self.dims]
+    pub fn key(&self, i: usize) -> Key {
+        assert!(i < self.len, "tuple index {i} out of range ({})", self.len);
+        let dims = self.dims();
+        let mut key = Key {
+            inline: [0.0; Key::INLINE],
+            len: dims,
+            spill: Vec::new(),
+        };
+        if dims <= Key::INLINE {
+            for (slot, col) in key.inline.iter_mut().zip(&self.columns) {
+                *slot = col[i];
+            }
+        } else {
+            key.spill = self.columns.iter().map(|col| col[i]).collect();
+        }
+        key
     }
 
     /// Value of attribute `dim` of tuple `i`.
     #[inline]
     pub fn value(&self, i: usize, dim: usize) -> f64 {
-        debug_assert!(dim < self.dims);
-        self.data[i * self.dims + dim]
+        self.columns[dim][i]
     }
 
-    /// Iterate over all tuple keys in insertion order.
-    pub fn iter(&self) -> impl Iterator<Item = &[f64]> + '_ {
-        self.data.chunks_exact(self.dims)
+    /// The contiguous value column of dimension `dim` (length [`Relation::len`]).
+    #[inline]
+    pub fn column(&self, dim: usize) -> &[f64] {
+        &self.columns[dim]
     }
 
-    /// The raw row-major buffer.
-    pub fn as_flat(&self) -> &[f64] {
-        &self.data
+    /// Iterate over all tuple keys in insertion order (each an owned [`Key`]).
+    pub fn iter(&self) -> Keys<'_> {
+        Keys { rel: self, i: 0 }
+    }
+
+    /// Materialize the row-major interchange form of the relation.
+    pub fn to_flat(&self) -> Vec<f64> {
+        let dims = self.dims();
+        let mut out = vec![0.0; self.len * dims];
+        for (d, col) in self.columns.iter().enumerate() {
+            for (i, &v) in col.iter().enumerate() {
+                out[i * dims + d] = v;
+            }
+        }
+        out
     }
 
     /// Per-dimension minimum over all tuples, or `None` if empty.
@@ -140,42 +261,109 @@ impl Relation {
         if self.is_empty() {
             return None;
         }
-        let mut acc = vec![init; self.dims];
-        for key in self.iter() {
-            for (a, &v) in acc.iter_mut().zip(key) {
-                *a = f(*a, v);
-            }
-        }
-        Some(acc)
+        Some(
+            self.columns
+                .iter()
+                .map(|col| col.iter().fold(init, |a, &v| f(a, v)))
+                .collect(),
+        )
     }
 
     /// Create a new relation containing the tuples at the given indices, in order.
     pub fn project(&self, indices: &[usize]) -> Relation {
-        let mut out = Relation::with_capacity(self.dims, indices.len());
-        for &i in indices {
-            out.push(self.key(i));
+        Relation {
+            len: indices.len(),
+            columns: self
+                .columns
+                .iter()
+                .map(|col| indices.iter().map(|&i| col[i]).collect())
+                .collect(),
         }
-        out
     }
 
-    /// Sort indices `0..len` by the value of `dim` (ascending, NaN-free assumed).
+    /// Sort indices `0..len` by the value of `dim`, ascending in the IEEE 754
+    /// `totalOrder` sense (`f64::total_cmp`, NaN sorting last) — the same total
+    /// order the local-join sorts use, so a non-finite key that slipped past the
+    /// ingestion check degrades identically everywhere instead of panicking here
+    /// and silently joining there.
     pub fn argsort_by_dim(&self, dim: usize) -> Vec<usize> {
-        let mut idx: Vec<usize> = (0..self.len()).collect();
-        idx.sort_by(|&a, &b| {
-            self.value(a, dim)
-                .partial_cmp(&self.value(b, dim))
-                .expect("join-attribute values must not be NaN")
-        });
+        let col = &self.columns[dim];
+        let mut idx: Vec<usize> = (0..self.len).collect();
+        idx.sort_by(|&a, &b| col[a].total_cmp(&col[b]));
         idx
     }
 }
 
+/// Iterator over the keys of a [`Relation`] in insertion order.
+pub struct Keys<'a> {
+    rel: &'a Relation,
+    i: usize,
+}
+
+impl Iterator for Keys<'_> {
+    type Item = Key;
+
+    #[inline]
+    fn next(&mut self) -> Option<Key> {
+        if self.i < self.rel.len {
+            let key = self.rel.key(self.i);
+            self.i += 1;
+            Some(key)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.rel.len - self.i;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for Keys<'_> {}
+
 impl<'a> IntoIterator for &'a Relation {
-    type Item = &'a [f64];
-    type IntoIter = std::slice::ChunksExact<'a, f64>;
+    type Item = Key;
+    type IntoIter = Keys<'a>;
 
     fn into_iter(self) -> Self::IntoIter {
-        self.data.chunks_exact(self.dims)
+        self.iter()
+    }
+}
+
+/// Serialization keeps the pre-columnar wire format — `{dims, data}` with a
+/// row-major `data` — so blobs written before the layout change load unchanged
+/// (and new blobs load into old readers).
+impl Serialize for Relation {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("dims".to_string(), Value::U64(self.dims() as u64)),
+            ("data".to_string(), self.to_flat().to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Relation {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let map = v
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected map for Relation"))?;
+        let dims: usize = Deserialize::from_value(serde::__get(map, "dims")?)?;
+        let data: Vec<f64> = Deserialize::from_value(serde::__get(map, "data")?)?;
+        if dims == 0 {
+            return Err(serde::Error::custom("Relation blob has dims == 0"));
+        }
+        if !data.len().is_multiple_of(dims) {
+            return Err(serde::Error::custom(format!(
+                "Relation blob length {} is not a multiple of dims {dims}",
+                data.len()
+            )));
+        }
+        let len = data.len() / dims;
+        let columns = (0..dims)
+            .map(|d| data.iter().skip(d).step_by(dims).copied().collect())
+            .collect();
+        Ok(Relation { len, columns })
     }
 }
 
@@ -203,15 +391,32 @@ mod tests {
     }
 
     #[test]
+    fn columns_are_contiguous_per_dimension() {
+        let r = sample_relation();
+        assert_eq!(r.column(0), &[1.0, 4.0, -1.0]);
+        assert_eq!(r.column(1), &[2.0, 5.0, 0.5]);
+        assert_eq!(r.column(2), &[3.0, 6.0, 9.0]);
+    }
+
+    #[test]
     fn iteration_matches_indexing() {
         let r = sample_relation();
-        let collected: Vec<&[f64]> = r.iter().collect();
+        let collected: Vec<Key> = r.iter().collect();
         assert_eq!(collected.len(), 3);
         for (i, key) in collected.iter().enumerate() {
             assert_eq!(*key, r.key(i));
         }
-        let via_into: Vec<&[f64]> = (&r).into_iter().collect();
+        let via_into: Vec<Key> = (&r).into_iter().collect();
         assert_eq!(via_into, collected);
+    }
+
+    #[test]
+    fn wide_keys_spill_but_stay_correct() {
+        let dims = Key::INLINE + 3;
+        let mut r = Relation::new(dims);
+        let row: Vec<f64> = (0..dims).map(|d| d as f64 * 1.5).collect();
+        r.push(&row);
+        assert_eq!(&r.key(0)[..], &row[..]);
     }
 
     #[test]
@@ -225,11 +430,12 @@ mod tests {
     }
 
     #[test]
-    fn from_flat_and_as_flat_roundtrip() {
+    fn from_flat_and_to_flat_roundtrip() {
         let r = Relation::from_flat(2, vec![1.0, 2.0, 3.0, 4.0]);
         assert_eq!(r.len(), 2);
         assert_eq!(r.key(1), &[3.0, 4.0]);
-        assert_eq!(r.as_flat(), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(r.column(0), &[1.0, 3.0]);
+        assert_eq!(r.to_flat(), vec![1.0, 2.0, 3.0, 4.0]);
     }
 
     #[test]
@@ -256,6 +462,69 @@ mod tests {
         assert_eq!(order, vec![2, 0, 1]);
         let order = r.argsort_by_dim(2);
         assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn serde_wire_format_stays_row_major() {
+        // The serialized form must be `{dims, data}` with row-major `data`, so
+        // blobs written by the row-major layout deserialize unchanged.
+        let r = sample_relation();
+        let v = r.to_value();
+        let map = v.as_map().unwrap();
+        assert_eq!(serde::__get(map, "dims").unwrap(), &Value::U64(3));
+        let data: Vec<f64> = Deserialize::from_value(serde::__get(map, "data").unwrap()).unwrap();
+        assert_eq!(data, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, -1.0, 0.5, 9.0]);
+        let back: Relation = Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn deserialize_rejects_malformed_blobs() {
+        let zero_dims = Value::Map(vec![
+            ("dims".to_string(), Value::U64(0)),
+            ("data".to_string(), Value::Seq(vec![])),
+        ]);
+        assert!(<Relation as Deserialize>::from_value(&zero_dims).is_err());
+        let ragged = Value::Map(vec![
+            ("dims".to_string(), Value::U64(2)),
+            (
+                "data".to_string(),
+                Value::Seq(vec![Value::F64(1.0), Value::F64(2.0), Value::F64(3.0)]),
+            ),
+        ]);
+        assert!(<Relation as Deserialize>::from_value(&ragged).is_err());
+    }
+
+    /// Regression test: a NaN that arrives through deserialization (the one path
+    /// that does not re-check finiteness) must argsort deterministically under
+    /// `total_cmp` — NaN last — exactly like the local-join sorts order the same
+    /// values. Pre-fix, `argsort_by_dim` panicked on the `partial_cmp().expect()`
+    /// while the local path silently accepted the tuple.
+    #[test]
+    fn argsort_orders_nan_last_instead_of_panicking() {
+        let blob = Value::Map(vec![
+            ("dims".to_string(), Value::U64(1)),
+            (
+                "data".to_string(),
+                Value::Seq(vec![
+                    Value::F64(f64::NAN),
+                    Value::F64(1.0),
+                    Value::F64(5.0),
+                    Value::F64(-3.0),
+                ]),
+            ),
+        ]);
+        let r = <Relation as Deserialize>::from_value(&blob).expect("deserialize");
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.argsort_by_dim(0), vec![3, 1, 2, 0], "NaN must sort last");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    #[cfg(debug_assertions)]
+    fn push_rejects_non_finite_keys_in_debug() {
+        let mut r = Relation::new(1);
+        r.push(&[f64::NAN]);
     }
 
     #[test]

@@ -25,6 +25,7 @@
 use crate::band::BandCondition;
 use crate::partition::{AssignmentSink, PartitionId};
 use crate::relation::Relation;
+use crate::simd::{self, RouteKernel};
 use crate::small::stable_hash;
 use crate::split_tree::{Node, SplitKind, SplitTree, T_SIDE_SALT};
 use serde::{Deserialize, Serialize};
@@ -156,6 +157,147 @@ impl SideTable {
             }
         }
     }
+
+    /// Batch descent: route a whole block of tuples through the table at once,
+    /// leveling the tree one *segment* at a time instead of one tuple at a time.
+    ///
+    /// The classic walk takes one tuple down the tree; this takes the tree down
+    /// the tuples. A segment is the list of block positions that reached a node;
+    /// an inner node splits it with one [`simd`] kernel call over the node's
+    /// *column* (the columnar [`Relation`] makes that a contiguous gather), a
+    /// leaf turns its segment into `(position, partition)` pairs. Segments keep
+    /// their positions in block order (the kernels are stable partitions), and
+    /// the pair stream is finally transposed back to per-tuple order with a
+    /// stable counting sort, so the emitted stream is **bit-identical** to the
+    /// per-tuple [`descend`](SideTable::descend) loop:
+    ///
+    /// * tuples ascend in block order (the counting sort groups by position);
+    /// * within one tuple, pairs appear in DFS order with the right subtree of
+    ///   a duplicating node first — the segment stack pushes left before right,
+    ///   so LIFO pops mirror the per-tuple stack exactly, and the counting
+    ///   sort's stability preserves that order within each position.
+    ///
+    /// Node fields are read with plain (checked) indexing: the cost is per
+    /// *segment*, not per tuple, so there is nothing to win by `get_unchecked`
+    /// here. Column reads inside the kernels are unchecked; soundness comes
+    /// from the `rows` bound assert below plus segments only ever containing
+    /// positions from `rows`.
+    fn descend_block(
+        &self,
+        root: u32,
+        rel: &Relation,
+        rows: Range<usize>,
+        kernel: RouteKernel,
+        scratch: &mut BlockScratch,
+        mut emit: impl FnMut(PartitionId, u32),
+    ) {
+        assert!(rows.end <= rel.len(), "block rows out of range");
+        if rows.is_empty() {
+            return;
+        }
+        let base = rows.start as u32;
+        let n_rows = rows.len();
+
+        let mut seg = scratch.pool.pop().unwrap_or_default();
+        seg.clear();
+        seg.extend(rows.map(|i| i as u32));
+        scratch.stack.push((root, seg));
+        scratch.pairs.clear();
+
+        while let Some((n, seg)) = scratch.stack.pop() {
+            let n = n as usize;
+            if self.flags[n] & FLAG_LEAF != 0 {
+                let copies = self.leaf_copies[n];
+                let choices = self.leaf_choices[n];
+                let leaf_base = self.leaf_base[n];
+                let stride = self.leaf_stride[n];
+                if choices == 1 {
+                    for &pos in &seg {
+                        for c in 0..copies {
+                            scratch.pairs.push((pos, leaf_base + c * stride));
+                        }
+                    }
+                } else {
+                    let seed = self.leaf_seeds[n];
+                    let choice_stride = self.leaf_choice_stride[n];
+                    for &pos in &seg {
+                        let first = leaf_base
+                            + (stable_hash(seed, pos as u64) % choices as u64) as u32
+                                * choice_stride;
+                        for c in 0..copies {
+                            scratch.pairs.push((pos, first + c * stride));
+                        }
+                    }
+                }
+                scratch.pool.push(seg);
+            } else {
+                let col = rel.column(self.dims[n] as usize);
+                let boundary = self.boundaries[n];
+                let mut left = scratch.pool.pop().unwrap_or_default();
+                let mut right = scratch.pool.pop().unwrap_or_default();
+                if self.flags[n] & FLAG_DUP != 0 {
+                    simd::partition_dup(
+                        kernel,
+                        col,
+                        &seg,
+                        boundary,
+                        self.subs[n],
+                        self.adds[n],
+                        &mut left,
+                        &mut right,
+                    );
+                } else {
+                    simd::partition_single(kernel, col, &seg, boundary, &mut left, &mut right);
+                }
+                scratch.pool.push(seg);
+                // Left pushed before right: the LIFO pop visits the right
+                // subtree first, matching the per-tuple walk's emission order.
+                for (child, child_seg) in [(self.lefts[n], left), (self.rights[n], right)] {
+                    if child_seg.is_empty() {
+                        scratch.pool.push(child_seg);
+                    } else {
+                        scratch.stack.push((child, child_seg));
+                    }
+                }
+            }
+        }
+
+        // Stable counting-sort transpose: group the pair stream by position
+        // (ascending), preserving emission order within each position.
+        scratch.counts.clear();
+        scratch.counts.resize(n_rows, 0);
+        for &(pos, _) in &scratch.pairs {
+            scratch.counts[(pos - base) as usize] += 1;
+        }
+        let mut offset = 0u32;
+        for slot in scratch.counts.iter_mut() {
+            let count = *slot;
+            *slot = offset;
+            offset += count;
+        }
+        scratch.sorted.clear();
+        scratch.sorted.resize(scratch.pairs.len(), (0, 0));
+        for &(pos, part) in &scratch.pairs {
+            let slot = &mut scratch.counts[(pos - base) as usize];
+            scratch.sorted[*slot as usize] = (pos, part);
+            *slot += 1;
+        }
+        for &(pos, part) in &scratch.sorted {
+            emit(part, pos);
+        }
+    }
+}
+
+/// Reusable working memory of one [`SideTable::descend_block`] call: the
+/// segment stack, a pool of retired segment buffers, and the pair stream plus
+/// its counting-sort transpose. One instance serves any number of blocks.
+#[derive(Debug, Default)]
+struct BlockScratch {
+    stack: Vec<(u32, Vec<u32>)>,
+    pool: Vec<Vec<u32>>,
+    pairs: Vec<(u32, PartitionId)>,
+    sorted: Vec<(u32, PartitionId)>,
+    counts: Vec<u32>,
 }
 
 /// A [`SplitTree`] compiled into flat per-side routing tables (see the module docs).
@@ -292,10 +434,34 @@ impl CompiledRouter {
                 ));
             }
             for i in 0..n {
-                if side.flags[i] & FLAG_LEAF == 0
-                    && (side.lefts[i] as usize >= n || side.rights[i] as usize >= n)
-                {
-                    return Err(format!("{label}-side node {i} has an out-of-range child"));
+                if side.flags[i] & FLAG_LEAF == 0 {
+                    if side.lefts[i] as usize >= n || side.rights[i] as usize >= n {
+                        return Err(format!("{label}-side node {i} has an out-of-range child"));
+                    }
+                } else {
+                    // Leaf payloads feed unchecked arithmetic in `descend`:
+                    // `choices == 0` would divide by zero in the grid hash, and an
+                    // oversized base/stride/copies would emit partition ids
+                    // `>= num_partitions`, corrupting the CSR arena scatter
+                    // downstream. Compute the maximum reachable id in u64 so the
+                    // check itself cannot overflow.
+                    let (copies, choices) = (side.leaf_copies[i], side.leaf_choices[i]);
+                    if choices == 0 || copies == 0 {
+                        return Err(format!(
+                            "{label}-side leaf {i} has a zero grid extent \
+                             (copies={copies}, choices={choices})"
+                        ));
+                    }
+                    let max_id = side.leaf_base[i] as u64
+                        + (choices as u64 - 1) * side.leaf_choice_stride[i] as u64
+                        + (copies as u64 - 1) * side.leaf_stride[i] as u64;
+                    if max_id >= self.num_partitions as u64 {
+                        return Err(format!(
+                            "{label}-side leaf {i} can reach partition {max_id}, but the \
+                             router has only {} partitions",
+                            self.num_partitions
+                        ));
+                    }
                 }
             }
         }
@@ -313,25 +479,73 @@ impl CompiledRouter {
     }
 
     /// Route the S-tuples `rows` of `rel` into `sink` (bit-identical ids and order
-    /// to [`SplitTree::route_s`] per tuple, tuples in ascending index order).
+    /// to [`SplitTree::route_s`] per tuple, tuples in ascending index order),
+    /// using the process-wide routing kernel ([`RouteKernel::active`]).
     pub fn route_s_block(&self, rel: &Relation, rows: Range<usize>, sink: &mut AssignmentSink) {
-        let mut stack = self.stack();
-        for i in rows {
-            self.s_side
-                .descend(self.root, rel.key(i), i as u64, &mut stack, |p| {
-                    sink.push(p, i as u32)
-                });
-        }
+        self.route_s_block_with(RouteKernel::active(), rel, rows, sink);
     }
 
     /// Route the T-tuples `rows` of `rel` into `sink`.
     pub fn route_t_block(&self, rel: &Relation, rows: Range<usize>, sink: &mut AssignmentSink) {
-        let mut stack = self.stack();
-        for i in rows {
-            self.t_side
-                .descend(self.root, rel.key(i), i as u64, &mut stack, |p| {
-                    sink.push(p, i as u32)
-                });
+        self.route_t_block_with(RouteKernel::active(), rel, rows, sink);
+    }
+
+    /// [`route_s_block`](CompiledRouter::route_s_block) with an explicit
+    /// kernel. [`RouteKernel::Scalar`] runs the per-tuple descent loop
+    /// verbatim; the batch kernels must produce a bit-identical stream (tests
+    /// and the CI smoke gate hold them to it).
+    pub fn route_s_block_with(
+        &self,
+        kernel: RouteKernel,
+        rel: &Relation,
+        rows: Range<usize>,
+        sink: &mut AssignmentSink,
+    ) {
+        match kernel {
+            RouteKernel::Scalar => {
+                let mut stack = self.stack();
+                for i in rows {
+                    self.s_side
+                        .descend(self.root, &rel.key(i), i as u64, &mut stack, |p| {
+                            sink.push(p, i as u32)
+                        });
+                }
+            }
+            _ => {
+                let mut scratch = BlockScratch::default();
+                self.s_side
+                    .descend_block(self.root, rel, rows, kernel, &mut scratch, |p, i| {
+                        sink.push(p, i)
+                    });
+            }
+        }
+    }
+
+    /// [`route_t_block`](CompiledRouter::route_t_block) with an explicit kernel.
+    pub fn route_t_block_with(
+        &self,
+        kernel: RouteKernel,
+        rel: &Relation,
+        rows: Range<usize>,
+        sink: &mut AssignmentSink,
+    ) {
+        match kernel {
+            RouteKernel::Scalar => {
+                let mut stack = self.stack();
+                for i in rows {
+                    self.t_side
+                        .descend(self.root, &rel.key(i), i as u64, &mut stack, |p| {
+                            sink.push(p, i as u32)
+                        });
+                }
+            }
+            _ => {
+                let mut scratch = BlockScratch::default();
+                self.t_side
+                    .descend_block(self.root, rel, rows, kernel, &mut scratch, |p, i| {
+                        sink.push(p, i)
+                    });
+            }
         }
     }
 
@@ -501,7 +715,7 @@ mod tests {
         let mut buf = Vec::new();
         for i in 0..rel.len() {
             buf.clear();
-            router.route_s(rel.key(i), i as u64, &mut buf);
+            router.route_s(&rel.key(i), i as u64, &mut buf);
             for &p in &buf {
                 expected.push((p, i as u32));
             }
@@ -514,6 +728,45 @@ mod tests {
         router.route_s_block(&rel, 0..100, &mut split);
         router.route_s_block(&rel, 100..rel.len(), &mut split);
         assert_eq!(split.pairs(), &expected[..]);
+    }
+
+    #[test]
+    fn batch_kernels_match_scalar_on_gridded_trees() {
+        // The mixed tree has duplicating splits on both sides and a 2×3 gridded
+        // leaf, so this exercises the hashed-choice leaf emission and both
+        // partition kernels of every supported batch implementation.
+        let (tree, band) = mixed_tree();
+        let router = CompiledRouter::compile(&tree, &band, 21);
+        let mut rel = Relation::new(1);
+        for i in 0..533 {
+            rel.push(&[(i as f64) * 0.023 - 1.0]);
+        }
+        for t_side in [false, true] {
+            let mut oracle = AssignmentSink::new(router.num_partitions());
+            if t_side {
+                router.route_t_block_with(RouteKernel::Scalar, &rel, 0..rel.len(), &mut oracle);
+            } else {
+                router.route_s_block_with(RouteKernel::Scalar, &rel, 0..rel.len(), &mut oracle);
+            }
+            for kernel in RouteKernel::all_supported() {
+                let mut got = AssignmentSink::new(router.num_partitions());
+                // Split at an odd offset so segments hit both the vector body
+                // and the tail lanes.
+                for range in [0..311, 311..rel.len()] {
+                    if t_side {
+                        router.route_t_block_with(kernel, &rel, range, &mut got);
+                    } else {
+                        router.route_s_block_with(kernel, &rel, range, &mut got);
+                    }
+                }
+                assert_eq!(
+                    got.pairs(),
+                    oracle.pairs(),
+                    "kernel {} diverged on t_side={t_side}",
+                    kernel.name()
+                );
+            }
+        }
     }
 
     #[test]
@@ -541,6 +794,54 @@ mod tests {
         let mut bad_len = good;
         bad_len.t_side.boundaries.pop();
         assert!(bad_len.validate().is_err());
+    }
+
+    /// Regression test: leaf payloads are read with `get_unchecked` arithmetic, so
+    /// `validate` must reject them too — pre-fix it only checked child pointers,
+    /// letting a corrupted blob reach a `% 0` (choices) or emit partition ids
+    /// `>= num_partitions` (oversized base/stride/copies) from safe code.
+    #[test]
+    fn validate_rejects_corrupt_leaf_payloads() {
+        let (tree, band) = mixed_tree();
+        let good = CompiledRouter::compile(&tree, &band, 9);
+        let leaf = (0..good.s_side.flags.len())
+            .find(|&i| good.s_side.flags[i] & FLAG_LEAF != 0)
+            .expect("tree has leaves");
+
+        // `choices == 0` divides by zero in the grid hash.
+        let mut zero_choices = good.clone();
+        zero_choices.s_side.leaf_choices[leaf] = 0;
+        assert!(zero_choices.validate().is_err());
+
+        // `copies == 0` means a leaf that silently drops tuples.
+        let mut zero_copies = good.clone();
+        zero_copies.t_side.leaf_copies[leaf] = 0;
+        assert!(zero_copies.validate().is_err());
+
+        // An oversized base emits ids past the partition range.
+        let mut big_base = good.clone();
+        big_base.s_side.leaf_base[leaf] = good.num_partitions;
+        assert!(big_base.validate().is_err());
+
+        // An oversized stride also escapes the range — and `u32` arithmetic in the
+        // check itself must not wrap around back into range. Use the gridded leaf
+        // (T copies > 1), where the stride actually multiplies.
+        let gridded = (0..good.t_side.flags.len())
+            .find(|&i| good.t_side.flags[i] & FLAG_LEAF != 0 && good.t_side.leaf_copies[i] > 1)
+            .expect("tree has a gridded leaf");
+        let mut big_stride = good.clone();
+        big_stride.t_side.leaf_stride[gridded] = u32::MAX;
+        assert!(big_stride.validate().is_err());
+
+        // Corrupted-blob round trip: serialization happily writes the corrupt
+        // router, but the deserialization gate must refuse to rebuild it.
+        for bad in [&zero_choices, &zero_copies, &big_base, &big_stride] {
+            let json = serde_json::to_string(bad).expect("serialize");
+            assert!(
+                serde_json::from_str::<CompiledRouter>(&json).is_err(),
+                "corrupt leaf payload must be rejected at deserialization"
+            );
+        }
     }
 
     #[test]

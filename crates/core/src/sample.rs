@@ -74,13 +74,13 @@ impl InputSample {
         let size = size.min(n);
         let mut data = Vec::with_capacity(size * relation.dims());
         if size == n {
-            data.extend_from_slice(relation.as_flat());
+            data.extend_from_slice(&relation.to_flat());
         } else {
             // Index sample without replacement.
             let mut indices: Vec<usize> = (0..n).collect();
             indices.partial_shuffle(rng, size);
             for &i in indices.iter().take(size) {
-                data.extend_from_slice(relation.key(i));
+                data.extend_from_slice(&relation.key(i));
             }
         }
         InputSample {
@@ -194,7 +194,7 @@ impl OutputSample {
             let end = sorted_vals.partition_point(|&v| v <= hi);
             let mut matched = Vec::new();
             for &ti in &order[start..end] {
-                if band.matches(s_key, t.key(ti)) {
+                if band.matches(&s_key, &t.key(ti)) {
                     matched.push(ti);
                 }
             }
@@ -223,8 +223,8 @@ impl OutputSample {
                 let (si, ref matched) = matches_per_probe[probe_idx];
                 let within = r - cumulative[probe_idx];
                 let ti = matched[within];
-                pairs.extend_from_slice(s.key(si));
-                pairs.extend_from_slice(t.key(ti));
+                pairs.extend_from_slice(&s.key(si));
+                pairs.extend_from_slice(&t.key(ti));
             }
         }
 
@@ -392,7 +392,7 @@ mod tests {
         let mut exact = 0u64;
         for sk in s.iter() {
             for tk in t.iter() {
-                if band.matches(sk, tk) {
+                if band.matches(&sk, &tk) {
                     exact += 1;
                 }
             }

@@ -1,0 +1,516 @@
+//! Runtime-dispatched SIMD kernels for batch split-tree routing.
+//!
+//! The columnar [`Relation`](crate::relation::Relation) layout stores each join
+//! dimension as one contiguous `Vec<f64>`, so a split node's test
+//! (`key[dim] < boundary`, plus the band-shifted variants on the duplicated
+//! side) is a *vertical* operation: gather the column values of a segment of
+//! tuple positions, compare them against one broadcast boundary, and split the
+//! segment into the left-going and right-going position lists. This module
+//! provides that primitive — a **stable partition of a position segment by a
+//! column predicate** — in three interchangeable implementations:
+//!
+//! * [`RouteKernel::Scalar`] — no batch descent at all; the router falls back
+//!   to the per-tuple [`descend`](crate::router::CompiledRouter) walk. This is
+//!   the measured baseline and the bit-identity oracle for the other kernels.
+//! * [`RouteKernel::Portable`] — branchless scalar code (always write the
+//!   position, conditionally advance the cursor) that autovectorizes on any
+//!   target and has no data-dependent branches.
+//! * [`RouteKernel::Avx2`] — x86-64 AVX2: four keys per iteration via
+//!   `vgatherdpd`, one `vcmppd` per side, and a 16-entry `pshufb` lookup table
+//!   that compress-stores the surviving positions. Selected at runtime with
+//!   [`is_x86_feature_detected!`]; never compiled into the binary's
+//!   unconditional code path, so the same build runs on non-AVX2 hardware.
+//!
+//! NEON (aarch64) would slot in the same way; it is tracked as a follow-up in
+//! `ROADMAP.md` because this repository's CI only exercises x86-64.
+//!
+//! # Bit-identity contract
+//!
+//! Every kernel must route **bit-identically** to the scalar per-tuple walk:
+//! the same partition ids in the same order for every tuple, including
+//! non-finite keys. The comparisons are chosen to match IEEE-754 semantics of
+//! the scalar code exactly:
+//!
+//! * the partitioned side's `k < boundary` maps to an *ordered* SIMD compare
+//!   (`_CMP_LT_OQ`), which is false for NaN — so a NaN key goes right, exactly
+//!   like the scalar `if k < boundary { left } else { right }`;
+//! * the duplicated side's `k - sub < boundary` / `k + add ≥ boundary` map to
+//!   `_CMP_LT_OQ` / `_CMP_GE_OQ`, both false for NaN — a NaN key is dropped at
+//!   a duplicating node, exactly like the scalar walk.
+//!
+//! (Relations reject non-finite keys at the API boundary — see the
+//! [`relation`](crate::relation) module docs — but deserialized data can still
+//! carry them, and the kernels must not diverge when it does.)
+//!
+//! # Forcing a kernel
+//!
+//! The environment variable `BAND_JOIN_ROUTE_KERNEL` overrides detection:
+//! `scalar`, `portable`, `avx2`, or `auto` (the default). Forcing a kernel the
+//! CPU does not support panics at first use rather than silently downgrading,
+//! so CI gates measure what they claim to measure.
+
+use std::sync::OnceLock;
+
+/// Which routing kernel the batch descent uses. See the module docs for what
+/// each variant does and how [`RouteKernel::active`] picks one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RouteKernel {
+    /// Per-tuple scalar descent (the baseline and bit-identity oracle).
+    Scalar,
+    /// Branchless portable batch kernels (any target).
+    Portable,
+    /// AVX2 gather + compare + compress-store batch kernels (x86-64 only).
+    #[cfg(target_arch = "x86_64")]
+    Avx2,
+}
+
+impl RouteKernel {
+    /// The best kernel the current CPU supports, ignoring the environment.
+    pub fn detect() -> RouteKernel {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2") {
+                return RouteKernel::Avx2;
+            }
+        }
+        RouteKernel::Portable
+    }
+
+    /// The kernel the router uses, resolved once per process: the
+    /// `BAND_JOIN_ROUTE_KERNEL` environment variable if set (`scalar`,
+    /// `portable`, `avx2`, `auto`), otherwise [`RouteKernel::detect`].
+    ///
+    /// # Panics
+    /// Panics if the variable names a kernel this CPU cannot run (or an
+    /// unknown name) — a forced kernel that silently downgraded would make
+    /// benchmark gates meaningless.
+    pub fn active() -> RouteKernel {
+        static ACTIVE: OnceLock<RouteKernel> = OnceLock::new();
+        *ACTIVE.get_or_init(|| match std::env::var("BAND_JOIN_ROUTE_KERNEL") {
+            Ok(v) => Self::from_name(&v).unwrap_or_else(|| {
+                panic!("BAND_JOIN_ROUTE_KERNEL={v:?} is not available (expected scalar, portable, avx2, or auto)")
+            }),
+            Err(_) => Self::detect(),
+        })
+    }
+
+    /// Parse a kernel name; `None` if unknown or unsupported on this CPU.
+    pub fn from_name(name: &str) -> Option<RouteKernel> {
+        match name.to_ascii_lowercase().as_str() {
+            "scalar" => Some(RouteKernel::Scalar),
+            "portable" => Some(RouteKernel::Portable),
+            "auto" => Some(Self::detect()),
+            #[cfg(target_arch = "x86_64")]
+            "avx2" if std::arch::is_x86_feature_detected!("avx2") => Some(RouteKernel::Avx2),
+            _ => None,
+        }
+    }
+
+    /// Every kernel the current CPU can run (always includes `Scalar` and
+    /// `Portable`). Used by tests and benchmarks to sweep the whole matrix.
+    pub fn all_supported() -> Vec<RouteKernel> {
+        let mut all = vec![RouteKernel::Scalar, RouteKernel::Portable];
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2") {
+                all.push(RouteKernel::Avx2);
+            }
+        }
+        all
+    }
+
+    /// Stable lowercase name (`scalar` / `portable` / `avx2`), accepted back
+    /// by [`RouteKernel::from_name`] and used in benchmark reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RouteKernel::Scalar => "scalar",
+            RouteKernel::Portable => "portable",
+            #[cfg(target_arch = "x86_64")]
+            RouteKernel::Avx2 => "avx2",
+        }
+    }
+}
+
+/// Stable-partition the positions of `seg` by the test `col[pos] < boundary`:
+/// passing positions append to `left`, failing ones (including NaN) to
+/// `right`, both in `seg` order. `left`/`right` are cleared first.
+///
+/// `kernel` must not be [`RouteKernel::Scalar`] (the scalar path never builds
+/// segments); every position in `seg` must index into `col`.
+#[inline]
+pub(crate) fn partition_single(
+    kernel: RouteKernel,
+    col: &[f64],
+    seg: &[u32],
+    boundary: f64,
+    left: &mut Vec<u32>,
+    right: &mut Vec<u32>,
+) {
+    debug_assert!(seg.iter().all(|&p| (p as usize) < col.len()));
+    match kernel {
+        RouteKernel::Scalar => unreachable!("scalar kernel routes per tuple, not per segment"),
+        RouteKernel::Portable => portable::partition_single(col, seg, boundary, left, right),
+        #[cfg(target_arch = "x86_64")]
+        // Safety: `Avx2` is only constructed after `is_x86_feature_detected!("avx2")`.
+        RouteKernel::Avx2 => unsafe { avx2::partition_single(col, seg, boundary, left, right) },
+    }
+}
+
+/// Stable-partition the positions of `seg` for a *duplicating* node: a
+/// position goes to `left` if `col[pos] - sub < boundary` and to `right` if
+/// `col[pos] + add >= boundary` — possibly both, possibly (NaN) neither.
+/// Same contract as [`partition_single`] otherwise.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn partition_dup(
+    kernel: RouteKernel,
+    col: &[f64],
+    seg: &[u32],
+    boundary: f64,
+    sub: f64,
+    add: f64,
+    left: &mut Vec<u32>,
+    right: &mut Vec<u32>,
+) {
+    debug_assert!(seg.iter().all(|&p| (p as usize) < col.len()));
+    match kernel {
+        RouteKernel::Scalar => unreachable!("scalar kernel routes per tuple, not per segment"),
+        RouteKernel::Portable => portable::partition_dup(col, seg, boundary, sub, add, left, right),
+        #[cfg(target_arch = "x86_64")]
+        // Safety: `Avx2` is only constructed after `is_x86_feature_detected!("avx2")`.
+        RouteKernel::Avx2 => unsafe {
+            avx2::partition_dup(col, seg, boundary, sub, add, left, right)
+        },
+    }
+}
+
+/// Branchless portable kernels: every iteration writes the position to both
+/// output cursors and advances each cursor by the predicate's 0/1 value, so
+/// there is no data-dependent branch for the hardware to mispredict and the
+/// loop autovectorizes on targets with gather support.
+mod portable {
+    /// Cursor invariant (both functions): before iteration `i` each cursor is at
+    /// offset `≤ i`, so the unconditional write lands at offset `≤ seg.len()-1`
+    /// — within the `seg.len()` slots reserved up front.
+    pub(super) fn partition_single(
+        col: &[f64],
+        seg: &[u32],
+        boundary: f64,
+        left: &mut Vec<u32>,
+        right: &mut Vec<u32>,
+    ) {
+        left.clear();
+        right.clear();
+        left.reserve(seg.len());
+        right.reserve(seg.len());
+        let mut lp = left.as_mut_ptr();
+        let mut rp = right.as_mut_ptr();
+        for &pos in seg {
+            // Safety: the caller guarantees every position indexes `col`, and
+            // the cursor invariant keeps both writes inside the reservation.
+            unsafe {
+                let k = *col.get_unchecked(pos as usize);
+                let goes_left = (k < boundary) as usize;
+                *lp = pos;
+                *rp = pos;
+                lp = lp.add(goes_left);
+                rp = rp.add(1 - goes_left);
+            }
+        }
+        // Safety: the cursors never passed `seg.len()` elements.
+        unsafe {
+            left.set_len(lp.offset_from(left.as_ptr()) as usize);
+            right.set_len(rp.offset_from(right.as_ptr()) as usize);
+        }
+    }
+
+    pub(super) fn partition_dup(
+        col: &[f64],
+        seg: &[u32],
+        boundary: f64,
+        sub: f64,
+        add: f64,
+        left: &mut Vec<u32>,
+        right: &mut Vec<u32>,
+    ) {
+        left.clear();
+        right.clear();
+        left.reserve(seg.len());
+        right.reserve(seg.len());
+        let mut lp = left.as_mut_ptr();
+        let mut rp = right.as_mut_ptr();
+        for &pos in seg {
+            // Safety: see `partition_single`.
+            unsafe {
+                let k = *col.get_unchecked(pos as usize);
+                *lp = pos;
+                *rp = pos;
+                lp = lp.add((k - sub < boundary) as usize);
+                rp = rp.add((k + add >= boundary) as usize);
+            }
+        }
+        // Safety: the cursors never passed `seg.len()` elements.
+        unsafe {
+            left.set_len(lp.offset_from(left.as_ptr()) as usize);
+            right.set_len(rp.offset_from(right.as_ptr()) as usize);
+        }
+    }
+}
+
+/// AVX2 kernels: gather four column values per iteration, compare all four
+/// against the broadcast boundary, and compress-store the surviving positions
+/// with a `pshufb` lookup keyed by the 4-bit compare mask.
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use std::arch::x86_64::*;
+
+    /// `pshufb` controls that pack the selected 4-byte lanes of a 4×u32 vector
+    /// to the front, one entry per 4-bit selection mask. Unselected output
+    /// bytes are `0x80` (pshufb writes zero there); they sit past the cursor
+    /// advance and are overwritten or truncated away.
+    const COMPRESS: [[u8; 16]; 16] = build_compress_lut();
+
+    const fn build_compress_lut() -> [[u8; 16]; 16] {
+        let mut lut = [[0x80u8; 16]; 16];
+        let mut mask = 0;
+        while mask < 16 {
+            let mut out_lane = 0;
+            let mut lane = 0;
+            while lane < 4 {
+                if mask & (1 << lane) != 0 {
+                    let mut b = 0;
+                    while b < 4 {
+                        lut[mask][out_lane * 4 + b] = (lane * 4 + b) as u8;
+                        b += 1;
+                    }
+                    out_lane += 1;
+                }
+                lane += 1;
+            }
+            mask += 1;
+        }
+        lut
+    }
+
+    /// Compress-store the positions of `idx` selected by `mask` at `cursor`,
+    /// returning the advanced cursor. Always stores 16 bytes; the caller's
+    /// reservation proof covers the overstore (see the module docs).
+    #[inline(always)]
+    unsafe fn compress_store(cursor: *mut u32, idx: __m128i, mask: usize) -> *mut u32 {
+        let shuffled = _mm_shuffle_epi8(
+            idx,
+            _mm_loadu_si128(COMPRESS[mask].as_ptr() as *const __m128i),
+        );
+        _mm_storeu_si128(cursor as *mut __m128i, shuffled);
+        cursor.add(mask.count_ones() as usize)
+    }
+
+    /// # Safety
+    /// AVX2 must be available and every position in `seg` must index `col`.
+    ///
+    /// Store-bounds proof: in the vector loop `i + 4 <= seg.len()` and each
+    /// cursor is at offset `≤ i`, so the 16-byte store touches offsets
+    /// `< i + 4 <= seg.len()` — within the `seg.len()` slots reserved up
+    /// front. The scalar tail writes single elements at offsets `≤ seg.len()-1`.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn partition_single(
+        col: &[f64],
+        seg: &[u32],
+        boundary: f64,
+        left: &mut Vec<u32>,
+        right: &mut Vec<u32>,
+    ) {
+        left.clear();
+        right.clear();
+        left.reserve(seg.len());
+        right.reserve(seg.len());
+        let mut lp = left.as_mut_ptr();
+        let mut rp = right.as_mut_ptr();
+        let b = _mm256_set1_pd(boundary);
+        let mut i = 0;
+        while i + 4 <= seg.len() {
+            let idx = _mm_loadu_si128(seg.as_ptr().add(i) as *const __m128i);
+            let keys = _mm256_i32gather_pd::<8>(col.as_ptr(), idx);
+            // Ordered compare: NaN fails and falls through to the right side,
+            // matching the scalar `if k < boundary { left } else { right }`.
+            let lt = _mm256_movemask_pd(_mm256_cmp_pd::<_CMP_LT_OQ>(keys, b)) as usize;
+            lp = compress_store(lp, idx, lt);
+            rp = compress_store(rp, idx, lt ^ 0xF);
+            i += 4;
+        }
+        for &pos in &seg[i..] {
+            let k = *col.get_unchecked(pos as usize);
+            let goes_left = (k < boundary) as usize;
+            *lp = pos;
+            *rp = pos;
+            lp = lp.add(goes_left);
+            rp = rp.add(1 - goes_left);
+        }
+        left.set_len(lp.offset_from(left.as_ptr()) as usize);
+        right.set_len(rp.offset_from(right.as_ptr()) as usize);
+    }
+
+    /// # Safety
+    /// Same contract and bounds proof as [`partition_single`].
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn partition_dup(
+        col: &[f64],
+        seg: &[u32],
+        boundary: f64,
+        sub: f64,
+        add: f64,
+        left: &mut Vec<u32>,
+        right: &mut Vec<u32>,
+    ) {
+        left.clear();
+        right.clear();
+        left.reserve(seg.len());
+        right.reserve(seg.len());
+        let mut lp = left.as_mut_ptr();
+        let mut rp = right.as_mut_ptr();
+        let b = _mm256_set1_pd(boundary);
+        let sub_v = _mm256_set1_pd(sub);
+        let add_v = _mm256_set1_pd(add);
+        let mut i = 0;
+        while i + 4 <= seg.len() {
+            let idx = _mm_loadu_si128(seg.as_ptr().add(i) as *const __m128i);
+            let keys = _mm256_i32gather_pd::<8>(col.as_ptr(), idx);
+            // Both ordered compares are false for NaN, so a NaN key descends
+            // into neither child — identical to the scalar walk.
+            let lt = _mm256_movemask_pd(_mm256_cmp_pd::<_CMP_LT_OQ>(_mm256_sub_pd(keys, sub_v), b))
+                as usize;
+            let ge = _mm256_movemask_pd(_mm256_cmp_pd::<_CMP_GE_OQ>(_mm256_add_pd(keys, add_v), b))
+                as usize;
+            lp = compress_store(lp, idx, lt);
+            rp = compress_store(rp, idx, ge);
+            i += 4;
+        }
+        for &pos in &seg[i..] {
+            let k = *col.get_unchecked(pos as usize);
+            *lp = pos;
+            *rp = pos;
+            lp = lp.add((k - sub < boundary) as usize);
+            rp = rp.add((k + add >= boundary) as usize);
+        }
+        left.set_len(lp.offset_from(left.as_ptr()) as usize);
+        right.set_len(rp.offset_from(right.as_ptr()) as usize);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn non_scalar_kernels() -> Vec<RouteKernel> {
+        RouteKernel::all_supported()
+            .into_iter()
+            .filter(|k| *k != RouteKernel::Scalar)
+            .collect()
+    }
+
+    fn reference_single(col: &[f64], seg: &[u32], boundary: f64) -> (Vec<u32>, Vec<u32>) {
+        let mut l = Vec::new();
+        let mut r = Vec::new();
+        for &pos in seg {
+            if col[pos as usize] < boundary {
+                l.push(pos);
+            } else {
+                r.push(pos);
+            }
+        }
+        (l, r)
+    }
+
+    fn reference_dup(
+        col: &[f64],
+        seg: &[u32],
+        boundary: f64,
+        sub: f64,
+        add: f64,
+    ) -> (Vec<u32>, Vec<u32>) {
+        let mut l = Vec::new();
+        let mut r = Vec::new();
+        for &pos in seg {
+            let k = col[pos as usize];
+            if k - sub < boundary {
+                l.push(pos);
+            }
+            if k + add >= boundary {
+                r.push(pos);
+            }
+        }
+        (l, r)
+    }
+
+    /// A deterministic pseudo-random column with ties, extremes, and NaN.
+    fn test_column(n: usize) -> Vec<f64> {
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        (0..n)
+            .map(|i| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                match state % 11 {
+                    0 => f64::NAN,
+                    1 => f64::INFINITY,
+                    2 => f64::NEG_INFINITY,
+                    3 => 0.5, // exact boundary ties
+                    _ => ((state >> 16) % 1000) as f64 / 500.0 - 1.0 + i as f64 * 1e-9,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn kernels_match_reference_on_all_segment_lengths() {
+        let col = test_column(300);
+        for kernel in non_scalar_kernels() {
+            let (mut l, mut r) = (Vec::new(), Vec::new());
+            // Every length 0..=67 hits the vector loop and every tail residue.
+            for len in 0..=67usize {
+                let seg: Vec<u32> = (0..len as u32).map(|i| (i * 37) % 300).collect();
+                for boundary in [0.5, -0.3, f64::INFINITY] {
+                    partition_single(kernel, &col, &seg, boundary, &mut l, &mut r);
+                    let (el, er) = reference_single(&col, &seg, boundary);
+                    assert_eq!(
+                        (&l, &r),
+                        (&el, &er),
+                        "kernel {} single len {len}",
+                        kernel.name()
+                    );
+
+                    partition_dup(kernel, &col, &seg, boundary, 0.25, 0.125, &mut l, &mut r);
+                    let (el, er) = reference_dup(&col, &seg, boundary, 0.25, 0.125);
+                    assert_eq!(
+                        (&l, &r),
+                        (&el, &er),
+                        "kernel {} dup len {len}",
+                        kernel.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn outputs_are_reused_without_stale_data() {
+        let col = vec![1.0, 2.0, 3.0, 4.0];
+        for kernel in non_scalar_kernels() {
+            let mut l = vec![9, 9, 9, 9, 9];
+            let mut r = vec![9, 9, 9];
+            partition_single(kernel, &col, &[0, 1, 2, 3], 2.5, &mut l, &mut r);
+            assert_eq!(l, [0, 1]);
+            assert_eq!(r, [2, 3]);
+        }
+    }
+
+    #[test]
+    fn kernel_names_round_trip() {
+        for kernel in RouteKernel::all_supported() {
+            assert_eq!(RouteKernel::from_name(kernel.name()), Some(kernel));
+        }
+        assert_eq!(RouteKernel::from_name("auto"), Some(RouteKernel::detect()));
+        assert_eq!(RouteKernel::from_name("neon-someday"), None);
+        assert!(RouteKernel::all_supported().contains(&RouteKernel::detect()));
+    }
+}

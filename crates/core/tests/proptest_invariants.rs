@@ -196,7 +196,7 @@ proptest! {
         for k in &keys {
             r.push(k);
         }
-        let again = Relation::from_flat(3, r.as_flat().to_vec());
+        let again = Relation::from_flat(3, r.to_flat());
         prop_assert_eq!(r, again);
     }
 }

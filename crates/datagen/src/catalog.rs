@@ -515,7 +515,7 @@ mod tests {
         let mut exact = 0u64;
         for sk in w.s.iter() {
             for tk in w.t.iter() {
-                if w.band.matches(sk, tk) {
+                if w.band.matches(&sk, &tk) {
                     exact += 1;
                 }
             }
@@ -535,7 +535,7 @@ mod tests {
         let mut exact = 0u64;
         for sk in w.s.iter() {
             for tk in w.t.iter() {
-                if w.band.matches(sk, tk) {
+                if w.band.matches(&sk, &tk) {
                     exact += 1;
                 }
             }

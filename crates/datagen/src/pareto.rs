@@ -153,7 +153,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let r = reverse_pareto_relation(500, 2, 1.5, &mut rng);
         for key in r.iter() {
-            for &v in key {
+            for &v in key.iter() {
                 assert!(v <= REVERSE_PARETO_OFFSET - 1.0);
             }
         }

@@ -138,7 +138,7 @@ mod tests {
         let mut matches = 0u64;
         for (i, a) in r.iter().enumerate() {
             for (j, b) in r.iter().enumerate() {
-                if i != j && band.matches(a, b) {
+                if i != j && band.matches(&a, &b) {
                     matches += 1;
                 }
             }

@@ -248,7 +248,7 @@ mod tests {
         let mut matches = 0u64;
         for bk in b.iter() {
             for wk in w.iter() {
-                if band.matches(bk, wk) {
+                if band.matches(&bk, &wk) {
                     matches += 1;
                 }
             }

@@ -40,6 +40,7 @@ use recpart::{
     BandCondition, LoadModel, LptHeap, Partitioner, PartitioningStats, Relation, WorkerLoad,
 };
 use serde::{Deserialize, Serialize};
+#[cfg(test)]
 use std::cmp::Ordering;
 use std::time::Instant;
 
@@ -510,10 +511,15 @@ impl Executor {
         }
         let mut order: Vec<usize> = (0..n).collect();
         let load_of = |p: &PartitionLoad| lm.load(p.input() as f64, p.output as f64);
+        // LPT needs a *total* order: `(load desc, partition index asc)` via
+        // `total_cmp`, the same total order `EvalLedger` uses. The previous
+        // `partial_cmp(..).unwrap_or(Equal)` left tied partitions in whatever
+        // order the unstable sort produced, so a std sort-implementation change
+        // would silently permute the worker mapping.
         order.sort_unstable_by(|&a, &b| {
             load_of(&per_partition[b])
-                .partial_cmp(&load_of(&per_partition[a]))
-                .unwrap_or(Ordering::Equal)
+                .total_cmp(&load_of(&per_partition[a]))
+                .then_with(|| a.cmp(&b))
         });
         let mut worker_load = vec![0.0f64; workers];
         let mut heap = LptHeap::new(workers, 0.0);
@@ -544,8 +550,8 @@ impl Executor {
         let load_of = |p: &PartitionLoad| lm.load(p.input() as f64, p.output as f64);
         order.sort_unstable_by(|&a, &b| {
             load_of(&per_partition[b])
-                .partial_cmp(&load_of(&per_partition[a]))
-                .unwrap_or(Ordering::Equal)
+                .total_cmp(&load_of(&per_partition[a]))
+                .then_with(|| a.cmp(&b))
         });
         let mut worker_load = vec![0.0f64; workers];
         for p in order {
@@ -727,6 +733,47 @@ mod tests {
         let exec3 = Executor::with_workers(3);
         let recorded_ties: Vec<u32> = vec![0, 1, 2, 0, 1, 2, 0, 1, 2, 0, 1, 2];
         assert_eq!(exec3.map_partitions_to_workers(&ties), recorded_ties);
+    }
+
+    /// Regression test for the LPT ordering: tied loads must be assigned in
+    /// ascending partition-index order. The pre-fix sort compared load alone with
+    /// `partial_cmp(..).unwrap_or(Equal)`, so the unstable sort was free to permute
+    /// tie classes (and did, for inputs large enough to leave insertion sort).
+    /// Loads *ascend* in blocks of four tied partitions — an order the descending
+    /// sort can neither keep nor simply reverse — and the expected mapping is the
+    /// one produced by the total order `(load desc, partition index asc)`.
+    #[test]
+    fn lpt_assigns_tied_partitions_in_index_order() {
+        let n = 240usize;
+        let per_partition: Vec<PartitionLoad> = (0..n)
+            .map(|p| PartitionLoad {
+                s_input: (p / 4) as u64 + 1, // blocks of 4 exactly-tied loads, ascending
+                t_input: 0,
+                output: 0,
+                comparisons: 0,
+            })
+            .collect();
+        let exec = Executor::new(ExecutorConfig::new(5).with_load_model(LoadModel::new(1.0, 0.0)));
+        let mapping = exec.map_partitions_to_workers(&per_partition);
+        // Derive the expectation from the documented total order with a *stable*
+        // sort: any deviation means the production sort is not the total order.
+        let lm = LoadModel::new(1.0, 0.0);
+        let load_of = |p: &PartitionLoad| lm.load(p.input() as f64, p.output as f64);
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| load_of(&per_partition[b]).total_cmp(&load_of(&per_partition[a])));
+        let mut expected = vec![0u32; n];
+        let mut worker_load = [0.0f64; 5];
+        for p in order {
+            let target = (0..5)
+                .min_by(|&a, &b| worker_load[a].total_cmp(&worker_load[b]))
+                .unwrap();
+            expected[p] = target as u32;
+            worker_load[target] += load_of(&per_partition[p]);
+        }
+        assert_eq!(
+            mapping, expected,
+            "tied partitions must map in ascending index order"
+        );
     }
 
     /// The heap mapping equals the preserved scan on a sweep of load shapes: unique

@@ -76,7 +76,7 @@ pub fn probe_sorted(
         let end = side.vals.partition_point(|&v| v <= hi);
         for &ti in &side.sorted[start..end] {
             result.comparisons += 1;
-            if band.matches(sk, t.key(ti as usize)) {
+            if band.matches(&sk, &t.key(ti as usize)) {
                 result.output += 1;
                 if let Some(p) = pairs.as_deref_mut() {
                     p.push((si, ti));
@@ -121,7 +121,7 @@ impl LocalJoinAlgorithm {
                     let sk = s.key(si as usize);
                     for &ti in t_idx {
                         result.comparisons += 1;
-                        if band.matches(sk, t.key(ti as usize)) {
+                        if band.matches(&sk, &t.key(ti as usize)) {
                             result.output += 1;
                             if let Some(p) = pairs.as_deref_mut() {
                                 p.push((si, ti));
@@ -166,7 +166,7 @@ impl LocalJoinAlgorithm {
                     while k < t_vals.len() && t_vals[k] <= hi {
                         result.comparisons += 1;
                         let ti = t_sorted[k];
-                        if band.matches(sk, t.key(ti as usize)) {
+                        if band.matches(&sk, &t.key(ti as usize)) {
                             result.output += 1;
                             if let Some(p) = pairs.as_deref_mut() {
                                 p.push((si, ti));
@@ -271,7 +271,7 @@ mod tests {
             let res = algo.join_full(&s, &t, &band, Some(&mut pairs));
             assert_eq!(pairs.len() as u64, res.output, "{}", algo.name());
             for (si, ti) in pairs {
-                assert!(band.matches(s.key(si as usize), t.key(ti as usize)));
+                assert!(band.matches(&s.key(si as usize), &t.key(ti as usize)));
             }
         }
     }

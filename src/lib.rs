@@ -61,7 +61,7 @@ pub mod prelude {
     pub use recpart::{
         AssignmentSink, BandCondition, CompiledRouter, EvalCounters, Evaluator, LoadModel,
         OptimizationReport, PartitionId, Partitioner, PartitioningStats, PerTupleFallback, RecPart,
-        RecPartConfig, RecPartResult, Relation, SampleConfig, ScatterPolicy, SplitScorer,
-        SplitSearchCounters, SplitTreePartitioner, Termination,
+        RecPartConfig, RecPartResult, Relation, RouteKernel, SampleConfig, ScatterPolicy,
+        SplitScorer, SplitSearchCounters, SplitTreePartitioner, Termination,
     };
 }

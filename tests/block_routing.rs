@@ -33,9 +33,9 @@ fn per_tuple_stream<P: Partitioner + ?Sized>(
     for i in 0..rel.len() {
         buf.clear();
         if t_side {
-            p.assign_t(rel.key(i), i as u64, &mut buf);
+            p.assign_t(&rel.key(i), i as u64, &mut buf);
         } else {
-            p.assign_s(rel.key(i), i as u64, &mut buf);
+            p.assign_s(&rel.key(i), i as u64, &mut buf);
         }
         for &part in &buf {
             out.push((part, i as u32));

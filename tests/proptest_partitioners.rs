@@ -32,14 +32,14 @@ fn assert_exactly_once<P: Partitioner + ?Sized>(
     let mut t_parts = Vec::new();
     for (si, sk) in s.iter().enumerate() {
         s_parts.clear();
-        p.assign_s(sk, si as u64, &mut s_parts);
+        p.assign_s(&sk, si as u64, &mut s_parts);
         prop_assert_ne_empty(&s_parts, p.name());
         for (ti, tk) in t.iter().enumerate() {
             t_parts.clear();
-            p.assign_t(tk, ti as u64, &mut t_parts);
+            p.assign_t(&tk, ti as u64, &mut t_parts);
             prop_assert_ne_empty(&t_parts, p.name());
             let common = s_parts.iter().filter(|x| t_parts.contains(x)).count();
-            if band.matches(sk, tk) {
+            if band.matches(&sk, &tk) {
                 assert_eq!(
                     common,
                     1,
