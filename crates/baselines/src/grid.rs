@@ -12,7 +12,10 @@
 //! Grid-ε is not defined for band width zero (the paper notes the same); construction
 //! fails if any `ε_i` is zero.
 
-use recpart::{AssignmentSink, BandCondition, PartitionId, Partitioner, Relation, ScatterPolicy};
+use recpart::simd::cell_indices;
+use recpart::{
+    AssignmentSink, BandCondition, PartitionId, Partitioner, Relation, RouteKernel, ScatterPolicy,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::ops::Range;
@@ -128,15 +131,28 @@ impl GridPartitioner {
         &self,
         key: &[f64],
         scratch: &mut TScratch,
+        emit: impl FnMut(PartitionId),
+    ) -> bool {
+        for (d, &k) in key.iter().enumerate() {
+            let (range_lo, range_hi) = self.band.range_around_t(d, k);
+            scratch.lo[d] = ((range_lo - self.origin[d]) / self.cell[d]).floor() as i64;
+            scratch.hi[d] = ((range_hi - self.origin[d]) / self.cell[d]).floor() as i64;
+        }
+        self.for_each_cell_in_box(scratch, emit)
+    }
+
+    /// Odometer over the cartesian product of the per-dimension index ranges
+    /// already loaded into `scratch.lo`/`scratch.hi`, emitting every
+    /// materialized cell. Shared by the per-tuple path (ranges from
+    /// [`Self::for_each_t_range_cell`]) and the block path (ranges from the
+    /// vectorized [`cell_indices`] sweeps).
+    fn for_each_cell_in_box(
+        &self,
+        scratch: &mut TScratch,
         mut emit: impl FnMut(PartitionId),
     ) -> bool {
         let dims = self.band.dims();
         let TScratch { lo, hi, cursor } = scratch;
-        for d in 0..dims {
-            let (range_lo, range_hi) = self.band.range_around_t(d, key[d]);
-            lo[d] = ((range_lo - self.origin[d]) / self.cell[d]).floor() as i64;
-            hi[d] = ((range_hi - self.origin[d]) / self.cell[d]).floor() as i64;
-        }
         // Iterate the cartesian product of per-dimension index ranges.
         cursor.copy_from_slice(lo);
         let mut any = false;
@@ -145,14 +161,16 @@ impl GridPartitioner {
                 emit(id);
                 any = true;
             }
-            // Advance the cursor (odometer style).
+            // Advance the cursor (odometer style). Increment only while
+            // strictly below `hi`: extreme keys saturate the cell index to
+            // `i64::MAX`, where a blind `+= 1` would overflow.
             let mut d = 0;
             loop {
                 if d == dims {
                     return any;
                 }
-                cursor[d] += 1;
-                if cursor[d] <= hi[d] {
+                if cursor[d] < hi[d] {
+                    cursor[d] += 1;
                     break;
                 }
                 cursor[d] = lo[d];
@@ -212,27 +230,100 @@ impl Partitioner for GridPartitioner {
         }
     }
 
-    // Block routing: same cell arithmetic, but the coordinate and odometer buffers
-    // are hoisted out of the loop — the per-tuple path must allocate them on every
-    // single call.
+    // Block routing: same cell arithmetic, restructured column-major over the
+    // relation's columnar layout — one vectorized `floor((k − origin) / cell)`
+    // sweep per dimension ([`cell_indices`], dispatched on the active
+    // [`RouteKernel`]), then per-row hash lookups over the coordinate buffers.
+    // `RouteKernel::Scalar` keeps the original row-major per-tuple loop verbatim
+    // as the oracle; the kernels reproduce its cell indices bit for bit (the
+    // band shifts fold into the kernel's `sub` operand exactly — see
+    // [`cell_indices`]), so block == per-tuple assignment is preserved for
+    // every kernel.
     fn assign_s_block(&self, rel: &Relation, rows: Range<usize>, sink: &mut AssignmentSink) {
-        let mut coords = vec![0i64; self.band.dims()];
         sink.reserve(rows.len());
-        for i in rows {
-            let id = self.cell_or_default(&rel.key(i), &mut coords);
+        let kernel = RouteKernel::active();
+        let dims = self.band.dims();
+        let mut coords = vec![0i64; dims];
+        if kernel == RouteKernel::Scalar {
+            for i in rows {
+                let id = self.cell_or_default(&rel.key(i), &mut coords);
+                sink.push(id, i as u32);
+            }
+            return;
+        }
+        let mut cols: Vec<Vec<i64>> = vec![Vec::new(); dims];
+        for (d, col) in cols.iter_mut().enumerate() {
+            cell_indices(
+                kernel,
+                rel.column(d),
+                rows.clone(),
+                0.0, // k − 0.0 == k bitwise: the unshifted S-side cell
+                self.origin[d],
+                self.cell[d],
+                col,
+            );
+        }
+        for (j, i) in rows.enumerate() {
+            for (c, col) in coords.iter_mut().zip(&cols) {
+                *c = col[j];
+            }
+            let id = self.cells.get(coords.as_slice()).copied().unwrap_or(0);
             sink.push(id, i as u32);
         }
     }
 
     fn assign_t_block(&self, rel: &Relation, rows: Range<usize>, sink: &mut AssignmentSink) {
-        let mut scratch = TScratch::new(self.band.dims());
-        let mut coords = vec![0i64; self.band.dims()];
         sink.reserve(rows.len());
-        for i in rows {
-            let key = rel.key(i);
-            let any = self.for_each_t_range_cell(&key, &mut scratch, |id| sink.push(id, i as u32));
+        let kernel = RouteKernel::active();
+        let dims = self.band.dims();
+        let mut scratch = TScratch::new(dims);
+        let mut coords = vec![0i64; dims];
+        if kernel == RouteKernel::Scalar {
+            for i in rows {
+                let key = rel.key(i);
+                let any =
+                    self.for_each_t_range_cell(&key, &mut scratch, |id| sink.push(id, i as u32));
+                if !any {
+                    let id = self.cell_or_default(&key, &mut coords);
+                    sink.push(id, i as u32);
+                }
+            }
+            return;
+        }
+        // `range_around_t(d, k) = (k − ε_lo, k + ε_hi)`: pass `sub = ε_lo` for
+        // the low endpoint and `sub = −ε_hi` for the high one (`x − (−ε) == x + ε`
+        // exactly in IEEE arithmetic), so both sweeps match the scalar endpoints
+        // bit for bit.
+        let mut lo_cols: Vec<Vec<i64>> = vec![Vec::new(); dims];
+        let mut hi_cols: Vec<Vec<i64>> = vec![Vec::new(); dims];
+        for d in 0..dims {
+            cell_indices(
+                kernel,
+                rel.column(d),
+                rows.clone(),
+                self.band.eps_low(d),
+                self.origin[d],
+                self.cell[d],
+                &mut lo_cols[d],
+            );
+            cell_indices(
+                kernel,
+                rel.column(d),
+                rows.clone(),
+                -self.band.eps_high(d),
+                self.origin[d],
+                self.cell[d],
+                &mut hi_cols[d],
+            );
+        }
+        for (j, i) in rows.enumerate() {
+            for d in 0..dims {
+                scratch.lo[d] = lo_cols[d][j];
+                scratch.hi[d] = hi_cols[d][j];
+            }
+            let any = self.for_each_cell_in_box(&mut scratch, |id| sink.push(id, i as u32));
             if !any {
-                let id = self.cell_or_default(&key, &mut coords);
+                let id = self.cell_or_default(&rel.key(i), &mut coords);
                 sink.push(id, i as u32);
             }
         }
@@ -363,6 +454,57 @@ mod tests {
             max > mean * 10.0,
             "hot cell must stand out (max {max}, mean {mean})"
         );
+    }
+
+    /// Block routing (vectorized column-major cell indexing on the live kernel)
+    /// must reproduce the per-tuple assignments exactly, including on keys far
+    /// outside every materialized cell and across asymmetric bands — the cases
+    /// where a cell-index off-by-one would silently change the odometer box.
+    #[test]
+    fn block_routing_matches_per_tuple_on_adversarial_keys() {
+        let s = random_relation(300, 2, 0.0, 25.0, 20);
+        let t = random_relation(300, 2, 0.0, 25.0, 21);
+        let band = BandCondition::try_asymmetric(&[0.7, 0.0], &[0.0, 1.3]).unwrap();
+        let grid = GridPartitioner::build(&s, &t, &band, 1.0);
+
+        // Keys the grid was NOT built from: cell boundaries, far outliers, huge
+        // magnitudes (saturating casts), and negative coordinates.
+        let mut probe = random_relation(200, 2, -40.0, 60.0, 22);
+        probe.push(&[0.0, 0.0]);
+        probe.push(&[-0.0, 25.0]);
+        probe.push(&[1e18, -1e18]);
+        probe.push(&[f64::MAX, f64::MIN]);
+        probe.push(&[0.7, 1.3]);
+
+        for t_side in [false, true] {
+            let mut expected = Vec::new();
+            let mut buf = Vec::new();
+            for i in 0..probe.len() {
+                buf.clear();
+                if t_side {
+                    grid.assign_t(&probe.key(i), i as u64, &mut buf);
+                } else {
+                    grid.assign_s(&probe.key(i), i as u64, &mut buf);
+                }
+                expected.extend(buf.iter().map(|&p| (p, i as u32)));
+            }
+            let mut sink = AssignmentSink::new(grid.num_partitions());
+            let mut lo = 0;
+            while lo < probe.len() {
+                let hi = (lo + 37).min(probe.len());
+                if t_side {
+                    grid.assign_t_block(&probe, lo..hi, &mut sink);
+                } else {
+                    grid.assign_s_block(&probe, lo..hi, &mut sink);
+                }
+                lo = hi;
+            }
+            assert_eq!(
+                sink.pairs(),
+                &expected[..],
+                "block routing diverged from per-tuple (t_side={t_side})"
+            );
+        }
     }
 
     #[test]

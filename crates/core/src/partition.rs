@@ -62,11 +62,11 @@ enum SinkState {
     /// oracle of the scatter path).
     Pairs {
         pairs: Vec<(PartitionId, u32)>,
-        counts: Vec<u32>,
+        counts: Vec<u64>,
     },
     /// Count assignments per partition, materializing nothing — pass 1 of the
     /// two-pass count/scatter shuffle.
-    Counting { counts: Vec<u32>, total: u64 },
+    Counting { counts: Vec<u64>, total: u64 },
     /// Write each tuple index straight to its final arena slot through per-partition
     /// write cursors — pass 2 of the two-pass shuffle. No pair list exists.
     Scatter {
@@ -266,11 +266,13 @@ impl AssignmentSink {
     }
 
     /// Per-partition assignment counts (`counts()[p]` = number of assignments
-    /// recorded for partition `p`).
+    /// recorded for partition `p`). Counts are `u64` on every platform: the
+    /// out-of-core tier merges per-chunk counts across inputs larger than
+    /// `u32::MAX` assignments, and a narrower accumulator would silently wrap.
     ///
     /// # Panics
     /// Panics for scatter sinks, which keep write cursors instead of counts.
-    pub fn counts(&self) -> &[u32] {
+    pub fn counts(&self) -> &[u64] {
         match &self.state {
             SinkState::Pairs { counts, .. } | SinkState::Counting { counts, .. } => counts,
             SinkState::Scatter { .. } => panic!("counts() is not tracked by a scatter sink"),

@@ -300,6 +300,28 @@ struct BlockScratch {
     counts: Vec<u32>,
 }
 
+std::thread_local! {
+    /// Per-thread [`BlockScratch`] shared by every router on the thread. The
+    /// shuffle calls `route_*_block` once per ~4k-tuple chunk, and a fresh scratch
+    /// per call meant five allocations re-growing to the same high-water mark each
+    /// time; the buffers are request-independent working memory (`descend_block`
+    /// clears or fully overwrites every one before reading it), so one per-thread
+    /// instance serves all routers and blocks without affecting results.
+    static BLOCK_SCRATCH: std::cell::RefCell<BlockScratch> =
+        std::cell::RefCell::new(BlockScratch::default());
+}
+
+/// Run `f` with the calling thread's cached [`BlockScratch`]. Falls back to a
+/// fresh scratch if the cache is already borrowed — possible only if a sink
+/// callback re-enters block routing on the same thread, which must degrade to
+/// the old allocate-per-call behaviour rather than panic.
+fn with_block_scratch<R>(f: impl FnOnce(&mut BlockScratch) -> R) -> R {
+    BLOCK_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut scratch) => f(&mut scratch),
+        Err(_) => f(&mut BlockScratch::default()),
+    })
+}
+
 /// A [`SplitTree`] compiled into flat per-side routing tables (see the module docs).
 ///
 /// Compile once after the tree is frozen ([`SplitTree::assign_partition_ids`] must
@@ -512,11 +534,12 @@ impl CompiledRouter {
                 }
             }
             _ => {
-                let mut scratch = BlockScratch::default();
-                self.s_side
-                    .descend_block(self.root, rel, rows, kernel, &mut scratch, |p, i| {
-                        sink.push(p, i)
-                    });
+                with_block_scratch(|scratch| {
+                    self.s_side
+                        .descend_block(self.root, rel, rows, kernel, scratch, |p, i| {
+                            sink.push(p, i)
+                        })
+                });
             }
         }
     }
@@ -540,11 +563,12 @@ impl CompiledRouter {
                 }
             }
             _ => {
-                let mut scratch = BlockScratch::default();
-                self.t_side
-                    .descend_block(self.root, rel, rows, kernel, &mut scratch, |p, i| {
-                        sink.push(p, i)
-                    });
+                with_block_scratch(|scratch| {
+                    self.t_side
+                        .descend_block(self.root, rel, rows, kernel, scratch, |p, i| {
+                            sink.push(p, i)
+                        })
+                });
             }
         }
     }

@@ -184,6 +184,48 @@ pub(crate) fn partition_dup(
     }
 }
 
+/// Grid-cell indices of a contiguous run of a column — the Grid-ε baseline's
+/// per-dimension `floor((key − origin) / width)` as a vertical operation over
+/// the columnar layout:
+///
+/// ```text
+/// out[j] = floor(((col[rows.start + j] − sub) − origin) / width) as i64
+/// ```
+///
+/// `sub` folds the band shift of the T-side range endpoints into the same
+/// kernel **exactly**: IEEE-754 subtraction is addition of the negated operand,
+/// so `k − ε_lo` (pass `sub = ε_lo`), `k + ε_hi` (pass `sub = −ε_hi`), and the
+/// unshifted S-side cell (pass `sub = 0.0`; `x − 0.0 == x` for every value
+/// including `−0.0`) all reproduce the scalar expressions bit for bit.
+/// Subtraction, division, and `floor` are all correctly-rounded IEEE
+/// operations, and the final `as i64` cast (saturating, NaN → 0) runs lane by
+/// lane in scalar code in every kernel — so the output is bit-identical to the
+/// scalar loop, which [`RouteKernel::Scalar`] (and `Portable`, whose loop *is*
+/// that expression) runs verbatim as the oracle.
+///
+/// `out` is cleared and filled with `rows.len()` entries.
+pub fn cell_indices(
+    kernel: RouteKernel,
+    col: &[f64],
+    rows: std::ops::Range<usize>,
+    sub: f64,
+    origin: f64,
+    width: f64,
+    out: &mut Vec<i64>,
+) {
+    let src = &col[rows];
+    out.clear();
+    out.resize(src.len(), 0);
+    match kernel {
+        RouteKernel::Scalar | RouteKernel::Portable => {
+            portable::cell_indices(src, sub, origin, width, out)
+        }
+        #[cfg(target_arch = "x86_64")]
+        // Safety: `Avx2` is only constructed after `is_x86_feature_detected!("avx2")`.
+        RouteKernel::Avx2 => unsafe { avx2::cell_indices(src, sub, origin, width, out) },
+    }
+}
+
 /// Branchless portable kernels: every iteration writes the position to both
 /// output cursors and advances each cursor by the predicate's 0/1 value, so
 /// there is no data-dependent branch for the hardware to mispredict and the
@@ -253,6 +295,14 @@ mod portable {
         unsafe {
             left.set_len(lp.offset_from(left.as_ptr()) as usize);
             right.set_len(rp.offset_from(right.as_ptr()) as usize);
+        }
+    }
+
+    /// The literal scalar cell-index expression — this loop *is* the oracle the
+    /// vector kernels are held to.
+    pub(super) fn cell_indices(src: &[f64], sub: f64, origin: f64, width: f64, out: &mut [i64]) {
+        for (o, &k) in out.iter_mut().zip(src) {
+            *o = (((k - sub) - origin) / width).floor() as i64;
         }
     }
 }
@@ -395,6 +445,44 @@ mod avx2 {
         left.set_len(lp.offset_from(left.as_ptr()) as usize);
         right.set_len(rp.offset_from(right.as_ptr()) as usize);
     }
+
+    /// # Safety
+    /// AVX2 must be available; `src` and `out` must have equal lengths.
+    ///
+    /// Subtraction, division and `VROUNDPD` (floor mode) are correctly-rounded
+    /// IEEE operations — bitwise equal to the scalar expression per lane. The
+    /// `f64 → i64` cast is *not* (CVTTPD saturates differently and maps NaN to
+    /// `i64::MIN`, Rust's `as` maps NaN to 0), so the cast runs lane by lane
+    /// in scalar code.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn cell_indices(
+        src: &[f64],
+        sub: f64,
+        origin: f64,
+        width: f64,
+        out: &mut [i64],
+    ) {
+        debug_assert_eq!(src.len(), out.len());
+        let sub_v = _mm256_set1_pd(sub);
+        let origin_v = _mm256_set1_pd(origin);
+        let width_v = _mm256_set1_pd(width);
+        let mut buf = [0.0f64; 4];
+        let mut i = 0;
+        while i + 4 <= src.len() {
+            let keys = _mm256_loadu_pd(src.as_ptr().add(i));
+            let shifted = _mm256_sub_pd(_mm256_sub_pd(keys, sub_v), origin_v);
+            let cells = _mm256_floor_pd(_mm256_div_pd(shifted, width_v));
+            _mm256_storeu_pd(buf.as_mut_ptr(), cells);
+            for (lane, &cell) in buf.iter().enumerate() {
+                *out.get_unchecked_mut(i + lane) = cell as i64;
+            }
+            i += 4;
+        }
+        for j in i..src.len() {
+            let k = *src.get_unchecked(j);
+            *out.get_unchecked_mut(j) = (((k - sub) - origin) / width).floor() as i64;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -501,6 +589,44 @@ mod tests {
             partition_single(kernel, &col, &[0, 1, 2, 3], 2.5, &mut l, &mut r);
             assert_eq!(l, [0, 1]);
             assert_eq!(r, [2, 3]);
+        }
+    }
+
+    #[test]
+    fn cell_indices_match_scalar_expression_bit_for_bit() {
+        let col = test_column(300);
+        for kernel in non_scalar_kernels() {
+            let mut got = vec![7i64; 3]; // stale contents must be cleared
+                                         // Lengths 0..=67 hit the vector loop and every tail residue; the
+                                         // `sub` values cover the S-side (0.0), the T-side low endpoint
+                                         // (ε_lo) and the negated-ε high endpoint, plus a NaN shift.
+            for len in 0..=67usize {
+                let lo = (len * 3) % 200;
+                for (sub, origin, width) in [
+                    (0.0, -1.5, 0.25),
+                    (0.8, 0.0, 0.5),
+                    (-0.8, 2.0, 1.0 / 3.0),
+                    (f64::NAN, 0.0, 1.0),
+                ] {
+                    cell_indices(kernel, &col, lo..lo + len, sub, origin, width, &mut got);
+                    let expected: Vec<i64> = col[lo..lo + len]
+                        .iter()
+                        .map(|&k| (((k - sub) - origin) / width).floor() as i64)
+                        .collect();
+                    assert_eq!(
+                        got,
+                        expected,
+                        "kernel {} cell_indices len {len} sub {sub}",
+                        kernel.name()
+                    );
+                }
+            }
+        }
+        // The band-shift folding relies on IEEE `x − (−ε) == x + ε` exactly.
+        for x in [1.75, -3.0, 0.1, f64::MAX, 5e-324] {
+            for e in [0.3, 1e-9, 1e300] {
+                assert_eq!((x - (-e)).to_bits(), (x + e).to_bits());
+            }
         }
     }
 

@@ -1,0 +1,477 @@
+//! Heap-or-mmap backing for the large flat buffers of the scale tier.
+//!
+//! The two biggest allocations of a band-join run are the [`Relation`] value
+//! columns (`f64` per tuple per dimension) and the CSR arenas of the shuffle
+//! (`u32` per partition assignment). At the paper's scale experiments (hundreds
+//! of millions of tuples) those no longer fit comfortably in RAM, so both can now
+//! be backed by either a plain heap `Vec<T>` or a **memory-mapped spill file**:
+//! one [`Storage`] enum, one `&[T]` view, so every existing call site compiles
+//! unchanged and the OS pages cold regions in and out on demand.
+//!
+//! Spill files live in a [`SpillDir`] and are **unlinked immediately after
+//! creation** (Unix semantics: the mapping keeps the inode alive), so a crash
+//! leaks no files and a clean exit needs no cleanup pass. A [`MappedVec`] is
+//! consequently fixed-capacity: the file is sized up front and `push` beyond the
+//! declared capacity panics — out-of-core callers know their sizes from the
+//! count pass anyway.
+//!
+//! [`Relation`]: crate::relation::Relation
+
+use std::fmt;
+use std::fs::File;
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Marker for element types that can live in raw mapped memory: plain-old-data,
+/// valid for any bit pattern (in particular all-zeroes, the state of a fresh
+/// file mapping). Sealed to the primitives the workspace actually spills.
+pub trait Pod: Copy + Send + Sync + 'static + private::Sealed {}
+
+mod private {
+    pub trait Sealed {}
+    impl Sealed for f64 {}
+    impl Sealed for u32 {}
+    impl Sealed for u64 {}
+    impl Sealed for i64 {}
+}
+
+impl Pod for f64 {}
+impl Pod for u32 {}
+impl Pod for u64 {}
+impl Pod for i64 {}
+
+/// Where a [`Storage`] buffer keeps its elements.
+#[derive(Debug, Clone, Default)]
+pub enum StorageMode {
+    /// Ordinary heap `Vec<T>` (the default; identical to the pre-scale-tier
+    /// behavior).
+    #[default]
+    Heap,
+    /// Memory-mapped spill files created in the given directory.
+    Spill(SpillDir),
+}
+
+impl StorageMode {
+    /// Whether this mode spills to mapped files.
+    pub fn is_spill(&self) -> bool {
+        matches!(self, StorageMode::Spill(_))
+    }
+}
+
+/// A directory for spill files, shared (cheaply clonable) by every buffer that
+/// spills into it. Files are named uniquely per process and unlinked right after
+/// creation, so the directory stays empty on disk; dropping the last handle
+/// removes the directory itself (best effort).
+#[derive(Clone)]
+pub struct SpillDir {
+    inner: Arc<SpillDirInner>,
+}
+
+struct SpillDirInner {
+    path: PathBuf,
+    counter: AtomicU64,
+}
+
+impl fmt::Debug for SpillDir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SpillDir")
+            .field("path", &self.inner.path)
+            .finish()
+    }
+}
+
+impl SpillDir {
+    /// Create (if needed) and wrap a spill directory.
+    pub fn new(path: impl Into<PathBuf>) -> io::Result<SpillDir> {
+        let path = path.into();
+        std::fs::create_dir_all(&path)?;
+        Ok(SpillDir {
+            inner: Arc::new(SpillDirInner {
+                path,
+                counter: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    /// A spill directory under the system temp dir, unique to this process.
+    pub fn in_temp(label: &str) -> io::Result<SpillDir> {
+        let path =
+            std::env::temp_dir().join(format!("band-join-spill-{label}-{}", std::process::id()));
+        SpillDir::new(path)
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &std::path::Path {
+        &self.inner.path
+    }
+
+    /// Create a fresh spill file of `bytes` bytes, unlinked from the file system
+    /// immediately (the returned handle keeps the inode alive).
+    fn create_file(&self, bytes: u64) -> io::Result<File> {
+        let id = self.inner.counter.fetch_add(1, Ordering::Relaxed);
+        let path = self
+            .inner
+            .path
+            .join(format!("spill-{}-{id}.bin", std::process::id()));
+        let file = File::options()
+            .read(true)
+            .write(true)
+            .create_new(true)
+            .open(&path)?;
+        file.set_len(bytes)?;
+        // Unlink now: the mapping (and this handle) keep the storage alive, and
+        // nothing is left behind if the process dies.
+        let _ = std::fs::remove_file(&path);
+        Ok(file)
+    }
+}
+
+impl Drop for SpillDirInner {
+    fn drop(&mut self) {
+        // All files were unlinked at creation, so only the (empty) directory
+        // remains; removal is best effort (another process may share the path).
+        let _ = std::fs::remove_dir(&self.path);
+    }
+}
+
+/// A fixed-capacity vector of `T` backed by a memory-mapped spill file.
+pub struct MappedVec<T: Pod> {
+    map: memmap2::MmapMut,
+    len: usize,
+    capacity: usize,
+    dir: SpillDir,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Pod> MappedVec<T> {
+    /// Create a mapped buffer with room for `capacity` elements, length 0.
+    ///
+    /// # Panics
+    /// Panics if the spill file cannot be created or mapped — at the scale tier
+    /// there is no graceful fallback that would not defeat the point (silently
+    /// going to the heap is exactly the OOM this exists to avoid).
+    pub fn with_capacity(capacity: usize, dir: &SpillDir) -> MappedVec<T> {
+        let bytes = (capacity as u64)
+            .checked_mul(std::mem::size_of::<T>() as u64)
+            .expect("spill capacity overflows u64 bytes");
+        let file = dir
+            .create_file(bytes)
+            .expect("creating a spill file in the spill directory");
+        // SAFETY: the file was just created with exactly `bytes` bytes and its
+        // handle is dropped right after mapping — nobody can truncate it (it is
+        // already unlinked), so the mapping stays valid for its whole life.
+        let map = unsafe {
+            memmap2::MmapOptions::new()
+                .len(bytes as usize)
+                .map_mut(&file)
+        }
+        .expect("mapping a spill file");
+        MappedVec {
+            map,
+            len: 0,
+            capacity,
+            dir: dir.clone(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Create a mapped buffer of `len` zeroed elements (a fresh file mapping is
+    /// all-zero by definition).
+    pub fn zeroed(len: usize, dir: &SpillDir) -> MappedVec<T> {
+        let mut v = MappedVec::with_capacity(len, dir);
+        v.len = len;
+        v
+    }
+
+    #[inline]
+    fn base(&self) -> *const T {
+        if self.capacity == 0 {
+            // An empty mapping's placeholder pointer is only byte-aligned;
+            // slices require `T` alignment even at length zero.
+            std::ptr::NonNull::<T>::dangling().as_ptr()
+        } else {
+            self.map.as_ref().as_ptr() as *const T
+        }
+    }
+
+    /// View the initialized prefix.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        // SAFETY: the mapping holds `capacity >= len` elements of a Pod type
+        // (any bit pattern valid), page-aligned (mmap) so aligned for any T.
+        unsafe { std::slice::from_raw_parts(self.base(), self.len) }
+    }
+
+    /// Mutable view of the initialized prefix.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        // SAFETY: as `as_slice`, with exclusivity from &mut self.
+        unsafe { std::slice::from_raw_parts_mut(self.base() as *mut T, self.len) }
+    }
+
+    /// Append one element.
+    ///
+    /// # Panics
+    /// Panics if the fixed capacity is exhausted.
+    #[inline]
+    pub fn push(&mut self, value: T) {
+        assert!(
+            self.len < self.capacity,
+            "mapped buffer is full ({} elements): spill storage is fixed-capacity",
+            self.capacity
+        );
+        // SAFETY: len < capacity, so the slot is inside the mapping.
+        unsafe {
+            *(self.base() as *mut T).add(self.len) = value;
+        }
+        self.len += 1;
+    }
+
+    /// Number of initialized elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no element was written yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The fixed capacity the spill file was sized for.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+impl<T: Pod> fmt::Debug for MappedVec<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MappedVec")
+            .field("len", &self.len)
+            .field("capacity", &self.capacity)
+            .finish()
+    }
+}
+
+impl<T: Pod> Clone for MappedVec<T> {
+    fn clone(&self) -> MappedVec<T> {
+        let mut copy = MappedVec::with_capacity(self.capacity, &self.dir);
+        copy.len = self.len;
+        copy.as_mut_slice().copy_from_slice(self.as_slice());
+        copy
+    }
+}
+
+/// A growable-or-mapped element buffer: one enum so [`Relation`] columns and CSR
+/// arenas can be heap- or spill-backed behind the same `&[T]` view.
+///
+/// [`Relation`]: crate::relation::Relation
+#[derive(Debug, Clone)]
+pub enum Storage<T: Pod> {
+    /// Heap-backed, freely growable.
+    Heap(Vec<T>),
+    /// Spill-file-backed, fixed capacity (see [`MappedVec`]).
+    Mapped(MappedVec<T>),
+}
+
+impl<T: Pod> Storage<T> {
+    /// An empty heap buffer.
+    pub fn new() -> Storage<T> {
+        Storage::Heap(Vec::new())
+    }
+
+    /// A buffer with room for `capacity` elements in the given mode.
+    pub fn with_capacity_in(capacity: usize, mode: &StorageMode) -> Storage<T> {
+        match mode {
+            StorageMode::Heap => Storage::Heap(Vec::with_capacity(capacity)),
+            StorageMode::Spill(dir) => Storage::Mapped(MappedVec::with_capacity(capacity, dir)),
+        }
+    }
+
+    /// A buffer of `len` zeroed (`T::default`-free: all-zero bit pattern)
+    /// elements in the given mode — the arena allocation of the shuffle.
+    pub fn zeroed_in(len: usize, mode: &StorageMode) -> Storage<T>
+    where
+        T: Default,
+    {
+        match mode {
+            StorageMode::Heap => Storage::Heap(vec![T::default(); len]),
+            StorageMode::Spill(dir) => Storage::Mapped(MappedVec::zeroed(len, dir)),
+        }
+    }
+
+    /// View the initialized elements.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        match self {
+            Storage::Heap(v) => v,
+            Storage::Mapped(m) => m.as_slice(),
+        }
+    }
+
+    /// Mutable view of the initialized elements.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        match self {
+            Storage::Heap(v) => v,
+            Storage::Mapped(m) => m.as_mut_slice(),
+        }
+    }
+
+    /// Raw base pointer (for the shuffle's disjoint-slice scatter writes).
+    #[inline]
+    pub fn as_mut_ptr(&mut self) -> *mut T {
+        match self {
+            Storage::Heap(v) => v.as_mut_ptr(),
+            Storage::Mapped(m) => m.as_mut_slice().as_mut_ptr(),
+        }
+    }
+
+    /// Append one element (panics for a full mapped buffer — see [`MappedVec::push`]).
+    #[inline]
+    pub fn push(&mut self, value: T) {
+        match self {
+            Storage::Heap(v) => v.push(value),
+            Storage::Mapped(m) => m.push(value),
+        }
+    }
+
+    /// Number of initialized elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            Storage::Heap(v) => v.len(),
+            Storage::Mapped(m) => m.len(),
+        }
+    }
+
+    /// Whether the buffer holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes of the initialized elements — the deterministic memory-accounting
+    /// number the scale gates use (heap and mapped alike; for mapped storage the
+    /// bytes are file-backed, not resident by necessity).
+    pub fn bytes(&self) -> u64 {
+        self.len() as u64 * std::mem::size_of::<T>() as u64
+    }
+
+    /// Whether the buffer is spill-backed.
+    pub fn is_mapped(&self) -> bool {
+        matches!(self, Storage::Mapped(_))
+    }
+}
+
+impl<T: Pod> Default for Storage<T> {
+    fn default() -> Storage<T> {
+        Storage::new()
+    }
+}
+
+impl<T: Pod> From<Vec<T>> for Storage<T> {
+    fn from(v: Vec<T>) -> Storage<T> {
+        Storage::Heap(v)
+    }
+}
+
+impl<T: Pod> std::ops::Deref for Storage<T> {
+    type Target = [T];
+
+    #[inline]
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Pod + PartialEq> PartialEq for Storage<T> {
+    fn eq(&self, other: &Storage<T>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Pod + Eq> Eq for Storage<T> {}
+
+impl<'a, T: Pod> IntoIterator for &'a Storage<T> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_dir() -> SpillDir {
+        SpillDir::in_temp("storage-tests").expect("spill dir")
+    }
+
+    #[test]
+    fn heap_and_mapped_behave_identically() {
+        let dir = test_dir();
+        for mode in [StorageMode::Heap, StorageMode::Spill(dir)] {
+            let mut s: Storage<u32> = Storage::with_capacity_in(100, &mode);
+            assert!(s.is_empty());
+            for i in 0..100u32 {
+                s.push(i * 3);
+            }
+            assert_eq!(s.len(), 100);
+            assert_eq!(s[7], 21);
+            assert_eq!(s.as_slice()[99], 297);
+            assert_eq!(s.bytes(), 400);
+            s.as_mut_slice()[0] = 42;
+            assert_eq!(s[0], 42);
+            assert_eq!(s.is_mapped(), mode.is_spill());
+            let copy = s.clone();
+            assert_eq!(copy, s);
+        }
+    }
+
+    #[test]
+    fn zeroed_mapped_storage_is_zero() {
+        let dir = test_dir();
+        let s: Storage<f64> = Storage::zeroed_in(1000, &StorageMode::Spill(dir));
+        assert_eq!(s.len(), 1000);
+        assert!(s.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn spill_files_are_unlinked_immediately() {
+        let dir = test_dir();
+        let _s: Storage<u64> = Storage::zeroed_in(1 << 16, &StorageMode::Spill(dir.clone()));
+        let leftovers = std::fs::read_dir(dir.path())
+            .map(|d| d.count())
+            .unwrap_or(0);
+        assert_eq!(leftovers, 0, "spill files must not persist on disk");
+    }
+
+    #[test]
+    #[should_panic(expected = "fixed-capacity")]
+    fn mapped_push_beyond_capacity_panics() {
+        let dir = test_dir();
+        let mut s: Storage<u32> = Storage::with_capacity_in(2, &StorageMode::Spill(dir));
+        s.push(1);
+        s.push(2);
+        s.push(3);
+    }
+
+    #[test]
+    fn empty_mapped_storage_works() {
+        let dir = test_dir();
+        let s: Storage<u32> = Storage::with_capacity_in(0, &StorageMode::Spill(dir));
+        assert!(s.is_empty());
+        assert_eq!(s.as_slice(), &[] as &[u32]);
+    }
+
+    #[test]
+    fn from_vec_is_heap() {
+        let s: Storage<i64> = vec![1, 2, 3].into();
+        assert!(!s.is_mapped());
+        assert_eq!(&*s, &[1, 2, 3]);
+    }
+}

@@ -32,8 +32,9 @@
 
 use crate::local_join::LocalJoinAlgorithm;
 use crate::machine::{MachineModel, WorkerWork};
-use crate::parallel::Parallelism;
-use crate::shuffle::{shuffle, PartitionedIndex, ShuffledInputs};
+use crate::metrics::ShardStats;
+use crate::parallel::{chunk_ranges, Parallelism};
+use crate::shuffle::{shuffle, PartitionedIndex, ShuffleConfig, ShuffledInputs};
 use crate::verify::{check_pairs_against, exact_join_count_on, exact_join_pairs_on, PairCheck};
 use rayon::prelude::*;
 use recpart::{
@@ -234,10 +235,63 @@ struct LocalJoinPhase {
     threads_used: usize,
 }
 
+/// A shared-nothing shard layout over the partition space: shard `i` exclusively
+/// owns the contiguous partition range `ranges[i]` of the global CSR arena, so
+/// shards never share mutable state — only read-only views of the inputs and the
+/// shuffled index. Shards run as threads today, but the layout (a contiguous
+/// partition range plus shared immutable inputs) is exactly what a per-process
+/// deployment would hand each worker process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    ranges: Vec<(usize, usize)>,
+}
+
+impl ShardPlan {
+    /// Split `num_partitions` partitions into `shards` contiguous, disjoint,
+    /// covering ranges (sizes differ by at most one). Shards beyond the partition
+    /// count are dropped rather than left empty.
+    pub fn contiguous(num_partitions: usize, shards: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        ShardPlan {
+            ranges: chunk_ranges(num_partitions, shards.min(num_partitions.max(1))),
+        }
+    }
+
+    /// Number of shards in the plan.
+    pub fn num_shards(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// The partition range `[lo, hi)` owned by shard `shard`.
+    pub fn partition_range(&self, shard: usize) -> (usize, usize) {
+        self.ranges[shard]
+    }
+}
+
+/// The result of a sharded execution: the merged [`ExecutionReport`] (bit-identical
+/// to the unsharded `execute` — same per-partition loads, stats, and pair checks)
+/// plus the per-shard measurements the unsharded path has no notion of.
+#[derive(Debug, Clone)]
+pub struct ShardedExecution {
+    /// The merged report, indistinguishable from an unsharded run.
+    pub report: ExecutionReport,
+    /// Per-shard ownership and measurements, in shard (= partition) order.
+    pub shard_stats: Vec<ShardStats>,
+    /// Simulated join time when each shard pays its own per-process job overhead
+    /// (see [`MachineModel::sharded_join_seconds`]); the report's
+    /// `simulated_join_seconds` keeps the single-job model for comparability.
+    pub simulated_sharded_seconds: f64,
+}
+
 /// The simulated-cluster executor.
 #[derive(Debug, Clone)]
 pub struct Executor {
     config: ExecutorConfig,
+    /// Chunking and arena-backing of the map/shuffle phase (out-of-core knobs);
+    /// defaults to the legacy in-memory behaviour. Kept outside [`ExecutorConfig`]
+    /// so that stays `Copy` ([`crate::shuffle::ShuffleConfig`] holds a spill-dir
+    /// handle).
+    shuffle_config: ShuffleConfig,
     /// Thread pool for an explicit `threads > 1` bound, built once per executor so
     /// repeated `execute` calls do not pay pool construction. `threads == 0` uses the
     /// ambient rayon context; `threads == 1` bypasses rayon entirely.
@@ -255,7 +309,19 @@ impl Executor {
                     .expect("building the local-join thread pool"),
             )
         });
-        Executor { config, pool }
+        Executor {
+            config,
+            shuffle_config: ShuffleConfig::default(),
+            pool,
+        }
+    }
+
+    /// Override the map/shuffle chunking and arena backing (streaming chunks,
+    /// mmap-backed spill arenas — see [`ShuffleConfig`]). Results are bit-identical
+    /// for every setting; only memory residency and wall-clock change.
+    pub fn with_shuffle_config(mut self, shuffle_config: ShuffleConfig) -> Self {
+        self.shuffle_config = shuffle_config;
+        self
     }
 
     /// Convenience constructor with default configuration for `workers` machines.
@@ -288,7 +354,14 @@ impl Executor {
         t: &Relation,
     ) -> ShuffledInputs {
         let num_partitions = partitioner.num_partitions().max(1);
-        shuffle(partitioner, s, t, num_partitions, &self.parallelism())
+        shuffle(
+            partitioner,
+            s,
+            t,
+            num_partitions,
+            &self.parallelism(),
+            &self.shuffle_config,
+        )
     }
 
     /// Execute the band-join of `s` and `t` under `partitioner` and measure everything.
@@ -306,11 +379,155 @@ impl Executor {
             s_parts,
             t_parts,
             wall_seconds: map_shuffle_wall_seconds,
-        } = shuffle(partitioner, s, t, num_partitions, &self.parallelism());
+        } = self.map_shuffle(partitioner, s, t);
 
         // --- Reduce: local joins per partition (rayon-parallel). ---
         let materialize = self.config.verification == VerificationLevel::FullPairs;
         let local = self.run_local_joins(s, t, band, &s_parts, &t_parts, materialize);
+
+        self.assemble_report(
+            partitioner,
+            s,
+            t,
+            band,
+            num_partitions,
+            map_shuffle_wall_seconds,
+            local,
+        )
+    }
+
+    /// Execute the band-join with shared-nothing shard workers: the partition space
+    /// is split into `shards` contiguous disjoint ranges ([`ShardPlan`]), each shard
+    /// joins its own partitions **sequentially** while shards run concurrently, and
+    /// the per-shard results are merged back in shard (= partition) order. Because
+    /// every per-partition computation and the merge order are identical to
+    /// [`Executor::execute`], the resulting report — loads, stats, pair checks — is
+    /// bit-identical to the unsharded run; sharding only changes where the work ran
+    /// and adds per-shard measurements.
+    pub fn execute_sharded<P: Partitioner + ?Sized>(
+        &self,
+        partitioner: &P,
+        s: &Relation,
+        t: &Relation,
+        band: &BandCondition,
+        shards: usize,
+    ) -> ShardedExecution {
+        let num_partitions = partitioner.num_partitions().max(1);
+        let plan = ShardPlan::contiguous(num_partitions, shards);
+
+        // --- Map & shuffle: one global (possibly spill-backed) arena per side;
+        // shards will own disjoint contiguous partition ranges of it. ---
+        let ShuffledInputs {
+            s_parts,
+            t_parts,
+            wall_seconds: map_shuffle_wall_seconds,
+        } = self.map_shuffle(partitioner, s, t);
+
+        // --- Reduce: one sequential worker per shard, shards concurrent. ---
+        let materialize = self.config.verification == VerificationLevel::FullPairs;
+        let join_shard = |shard: usize| -> (Vec<PartitionJoinOutcome>, f64) {
+            let start = Instant::now();
+            let (lo, hi) = plan.partition_range(shard);
+            let outcomes = (lo..hi)
+                .map(|p| self.join_partition(s, t, band, &s_parts, &t_parts, materialize, p))
+                .collect();
+            (outcomes, start.elapsed().as_secs_f64())
+        };
+        let phase_start = Instant::now();
+        let par = self.parallelism();
+        let (shard_results, threads_used) = match par {
+            Parallelism::Sequential => (
+                (0..plan.num_shards()).map(join_shard).collect::<Vec<_>>(),
+                1,
+            ),
+            _ => {
+                let threads = par.threads().clamp(1, plan.num_shards().max(1));
+                let results: Vec<(Vec<PartitionJoinOutcome>, f64)> = par.run(|| {
+                    (0..plan.num_shards())
+                        .into_par_iter()
+                        .map(join_shard)
+                        .collect()
+                });
+                (results, threads)
+            }
+        };
+        let wall_seconds = phase_start.elapsed().as_secs_f64();
+
+        // --- Order-preserving merge: shard order == partition order, so the merged
+        // phase is indistinguishable from the unsharded collect. ---
+        let mut per_partition = Vec::with_capacity(num_partitions);
+        let mut per_partition_wall_seconds = Vec::with_capacity(num_partitions);
+        let mut all_pairs = materialize.then(Vec::new);
+        let mut shard_stats = Vec::with_capacity(plan.num_shards());
+        for (shard, (outcomes, shard_wall)) in shard_results.into_iter().enumerate() {
+            let (lo, hi) = plan.partition_range(shard);
+            let arena_bytes: u64 = (lo..hi)
+                .map(|p| ((s_parts.part(p).len() + t_parts.part(p).len()) * 4) as u64)
+                .sum();
+            let mut stats = ShardStats {
+                shard,
+                partition_lo: lo,
+                partition_hi: hi,
+                s_assignments: 0,
+                t_assignments: 0,
+                arena_bytes,
+                wall_seconds: shard_wall,
+            };
+            for (load, pairs, seconds) in outcomes {
+                stats.s_assignments += load.s_input;
+                stats.t_assignments += load.t_input;
+                per_partition.push(load);
+                per_partition_wall_seconds.push(seconds);
+                if let Some(all) = all_pairs.as_mut() {
+                    all.extend(pairs);
+                }
+            }
+            shard_stats.push(stats);
+        }
+        let local = LocalJoinPhase {
+            per_partition,
+            per_partition_wall_seconds,
+            all_pairs,
+            wall_seconds,
+            threads_used,
+        };
+
+        let report = self.assemble_report(
+            partitioner,
+            s,
+            t,
+            band,
+            num_partitions,
+            map_shuffle_wall_seconds,
+            local,
+        );
+        let simulated_sharded_seconds = self.config.machine.sharded_join_seconds(
+            report.stats.total_input,
+            &report.per_worker_work,
+            plan.num_shards(),
+        );
+        ShardedExecution {
+            report,
+            shard_stats,
+            simulated_sharded_seconds,
+        }
+    }
+
+    /// Everything downstream of the local joins — worker mapping, per-worker
+    /// aggregation, stats, the simulated timing model, and verification — shared
+    /// verbatim by [`Executor::execute`] and [`Executor::execute_sharded`] so the
+    /// two paths cannot drift apart.
+    #[allow(clippy::too_many_arguments)]
+    fn assemble_report<P: Partitioner + ?Sized>(
+        &self,
+        partitioner: &P,
+        s: &Relation,
+        t: &Relation,
+        band: &BandCondition,
+        num_partitions: usize,
+        map_shuffle_wall_seconds: f64,
+        local: LocalJoinPhase,
+    ) -> ExecutionReport {
         let LocalJoinPhase {
             per_partition,
             per_partition_wall_seconds,
@@ -434,27 +651,8 @@ impl Executor {
         materialize: bool,
     ) -> LocalJoinPhase {
         let num_partitions = s_parts.num_partitions();
-        let algo = self.config.local_algorithm;
 
-        let join_one = |p: usize| -> PartitionJoinOutcome {
-            let start = Instant::now();
-            let mut pairs = Vec::new();
-            let result = algo.join(
-                s,
-                t,
-                s_parts.part(p),
-                t_parts.part(p),
-                band,
-                materialize.then_some(&mut pairs),
-            );
-            let load = PartitionLoad {
-                s_input: s_parts.part(p).len() as u64,
-                t_input: t_parts.part(p).len() as u64,
-                output: result.output,
-                comparisons: result.comparisons,
-            };
-            (load, pairs, start.elapsed().as_secs_f64())
-        };
+        let join_one = |p: usize| self.join_partition(s, t, band, s_parts, t_parts, materialize, p);
 
         let phase_start = Instant::now();
         let par = self.parallelism();
@@ -486,6 +684,40 @@ impl Executor {
             wall_seconds,
             threads_used,
         }
+    }
+
+    /// One partition's local join: the single per-partition computation both the
+    /// partition-parallel ([`Executor::run_local_joins`]) and the shard-sequential
+    /// ([`Executor::execute_sharded`]) reduce phases invoke — one implementation,
+    /// so the two execution shapes agree bit for bit by construction.
+    #[allow(clippy::too_many_arguments)]
+    fn join_partition(
+        &self,
+        s: &Relation,
+        t: &Relation,
+        band: &BandCondition,
+        s_parts: &PartitionedIndex,
+        t_parts: &PartitionedIndex,
+        materialize: bool,
+        p: usize,
+    ) -> PartitionJoinOutcome {
+        let start = Instant::now();
+        let mut pairs = Vec::new();
+        let result = self.config.local_algorithm.join(
+            s,
+            t,
+            s_parts.part(p),
+            t_parts.part(p),
+            band,
+            materialize.then_some(&mut pairs),
+        );
+        let load = PartitionLoad {
+            s_input: s_parts.part(p).len() as u64,
+            t_input: t_parts.part(p).len() as u64,
+            output: result.output,
+            comparisons: result.comparisons,
+        };
+        (load, pairs, start.elapsed().as_secs_f64())
     }
 
     /// Map partitions onto workers: identity when there are at most `w` partitions,

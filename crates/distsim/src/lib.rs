@@ -16,7 +16,11 @@
 //!   local joins, verification — is rayon-parallel under one `threads` knob and
 //!   reports its own measured wall-clock;
 //! * [`shuffle`] — the chunked parallel tuple-routing fan-out whose merged
-//!   per-partition index lists are bit-identical to sequential routing;
+//!   per-partition index lists are bit-identical to sequential routing; its
+//!   [`ShuffleConfig`] adds the out-of-core scale tier (bounded streaming chunks,
+//!   mmap-backed spill arenas), and `Executor::execute_sharded` runs the reduce
+//!   phase as shared-nothing shards over contiguous partition ranges (per-shard
+//!   accounting in [`metrics`]) — both bit-identical to the in-memory path;
 //! * [`cost_model`] — the running-time model `M(I, I_m, O_m) = β₀ + β₁I + β₂I_m + β₃O_m`
 //!   of Li et al. [24], with least-squares fitting over a calibration benchmark;
 //! * [`machine`] — the synthetic "ground truth" cluster timing model used in place of
@@ -32,13 +36,17 @@ pub mod cost_model;
 pub mod executor;
 pub mod local_join;
 pub mod machine;
+pub mod metrics;
 mod parallel;
 pub mod shuffle;
 pub mod verify;
 
 pub use cost_model::{CalibrationPoint, CostModel};
-pub use executor::{ExecutionReport, Executor, ExecutorConfig, VerificationLevel};
+pub use executor::{
+    ExecutionReport, Executor, ExecutorConfig, ShardPlan, ShardedExecution, VerificationLevel,
+};
 pub use local_join::{probe_sorted, LocalJoinAlgorithm, LocalJoinResult, SortedProbeSide};
 pub use machine::MachineModel;
-pub use shuffle::{PartitionedIndex, ShuffledInputs};
+pub use metrics::{process_peak_rss_bytes, ShardStats};
+pub use shuffle::{PartitionedIndex, ShuffleConfig, ShuffledInputs};
 pub use verify::{exact_join_count, exact_join_count_on, exact_join_pairs, exact_join_pairs_on};

@@ -1,0 +1,95 @@
+//! Scale-tier measurements: per-shard ownership/footprint stats and the process
+//! peak-RSS probe the out-of-core memory gates are built on.
+//!
+//! Two kinds of numbers live here, deliberately separated:
+//!
+//! * **deterministic accounting** ([`ShardStats`]) — derived from lengths and
+//!   offsets, identical on every run and every machine; this is what gates compare
+//!   against budgets, because a flaky gate is worse than no gate;
+//! * **observed residency** ([`process_peak_rss_bytes`]) — the kernel's high-water
+//!   mark for this process, reported alongside the accounting as evidence that the
+//!   mmap-backed path actually keeps pages out of RAM, but never gated on directly
+//!   (it is shared across the whole process and monotone over its lifetime).
+
+use serde::{Deserialize, Serialize};
+
+/// What one shared-nothing shard owned and measured during a sharded execution
+/// (see `Executor::execute_sharded`): its contiguous partition range of the global
+/// CSR arena, the assignment counts routed into that range, the arena bytes the
+/// range occupies, and the shard's measured wall-clock.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShardStats {
+    /// Shard index (shards are laid out in partition order).
+    pub shard: usize,
+    /// First partition owned (inclusive).
+    pub partition_lo: usize,
+    /// Last partition owned (exclusive).
+    pub partition_hi: usize,
+    /// S-side assignments (including duplicates) in the shard's partitions.
+    pub s_assignments: u64,
+    /// T-side assignments (including duplicates) in the shard's partitions.
+    pub t_assignments: u64,
+    /// Bytes of the global index arenas this shard's partition range occupies —
+    /// the per-shard working set of the reduce phase, computed from lengths
+    /// (deterministic), not from allocator or kernel state.
+    pub arena_bytes: u64,
+    /// Measured wall-clock seconds of the shard's sequential reduce pass.
+    pub wall_seconds: f64,
+}
+
+impl ShardStats {
+    /// Total assignments (both sides) owned by the shard.
+    pub fn assignments(&self) -> u64 {
+        self.s_assignments + self.t_assignments
+    }
+
+    /// Number of partitions the shard owns.
+    pub fn num_partitions(&self) -> usize {
+        self.partition_hi - self.partition_lo
+    }
+}
+
+/// The peak resident-set size (high-water mark) of this process in bytes, read
+/// from `VmHWM` in `/proc/self/status`. Returns `None` where procfs is absent
+/// (non-Linux) or unparsable — callers must treat the probe as best-effort
+/// evidence, not as a gateable quantity.
+pub fn process_peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().strip_suffix("kB")?.trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_stats_totals() {
+        let s = ShardStats {
+            shard: 1,
+            partition_lo: 4,
+            partition_hi: 9,
+            s_assignments: 100,
+            t_assignments: 40,
+            arena_bytes: 560,
+            wall_seconds: 0.0,
+        };
+        assert_eq!(s.assignments(), 140);
+        assert_eq!(s.num_partitions(), 5);
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn peak_rss_is_available_and_plausible_on_linux() {
+        let peak = process_peak_rss_bytes().expect("VmHWM exists on Linux");
+        // A running test binary certainly holds more than 64 KiB and (sanity
+        // bound) less than 1 TiB.
+        assert!(peak > 64 * 1024, "peak {peak}");
+        assert!(peak < 1 << 40, "peak {peak}");
+    }
+}

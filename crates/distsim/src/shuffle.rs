@@ -27,10 +27,27 @@
 //! and across policies — no matter how many threads ran the fan-out. Downstream
 //! local joins and verification therefore see exactly the same inputs for every
 //! `threads` setting.
+//!
+//! ## Out-of-core / streaming mode
+//!
+//! [`ShuffleConfig`] extends the same two-pass layout to inputs that dwarf RAM:
+//!
+//! * `chunk_tuples > 0` bounds the tuples routed per chunk, decoupling chunking
+//!   from the thread count. Streaming mode always counts in pass 1 and re-routes in
+//!   pass 2 (the [`ScatterPolicy::PairList`] pair buffers would otherwise grow with
+//!   the chunk's assignment count, defeating the memory bound); the pass-1 state
+//!   kept across the whole input is just `num_chunks × num_partitions` integer
+//!   counts — associative, merged by the prefix sum exactly like the parallel path.
+//! * `storage` selects the arena backing: heap `Vec<u32>` or an mmap-backed spill
+//!   file ([`StorageMode::Spill`]) that the OS pages in and out on demand, so the
+//!   resident set stays bounded no matter how large the arena is.
+//!
+//! Both knobs change *where bytes live*, never *which bytes*: the streamed,
+//! spill-backed arena is bit-identical to the in-memory one.
 
 use crate::parallel::{chunk_ranges, Parallelism};
 use rayon::prelude::*;
-use recpart::{AssignmentSink, Partitioner, Relation, ScatterPolicy};
+use recpart::{AssignmentSink, Partitioner, Relation, ScatterPolicy, Storage, StorageMode};
 use std::time::Instant;
 
 /// Below this many tuples a side is routed as a single chunk even in parallel mode:
@@ -42,12 +59,50 @@ const MIN_PARALLEL_TUPLES: usize = 4_096;
 /// split-tree paths in dense regions).
 const CHUNKS_PER_THREAD: usize = 4;
 
+/// How the shuffle chunks its input and where it puts the per-partition arenas —
+/// the out-of-core knobs of the scale tier (see the module docs).
+#[derive(Debug, Clone, Default)]
+pub struct ShuffleConfig {
+    /// Upper bound on tuples routed per chunk. `0` (the default) chunks by thread
+    /// count as before; any positive value enables **streaming mode**: fixed-size
+    /// chunks, count-only pass 1, offset-aware re-route pass 2 — per-chunk transient
+    /// memory is `O(num_partitions)` regardless of input size or declared
+    /// [`ScatterPolicy`]. Results are bit-identical either way.
+    pub chunk_tuples: usize,
+    /// Backing of the per-partition index arenas: heap vectors (default) or
+    /// mmap-backed spill files whose resident pages the OS manages.
+    pub storage: StorageMode,
+}
+
+impl ShuffleConfig {
+    /// Streaming out-of-core configuration: route in chunks of at most
+    /// `chunk_tuples` tuples and back the arenas with `storage`.
+    pub fn streaming(chunk_tuples: usize, storage: StorageMode) -> Self {
+        assert!(
+            chunk_tuples > 0,
+            "streaming mode needs a positive chunk size"
+        );
+        ShuffleConfig {
+            chunk_tuples,
+            storage,
+        }
+    }
+
+    /// Whether fixed-size chunking (and with it the bounded-memory pass-1 path)
+    /// is enabled.
+    pub fn is_streaming(&self) -> bool {
+        self.chunk_tuples > 0
+    }
+}
+
 /// Per-partition tuple-index lists stored as one flat arena plus partition offsets
 /// (CSR layout): partition `p` owns `data[offsets[p]..offsets[p + 1]]`, in routing
-/// (ascending tuple-index) order.
+/// (ascending tuple-index) order. The arena is a [`Storage<u32>`] so it can live on
+/// the heap or in an mmap-backed spill file; every accessor below goes through the
+/// same slice view either way.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PartitionedIndex {
-    data: Vec<u32>,
+    data: Storage<u32>,
     offsets: Vec<usize>,
 }
 
@@ -55,7 +110,7 @@ impl PartitionedIndex {
     /// An index with `num_partitions` empty partitions.
     pub fn empty(num_partitions: usize) -> Self {
         PartitionedIndex {
-            data: Vec::new(),
+            data: Storage::new(),
             offsets: vec![0; num_partitions + 1],
         }
     }
@@ -80,6 +135,18 @@ impl PartitionedIndex {
         self.data.is_empty()
     }
 
+    /// Bytes held by the arena and the offset table — the number the scale-tier
+    /// memory gates account against. Deterministic (derived from lengths, not
+    /// allocator state).
+    pub fn arena_bytes(&self) -> u64 {
+        self.data.bytes() + (self.offsets.len() * std::mem::size_of::<usize>()) as u64
+    }
+
+    /// Whether the arena is backed by an mmap-backed spill file.
+    pub fn is_spilled(&self) -> bool {
+        self.data.is_mapped()
+    }
+
     /// Iterate over the per-partition index slices in partition order.
     pub fn iter_parts(&self) -> impl Iterator<Item = &[u32]> + '_ {
         (0..self.num_partitions()).map(|p| self.part(p))
@@ -102,6 +169,11 @@ impl ShuffledInputs {
     pub fn total_input(&self) -> u64 {
         (self.s_parts.len() + self.t_parts.len()) as u64
     }
+
+    /// Bytes held by both sides' arenas (see [`PartitionedIndex::arena_bytes`]).
+    pub fn arena_bytes(&self) -> u64 {
+        self.s_parts.arena_bytes() + self.t_parts.arena_bytes()
+    }
 }
 
 /// Which side of the join a routing pass handles.
@@ -118,10 +190,11 @@ pub(crate) fn shuffle<P: Partitioner + ?Sized>(
     t: &Relation,
     num_partitions: usize,
     par: &Parallelism<'_>,
+    config: &ShuffleConfig,
 ) -> ShuffledInputs {
     let start = Instant::now();
-    let s_parts = route_side(partitioner, s, num_partitions, par, Side::S);
-    let t_parts = route_side(partitioner, t, num_partitions, par, Side::T);
+    let s_parts = route_side(partitioner, s, num_partitions, par, Side::S, config);
+    let t_parts = route_side(partitioner, t, num_partitions, par, Side::T, config);
     ShuffledInputs {
         s_parts,
         t_parts,
@@ -136,6 +209,77 @@ struct ArenaPtr(*mut u32);
 unsafe impl Send for ArenaPtr {}
 unsafe impl Sync for ArenaPtr {}
 
+/// The exact arena layout derived from pass-1 counts: partition-major `offsets`
+/// (CSR), per-(chunk, partition) write-cursor `chunk_bases` in chunk order, and the
+/// arena length.
+struct ArenaLayout {
+    offsets: Vec<usize>,
+    chunk_bases: Vec<Vec<usize>>,
+    total: usize,
+}
+
+/// Prefix-sum the per-chunk, per-partition pass-1 counts into the arena layout.
+///
+/// All accumulation happens in `u64` with checked adds before a single checked
+/// narrowing to `usize` per emitted offset: at out-of-core scale (≥ 2^32 total
+/// assignments) the old `usize`-accumulating sum would wrap silently on 32-bit
+/// targets, and an unchecked `as usize` would truncate rather than fail. Overflow
+/// here means the requested arena cannot exist — panicking with a sized message
+/// beats scattering through a wrapped cursor.
+fn arena_layout(per_chunk_counts: &[&[u64]], num_partitions: usize) -> ArenaLayout {
+    let widen = |v: u64| -> usize {
+        usize::try_from(v)
+            .expect("arena offset exceeds the addressable size (usize) of this target")
+    };
+    // Partition-major totals, accumulated in u64.
+    let mut offsets64 = Vec::with_capacity(num_partitions + 1);
+    offsets64.push(0u64);
+    for p in 0..num_partitions {
+        let mut end = offsets64[p];
+        for counts in per_chunk_counts {
+            end = end
+                .checked_add(counts[p])
+                .expect("total assignment count overflows u64");
+        }
+        offsets64.push(end);
+    }
+    // Per-(partition, chunk) write cursors in chunk order, so the arena reproduces
+    // the sequential layout. Cursor sums are bounded by the offsets just checked,
+    // so plain adds cannot overflow here.
+    let mut chunk_bases = Vec::with_capacity(per_chunk_counts.len());
+    let mut cursor: Vec<u64> = offsets64[..num_partitions].to_vec();
+    for counts in per_chunk_counts {
+        chunk_bases.push(cursor.iter().copied().map(widen).collect());
+        for (slot, &c) in cursor.iter_mut().zip(*counts) {
+            *slot += c;
+        }
+    }
+    debug_assert_eq!(&cursor[..], &offsets64[1..]);
+    let offsets: Vec<usize> = offsets64.into_iter().map(widen).collect();
+    let total = offsets[num_partitions];
+    ArenaLayout {
+        offsets,
+        chunk_bases,
+        total,
+    }
+}
+
+/// Contiguous ranges of at most `chunk_tuples` tuples each — the streaming-mode
+/// chunking, sized by the memory bound instead of the thread count.
+fn bounded_ranges(n: usize, chunk_tuples: usize) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::with_capacity(n.div_ceil(chunk_tuples.max(1)).max(1));
+    let mut lo = 0;
+    while lo < n {
+        let hi = (lo + chunk_tuples).min(n);
+        ranges.push((lo, hi));
+        lo = hi;
+    }
+    if ranges.is_empty() {
+        ranges.push((0, 0));
+    }
+    ranges
+}
+
 /// Route one relation into a flat per-partition arena with the two-pass
 /// count/scatter layout described in the module docs. Both passes hand each
 /// contiguous chunk to the partitioner's block API — there is no per-tuple routing
@@ -147,11 +291,20 @@ fn route_side<P: Partitioner + ?Sized>(
     num_partitions: usize,
     par: &Parallelism<'_>,
     side: Side,
+    config: &ShuffleConfig,
 ) -> PartitionedIndex {
     let n = rel.len();
+    // Tuple indices travel as u32 through sinks and arenas; fail loudly at the
+    // chokepoint instead of truncating on the way in.
+    assert!(
+        n <= u32::MAX as usize + 1,
+        "relation has {n} tuples but tuple indices are u32"
+    );
     let threads = par.threads().min(n.max(1));
     let parallel = threads > 1 && n >= MIN_PARALLEL_TUPLES;
-    let ranges = if parallel {
+    let ranges = if config.is_streaming() {
+        bounded_ranges(n, config.chunk_tuples)
+    } else if parallel {
         chunk_ranges(n, threads * CHUNKS_PER_THREAD)
     } else {
         chunk_ranges(n, 1)
@@ -160,7 +313,15 @@ fn route_side<P: Partitioner + ?Sized>(
         return PartitionedIndex::empty(num_partitions);
     }
 
-    let policy = partitioner.scatter_policy();
+    // Streaming mode always counts in pass 1 and re-routes in pass 2: a pair list
+    // grows with the chunk's assignment count and would break the memory bound the
+    // fixed-size chunks exist to provide. Identical arenas either way (the policy
+    // bit-identity is proven by `scatter_policies_produce_identical_arenas`).
+    let policy = if config.is_streaming() {
+        ScatterPolicy::Reroute
+    } else {
+        partitioner.scatter_policy()
+    };
     let route_chunk = |sink: &mut AssignmentSink, (lo, hi): (usize, usize)| match side {
         Side::S => partitioner.assign_s_block(rel, lo..hi, sink),
         Side::T => partitioner.assign_t_block(rel, lo..hi, sink),
@@ -197,26 +358,15 @@ fn route_side<P: Partitioner + ?Sized>(
         ranges.iter().map(|&r| count_one(r)).collect()
     };
 
-    // Exact arena offsets: partition-major totals, then per-(partition, chunk)
-    // write cursors in chunk order, so the arena reproduces the sequential layout.
-    let mut offsets = Vec::with_capacity(num_partitions + 1);
-    offsets.push(0usize);
-    for p in 0..num_partitions {
-        let total: usize = chunks.iter().map(|c| c.counts()[p] as usize).sum();
-        offsets.push(offsets[p] + total);
-    }
-    let total = offsets[num_partitions];
-    let mut chunk_bases: Vec<Vec<usize>> = Vec::with_capacity(chunks.len());
-    {
-        let mut cursor = offsets[..num_partitions].to_vec();
-        for c in &chunks {
-            chunk_bases.push(cursor.clone());
-            for (p, slot) in cursor.iter_mut().enumerate() {
-                *slot += c.counts()[p] as usize;
-            }
-        }
-        debug_assert_eq!(&cursor, &offsets[1..]);
-    }
+    // Exact arena offsets from the merged per-chunk counts (checked widening —
+    // see [`arena_layout`]).
+    let per_chunk_counts: Vec<&[u64]> = chunks.iter().map(|c| c.counts()).collect();
+    let ArenaLayout {
+        offsets,
+        chunk_bases,
+        total,
+    } = arena_layout(&per_chunk_counts, num_partitions);
+    drop(per_chunk_counts);
 
     // Pass 2 (scatter). Under [`ScatterPolicy::Reroute`], route every chunk again
     // through an offset-aware sink — each block writes every tuple index straight to
@@ -224,7 +374,7 @@ fn route_side<P: Partitioner + ?Sized>(
     // [`ScatterPolicy::PairList`], replay the pairs pass 1 recorded. The two
     // policies write the identical arena: same per-(chunk, partition) slices, same
     // routing order within each slice.
-    let mut data = vec![0u32; total];
+    let mut data = Storage::<u32>::zeroed_in(total, &config.storage);
     let arena = ArenaPtr(data.as_mut_ptr());
     // Borrow the wrapper (not the raw pointer field) so the scatter closure stays
     // `Sync` under edition-2021 disjoint capture.
@@ -274,7 +424,7 @@ fn route_side<P: Partitioner + ?Sized>(
 mod tests {
     use super::*;
     use recpart::partition::SinglePartition;
-    use recpart::PartitionId;
+    use recpart::{PartitionId, SpillDir};
 
     fn relation(n: usize) -> Relation {
         let mut r = Relation::with_capacity(1, n);
@@ -282,6 +432,10 @@ mod tests {
             r.push(&[i as f64]);
         }
         r
+    }
+
+    fn heap() -> ShuffleConfig {
+        ShuffleConfig::default()
     }
 
     /// Routes tuple `i` to partition `i % m`, plus partition `0` for multiples of 7 —
@@ -321,8 +475,8 @@ mod tests {
         let t = relation(9_000);
         let p = ModPartitioner(13);
         let pool = four_thread_pool();
-        let seq = shuffle(&p, &s, &t, 13, &Parallelism::Sequential);
-        let par = shuffle(&p, &s, &t, 13, &Parallelism::Pool(&pool));
+        let seq = shuffle(&p, &s, &t, 13, &Parallelism::Sequential, &heap());
+        let par = shuffle(&p, &s, &t, 13, &Parallelism::Pool(&pool), &heap());
         assert_eq!(seq.s_parts, par.s_parts);
         assert_eq!(seq.t_parts, par.t_parts);
     }
@@ -332,7 +486,14 @@ mod tests {
         let s = relation(8_192);
         let t = relation(8_192);
         let pool = four_thread_pool();
-        let shuffled = shuffle(&ModPartitioner(5), &s, &t, 5, &Parallelism::Pool(&pool));
+        let shuffled = shuffle(
+            &ModPartitioner(5),
+            &s,
+            &t,
+            5,
+            &Parallelism::Pool(&pool),
+            &heap(),
+        );
         for parts in [&shuffled.s_parts, &shuffled.t_parts] {
             for list in parts.iter_parts() {
                 assert!(list.windows(2).all(|w| w[0] < w[1]));
@@ -345,19 +506,41 @@ mod tests {
         let s = relation(5_000);
         let t = relation(5_000);
         let pool = four_thread_pool();
-        let shuffled = shuffle(&SinglePartition, &s, &t, 1, &Parallelism::Pool(&pool));
+        let shuffled = shuffle(
+            &SinglePartition,
+            &s,
+            &t,
+            1,
+            &Parallelism::Pool(&pool),
+            &heap(),
+        );
         assert_eq!(shuffled.s_parts.part(0).len(), 5_000);
         assert_eq!(shuffled.t_parts.part(0).len(), 5_000);
         assert_eq!(shuffled.total_input(), 10_000);
         assert!(shuffled.wall_seconds >= 0.0);
+        assert!(shuffled.arena_bytes() > 0);
     }
 
     #[test]
     fn small_inputs_take_the_sequential_path() {
         let s = relation(10);
         let t = relation(10);
-        let shuffled = shuffle(&ModPartitioner(3), &s, &t, 3, &Parallelism::Ambient);
-        let seq = shuffle(&ModPartitioner(3), &s, &t, 3, &Parallelism::Sequential);
+        let shuffled = shuffle(
+            &ModPartitioner(3),
+            &s,
+            &t,
+            3,
+            &Parallelism::Ambient,
+            &heap(),
+        );
+        let seq = shuffle(
+            &ModPartitioner(3),
+            &s,
+            &t,
+            3,
+            &Parallelism::Sequential,
+            &heap(),
+        );
         assert_eq!(shuffled.s_parts, seq.s_parts);
         assert_eq!(shuffled.t_parts, seq.t_parts);
     }
@@ -369,8 +552,15 @@ mod tests {
         let t = relation(5_000);
         let pool = four_thread_pool();
         for par in [Parallelism::Sequential, Parallelism::Pool(&pool)] {
-            let block = shuffle(&SinglePartition, &s, &t, 1, &par);
-            let per_tuple = shuffle(&PerTupleFallback(&SinglePartition), &s, &t, 1, &par);
+            let block = shuffle(&SinglePartition, &s, &t, 1, &par, &heap());
+            let per_tuple = shuffle(
+                &PerTupleFallback(&SinglePartition),
+                &s,
+                &t,
+                1,
+                &par,
+                &heap(),
+            );
             assert_eq!(block.s_parts, per_tuple.s_parts);
             assert_eq!(block.t_parts, per_tuple.t_parts);
         }
@@ -409,19 +599,91 @@ mod tests {
         let reroute = ForcePolicy(&p, ScatterPolicy::Reroute);
         let pair_list = ForcePolicy(&p, ScatterPolicy::PairList);
         for (rel, side) in [(&s, Side::S), (&t, Side::T)] {
-            let oracle = route_side(&pair_list, rel, 11, &Parallelism::Sequential, side);
+            let oracle = route_side(&pair_list, rel, 11, &Parallelism::Sequential, side, &heap());
             for par in [Parallelism::Sequential, Parallelism::Pool(&pool)] {
-                assert_eq!(route_side(&reroute, rel, 11, &par, side), oracle);
-                assert_eq!(route_side(&pair_list, rel, 11, &par, side), oracle);
+                assert_eq!(route_side(&reroute, rel, 11, &par, side, &heap()), oracle);
+                assert_eq!(route_side(&pair_list, rel, 11, &par, side, &heap()), oracle);
             }
         }
+    }
+
+    /// Streaming mode (bounded chunks, forced count+re-route) and spill-backed
+    /// arenas must reproduce the legacy in-memory arena bit for bit, for both
+    /// declared policies and any chunk size — including chunk sizes that do not
+    /// divide the input and a chunk size of one.
+    #[test]
+    fn streaming_and_spill_arenas_are_bit_identical_to_legacy() {
+        let s = relation(10_000);
+        let t = relation(4_321);
+        let p = ModPartitioner(11);
+        let pool = four_thread_pool();
+        let dir = SpillDir::in_temp("shuffle-test").expect("creating the spill dir");
+        let oracle = shuffle(&p, &s, &t, 11, &Parallelism::Sequential, &heap());
+        for chunk_tuples in [1usize, 777, 4_096, 100_000] {
+            for storage in [StorageMode::Heap, StorageMode::Spill(dir.clone())] {
+                let config = ShuffleConfig::streaming(chunk_tuples, storage);
+                for par in [Parallelism::Sequential, Parallelism::Pool(&pool)] {
+                    for policy in [ScatterPolicy::Reroute, ScatterPolicy::PairList] {
+                        let forced = ForcePolicy(&p, policy);
+                        let got = shuffle(&forced, &s, &t, 11, &par, &config);
+                        assert_eq!(got.s_parts, oracle.s_parts, "chunk={chunk_tuples}");
+                        assert_eq!(got.t_parts, oracle.t_parts, "chunk={chunk_tuples}");
+                        assert_eq!(got.s_parts.is_spilled(), config.storage.is_spill());
+                    }
+                }
+            }
+        }
+    }
+
+    /// The checked layout helper must survive synthetic counts whose offsets exceed
+    /// `u32` — the regime the overflow audit is about — and must agree with a plain
+    /// prefix sum.
+    #[test]
+    fn arena_layout_handles_offsets_beyond_u32() {
+        let c0 = [0x8000_0000u64, 3, 0];
+        let c1 = [0x8000_0001u64, 5, 0x1_0000_0000];
+        let layout = arena_layout(&[&c0, &c1], 3);
+        assert_eq!(
+            layout.offsets,
+            vec![
+                0,
+                0x1_0000_0001, // > u32::MAX: would have truncated via `as u32`
+                0x1_0000_0001 + 8,
+                0x1_0000_0001 + 8 + 0x1_0000_0000,
+            ]
+        );
+        assert_eq!(layout.total, *layout.offsets.last().unwrap());
+        assert_eq!(layout.chunk_bases.len(), 2);
+        assert_eq!(
+            layout.chunk_bases[0],
+            vec![0, 0x1_0000_0001, 0x1_0000_0001 + 8]
+        );
+        assert_eq!(
+            layout.chunk_bases[1],
+            vec![0x8000_0000, 0x1_0000_0001 + 3, 0x1_0000_0001 + 8]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows u64")]
+    fn arena_layout_rejects_u64_overflow() {
+        let c0 = [u64::MAX];
+        let c1 = [1u64];
+        let _ = arena_layout(&[&c0, &c1], 1);
     }
 
     #[test]
     fn arena_offsets_are_consistent() {
         let s = relation(6_000);
         let t = relation(100);
-        let shuffled = shuffle(&ModPartitioner(7), &s, &t, 7, &Parallelism::Sequential);
+        let shuffled = shuffle(
+            &ModPartitioner(7),
+            &s,
+            &t,
+            7,
+            &Parallelism::Sequential,
+            &heap(),
+        );
         for parts in [&shuffled.s_parts, &shuffled.t_parts] {
             assert_eq!(parts.num_partitions(), 7);
             let total: usize = parts.iter_parts().map(<[u32]>::len).sum();

@@ -54,14 +54,14 @@ pub mod prelude {
     };
     pub use datagen;
     pub use distsim::{
-        exact_join_count, exact_join_count_on, CostModel, ExecutionReport, Executor,
-        ExecutorConfig, LocalJoinAlgorithm, MachineModel, PartitionedIndex, ShuffledInputs,
-        VerificationLevel,
+        exact_join_count, exact_join_count_on, process_peak_rss_bytes, CostModel, ExecutionReport,
+        Executor, ExecutorConfig, LocalJoinAlgorithm, MachineModel, PartitionedIndex, ShardPlan,
+        ShardStats, ShardedExecution, ShuffleConfig, ShuffledInputs, VerificationLevel,
     };
     pub use recpart::{
         AssignmentSink, BandCondition, CompiledRouter, EvalCounters, Evaluator, LoadModel,
         OptimizationReport, PartitionId, Partitioner, PartitioningStats, PerTupleFallback, RecPart,
-        RecPartConfig, RecPartResult, Relation, RouteKernel, SampleConfig, ScatterPolicy,
-        SplitScorer, SplitSearchCounters, SplitTreePartitioner, Termination,
+        RecPartConfig, RecPartResult, Relation, RouteKernel, SampleConfig, ScatterPolicy, SpillDir,
+        SplitScorer, SplitSearchCounters, SplitTreePartitioner, StorageMode, Termination,
     };
 }

@@ -1,0 +1,190 @@
+//! Property tests pinning the shared-nothing sharded execution path to the
+//! unsharded executor.
+//!
+//! `Executor::execute_sharded` splits the partition space into contiguous
+//! disjoint shard ranges, joins each shard's partitions sequentially while
+//! shards run concurrently, and merges the results back in shard (= partition)
+//! order. Every per-partition computation is the same code the unsharded path
+//! runs, so the merged report must be **bit-identical** to `execute` — same
+//! per-partition loads, same worker mapping, same stats, same materialized
+//! pairs — for every shard count, thread count, and arena backing (heap or
+//! mmap-backed spill, streaming or legacy chunking).
+
+use band_join::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn relation_from(values: &[Vec<f64>], dims: usize) -> Relation {
+    let mut r = Relation::new(dims);
+    for v in values {
+        r.push(&v[..dims]);
+    }
+    r
+}
+
+fn recpart_partitioner(
+    s: &Relation,
+    t: &Relation,
+    band: &BandCondition,
+    workers: usize,
+    seed: u64,
+) -> SplitTreePartitioner {
+    let cfg = RecPartConfig::new(workers)
+        .with_seed(seed)
+        .with_sample(SampleConfig {
+            input_sample_size: 200,
+            output_sample_size: 100,
+            output_probe_count: 100,
+        });
+    let mut rng = StdRng::seed_from_u64(seed);
+    RecPart::new(cfg).optimize(s, t, band, &mut rng).partitioner
+}
+
+/// The shuffle configurations a scale-tier deployment moves between: the
+/// legacy in-memory path, bounded streaming chunks over heap arenas, and
+/// bounded streaming chunks over mmap-backed spill arenas.
+fn shuffle_configs() -> Vec<(&'static str, ShuffleConfig)> {
+    let spill = SpillDir::in_temp("sharded-proptest").expect("creating the spill dir");
+    vec![
+        ("legacy-heap", ShuffleConfig::default()),
+        (
+            "streaming-heap",
+            ShuffleConfig::streaming(257, StorageMode::Heap),
+        ),
+        (
+            "streaming-spill",
+            ShuffleConfig::streaming(511, StorageMode::Spill(spill)),
+        ),
+    ]
+}
+
+/// Field-by-field bit-identity of everything deterministic in a report (the
+/// wall-clock fields are measurements and necessarily differ).
+fn assert_reports_identical(got: &ExecutionReport, want: &ExecutionReport, label: &str) {
+    assert_eq!(got.strategy, want.strategy, "{label}: strategy");
+    assert_eq!(got.stats, want.stats, "{label}: stats");
+    assert_eq!(got.partitions, want.partitions, "{label}: partitions");
+    assert_eq!(got.per_partition, want.per_partition, "{label}: loads");
+    assert_eq!(
+        got.partition_to_worker, want.partition_to_worker,
+        "{label}: worker mapping"
+    );
+    assert_eq!(
+        got.per_worker_work, want.per_worker_work,
+        "{label}: per-worker work"
+    );
+    assert_eq!(
+        got.total_comparisons, want.total_comparisons,
+        "{label}: comparisons"
+    );
+    assert_eq!(got.exact_output, want.exact_output, "{label}: exact output");
+    assert_eq!(got.correct, want.correct, "{label}: correctness");
+    assert_eq!(got.pair_check, want.pair_check, "{label}: pair check");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// shards {1, 2, 7} × threads {1, 0, 4} × {legacy-heap, streaming-heap,
+    /// streaming-spill}: every combination must reproduce the sequential
+    /// in-memory unsharded run bit for bit, down to the materialized pair
+    /// check, and the per-shard stats must add up to the global totals.
+    #[test]
+    fn sharded_execution_is_bit_identical_to_unsharded(
+        s_vals in prop::collection::vec(prop::collection::vec(-30.0f64..30.0, 2), 60..200),
+        t_vals in prop::collection::vec(prop::collection::vec(-30.0f64..30.0, 2), 60..200),
+        eps0 in 0.1f64..6.0,
+        eps1 in 0.1f64..6.0,
+        workers in 3usize..12,
+        seed in any::<u64>(),
+    ) {
+        let s = relation_from(&s_vals, 2);
+        let t = relation_from(&t_vals, 2);
+        let band = BandCondition::symmetric(&[eps0, eps1]);
+        let partitioner = recpart_partitioner(&s, &t, &band, workers, seed);
+
+        // Oracle: sequential, in-memory, unsharded, full pair verification.
+        let oracle = Executor::new(
+            ExecutorConfig::new(workers)
+                .with_verification(VerificationLevel::FullPairs)
+                .sequential(),
+        )
+        .execute(&partitioner, &s, &t, &band);
+        prop_assert_eq!(oracle.correct, Some(true));
+
+        for shards in [1usize, 2, 7] {
+            for threads in [1usize, 0, 4] {
+                for (config_name, config) in shuffle_configs() {
+                    let label = format!("shards={shards} threads={threads} {config_name}");
+                    let exec = Executor::new(
+                        ExecutorConfig::new(workers)
+                            .with_verification(VerificationLevel::FullPairs)
+                            .with_threads(threads),
+                    )
+                    .with_shuffle_config(config);
+                    let sharded = exec.execute_sharded(&partitioner, &s, &t, &band, shards);
+                    assert_reports_identical(&sharded.report, &oracle, &label);
+
+                    // Shard accounting: disjoint contiguous coverage of the
+                    // partition space, totals equal to the global stats.
+                    let stats = &sharded.shard_stats;
+                    prop_assert!(stats.len() <= shards, "{}", &label);
+                    prop_assert_eq!(stats[0].partition_lo, 0, "{}", &label);
+                    prop_assert_eq!(
+                        stats.last().unwrap().partition_hi,
+                        oracle.partitions,
+                        "{}", &label
+                    );
+                    for w in stats.windows(2) {
+                        prop_assert_eq!(w[0].partition_hi, w[1].partition_lo, "{}", &label);
+                    }
+                    let assigned: u64 = stats.iter().map(|st| st.assignments()).sum();
+                    prop_assert_eq!(assigned, oracle.stats.total_input, "{}", &label);
+                    prop_assert!(
+                        sharded.simulated_sharded_seconds >= sharded.report.simulated_join_seconds,
+                        "{}: per-shard job overhead cannot make the simulated time shorter",
+                        &label
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The global spill arena is written through per-shard cursors; the resulting
+/// CSR index must be bit-identical to the in-memory shuffle for every chunking.
+#[test]
+fn spill_backed_shuffle_feeds_shards_identically() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut s = Relation::new(2);
+    let mut t = Relation::new(2);
+    use rand::Rng;
+    for _ in 0..4000 {
+        s.push(&[rng.gen::<f64>() * 80.0, rng.gen::<f64>() * 80.0]);
+        t.push(&[rng.gen::<f64>() * 80.0, rng.gen::<f64>() * 80.0]);
+    }
+    let band = BandCondition::symmetric(&[0.7, 0.7]);
+    let partitioner = recpart_partitioner(&s, &t, &band, 9, 3);
+
+    let heap = Executor::with_workers(9).map_shuffle(&partitioner, &s, &t);
+    for chunk in [64usize, 1000, 100_000] {
+        let spill = SpillDir::in_temp("sharded-shuffle-test").expect("creating the spill dir");
+        let exec = Executor::with_workers(9)
+            .with_shuffle_config(ShuffleConfig::streaming(chunk, StorageMode::Spill(spill)));
+        let spilled = exec.map_shuffle(&partitioner, &s, &t);
+        assert!(spilled.s_parts.is_spilled() && spilled.t_parts.is_spilled());
+        for p in 0..partitioner.num_partitions() {
+            assert_eq!(
+                heap.s_parts.part(p),
+                spilled.s_parts.part(p),
+                "chunk {chunk} S {p}"
+            );
+            assert_eq!(
+                heap.t_parts.part(p),
+                spilled.t_parts.part(p),
+                "chunk {chunk} T {p}"
+            );
+        }
+    }
+}

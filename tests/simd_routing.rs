@@ -74,7 +74,11 @@ proptest! {
     /// Random trees × random key blocks × random chunkings: every supported
     /// kernel must emit the scalar oracle's stream bit for bit, on both sides.
     /// Chunk sizes below the 4-lane vector width exercise the pure-tail path;
-    /// odd sizes exercise every vector/tail mix.
+    /// odd sizes exercise every vector/tail mix. The batch kernels route through
+    /// the thread-local `BlockScratch` cache, so the many consecutive block calls
+    /// here (across chunkings, kernels, and both sides on one thread) also pin
+    /// scratch *reuse* to the oracle: stale state leaking between any two block
+    /// calls would break the stream equality below.
     #[test]
     fn simd_kernels_match_scalar_descent_bit_for_bit(
         s_vals in prop::collection::vec(key_strategy(2), 30..150),
