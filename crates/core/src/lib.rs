@@ -97,7 +97,7 @@ pub use relation::{Key, Relation};
 pub use router::CompiledRouter;
 pub use sample::{InputSample, OutputSample, SampleConfig};
 pub use simd::RouteKernel;
-pub use storage::{MappedVec, SpillDir, Storage, StorageMode};
+pub use storage::{spill_fallback_count, MappedVec, SpillDir, Storage, StorageMode};
 
 /// Convenience re-exports for downstream users.
 pub mod prelude {

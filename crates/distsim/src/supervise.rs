@@ -1,0 +1,606 @@
+//! Supervised sharded execution: `catch_unwind` worker isolation, capped
+//! exponential backoff, straggler speculation, and graceful degradation.
+//!
+//! [`Executor::execute_supervised`] wraps the shared-nothing sharded reduce
+//! phase of [`Executor::execute_sharded`] in a supervision layer modelled on a
+//! real cluster scheduler:
+//!
+//! * **Isolation** — every shard attempt runs on its own OS thread behind
+//!   `catch_unwind`, so a panicking worker (injected or real) takes down its
+//!   attempt, never the supervisor or its sibling shards. Shards are
+//!   shared-nothing (disjoint partition ranges over immutable inputs), so a
+//!   crashed attempt leaves nothing to clean up.
+//! * **Retry with capped exponential backoff** — a failed attempt is relaunched
+//!   up to [`SupervisorConfig::max_attempts`] times; attempt `k` sleeps
+//!   `min(cap, base · 2^(k−2))` ms first (on the worker thread, never blocking
+//!   the supervisor). The shuffle and merge phases get the same retry loop:
+//!   both are pure functions of immutable inputs, so re-running them is safe.
+//! * **Straggler speculation** — with a [`SupervisorConfig::shard_deadline_ms`],
+//!   a shard still running past its deadline gets one speculative duplicate
+//!   attempt; the first completed result is kept. Safe because shards are
+//!   idempotent and deterministic: both attempts would produce bit-identical
+//!   outcomes, so "first wins" cannot change the answer.
+//! * **Graceful degradation** — a shard that exhausts its attempts yields a
+//!   structured [`ShardError`] naming its partition range; the surviving shards
+//!   still merge into a partial [`ExecutionReport`] flagged
+//!   [`degraded`](ExecutionReport::degraded) (with
+//!   [`SupervisorConfig::degrade`] off, the run fails with
+//!   [`SuperviseError::ShardsFailed`] instead).
+//!
+//! The invariant throughout: **any run that ultimately succeeds is
+//! bit-identical to the fault-free path.** This holds by construction, not by
+//! checking — every attempt invokes the same `join_partition`, the merge is the
+//! same `merge_shard_outcomes`, and the report assembly is the same
+//! `assemble_report` the unsupervised paths use. The chaos proptest in
+//! `tests/sharded_execution.rs` sweeps random [`FaultPlan`]s to enforce it.
+
+use crate::executor::{
+    merge_shard_outcomes, ExecutionReport, Executor, PartitionJoinOutcome, ShardOutcome, ShardPlan,
+    VerificationLevel,
+};
+use crate::faults::{FaultContext, FaultInjector, FaultPlan, InjectedPanic, InjectionPoint};
+use crate::metrics::{RecoveryCounters, ShardStats};
+use crate::shuffle::ShuffledInputs;
+use recpart::{BandCondition, Partitioner, Relation};
+use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Retry, backoff, deadline, and degradation policy of the supervisor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SupervisorConfig {
+    /// Maximum attempts per shard (and per shuffle / merge phase). At least 1.
+    pub max_attempts: u32,
+    /// Backoff before retry attempt `k ≥ 2`: `min(cap, base · 2^(k−2))` ms,
+    /// slept on the relaunched worker's own thread.
+    pub backoff_base_ms: u64,
+    /// Upper bound on any single backoff sleep, in milliseconds.
+    pub backoff_cap_ms: u64,
+    /// Straggler deadline: a shard still running this many milliseconds after
+    /// its first launch gets one speculative duplicate attempt (first completed
+    /// result wins). `None` disables speculation — and lets the supervisor
+    /// block on the result channel instead of polling it.
+    pub shard_deadline_ms: Option<u64>,
+    /// `true`: exhausted shards degrade into a partial report plus
+    /// [`ShardError`]s. `false`: any exhausted shard fails the whole run.
+    pub degrade: bool,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            max_attempts: 3,
+            backoff_base_ms: 2,
+            backoff_cap_ms: 20,
+            shard_deadline_ms: None,
+            degrade: true,
+        }
+    }
+}
+
+impl SupervisorConfig {
+    /// Override the per-shard / per-phase attempt budget (≥ 1).
+    pub fn with_max_attempts(mut self, max_attempts: u32) -> Self {
+        assert!(max_attempts >= 1, "need at least one attempt");
+        self.max_attempts = max_attempts;
+        self
+    }
+
+    /// Override the backoff curve.
+    pub fn with_backoff_ms(mut self, base: u64, cap: u64) -> Self {
+        self.backoff_base_ms = base;
+        self.backoff_cap_ms = cap;
+        self
+    }
+
+    /// Enable straggler speculation past `deadline_ms`.
+    pub fn with_shard_deadline_ms(mut self, deadline_ms: u64) -> Self {
+        self.shard_deadline_ms = Some(deadline_ms);
+        self
+    }
+
+    /// Fail the whole run on any exhausted shard instead of degrading.
+    pub fn fail_fast(mut self) -> Self {
+        self.degrade = false;
+        self
+    }
+
+    /// The backoff sleep before attempt `attempt` (1-based; attempt 1 is free).
+    fn backoff_ms(&self, attempt: u32) -> u64 {
+        if attempt <= 1 {
+            return 0;
+        }
+        let shift = (attempt - 2).min(16);
+        self.backoff_cap_ms
+            .min(self.backoff_base_ms.saturating_mul(1u64 << shift))
+    }
+}
+
+/// Why a shard attempt (or the shard as a whole) failed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShardFailureKind {
+    /// The worker panicked; the payload is described best-effort.
+    Panic(String),
+    /// The worker hit an I/O error.
+    Io(String),
+    /// The worker vanished without reporting a result (its channel
+    /// disconnected) — defensive: shards are in-process threads today, but a
+    /// multi-process supervisor meets this case for real.
+    WorkerLost,
+}
+
+impl std::fmt::Display for ShardFailureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardFailureKind::Panic(msg) => write!(f, "panic: {msg}"),
+            ShardFailureKind::Io(msg) => write!(f, "I/O error: {msg}"),
+            ShardFailureKind::WorkerLost => f.write_str("worker lost"),
+        }
+    }
+}
+
+/// A shard that exhausted its retry budget: exactly which partitions are
+/// missing from the degraded report, and why the last attempt failed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardError {
+    /// The failed shard's index.
+    pub shard: usize,
+    /// First missing partition (inclusive).
+    pub partition_lo: usize,
+    /// Last missing partition (exclusive).
+    pub partition_hi: usize,
+    /// Attempts launched before giving up.
+    pub attempts: u32,
+    /// The last observed failure.
+    pub kind: ShardFailureKind,
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "shard {} (partitions [{}, {})) failed after {} attempts: {}",
+            self.shard, self.partition_lo, self.partition_hi, self.attempts, self.kind
+        )
+    }
+}
+
+/// A supervised execution failed outright (no report could be produced).
+#[derive(Debug)]
+pub enum SuperviseError {
+    /// The shuffle phase exhausted its attempts.
+    Shuffle {
+        /// Attempts made.
+        attempts: u32,
+        /// The last failure, described.
+        last_error: String,
+    },
+    /// The merge phase exhausted its attempts.
+    Merge {
+        /// Attempts made.
+        attempts: u32,
+        /// The last failure, described.
+        last_error: String,
+    },
+    /// Shards exhausted their attempts and degradation was disabled.
+    ShardsFailed(Vec<ShardError>),
+}
+
+impl std::fmt::Display for SuperviseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SuperviseError::Shuffle {
+                attempts,
+                last_error,
+            } => write!(f, "shuffle failed after {attempts} attempts: {last_error}"),
+            SuperviseError::Merge {
+                attempts,
+                last_error,
+            } => write!(f, "merge failed after {attempts} attempts: {last_error}"),
+            SuperviseError::ShardsFailed(errors) => {
+                write!(f, "{} shard(s) failed:", errors.len())?;
+                for e in errors {
+                    write!(f, " [{e}]")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for SuperviseError {}
+
+/// The result of a supervised sharded execution.
+#[derive(Debug, Clone)]
+pub struct SupervisedExecution {
+    /// The merged report. With no failed shards it is bit-identical to
+    /// [`Executor::execute_sharded`] (and hence to [`Executor::execute`]);
+    /// with failed shards it is partial and flagged
+    /// [`degraded`](ExecutionReport::degraded).
+    pub report: ExecutionReport,
+    /// Per-shard ownership, measurements, and supervision accounting
+    /// ([`ShardStats::attempts`], [`ShardStats::recovery_wall_seconds`]).
+    pub shard_stats: Vec<ShardStats>,
+    /// Simulated join time under per-shard job overhead (as in
+    /// [`crate::ShardedExecution::simulated_sharded_seconds`]).
+    pub simulated_sharded_seconds: f64,
+    /// The shards that exhausted their retry budget — empty for a fully
+    /// successful run; their ranges exactly cover the partitions the degraded
+    /// report is missing.
+    pub failed: Vec<ShardError>,
+    /// What the supervisor did to get here: faults fired, retries, backoff,
+    /// speculation.
+    pub recovery: RecoveryCounters,
+}
+
+/// Best-effort description of a caught panic payload.
+fn describe_panic(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(p) = payload.downcast_ref::<InjectedPanic>() {
+        format!(
+            "injected panic at {:?} unit {} attempt {}",
+            p.point, p.unit, p.attempt
+        )
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// What one completed shard attempt reports back to the supervisor.
+struct AttemptDone {
+    shard: usize,
+    attempt: u32,
+    /// Full wall of the attempt: backoff sleep + injected delays + join work.
+    wall_seconds: f64,
+    result: Result<(Vec<PartitionJoinOutcome>, f64), ShardFailureKind>,
+}
+
+/// Supervisor-side bookkeeping for one shard.
+struct ShardSlot {
+    attempts_launched: u32,
+    in_flight: u32,
+    first_launch: Instant,
+    speculative_attempt: Option<u32>,
+    /// The kept result: per-partition outcomes plus the join wall of the
+    /// winning attempt.
+    outcome: Option<(Vec<PartitionJoinOutcome>, f64)>,
+    /// Full wall of the winning attempt (for recovery accounting).
+    winning_attempt_wall: f64,
+    /// Accumulated wall of every completed attempt.
+    total_attempt_wall: f64,
+    last_failure: Option<ShardFailureKind>,
+}
+
+impl Executor {
+    /// [`Executor::execute_sharded`] under supervision: fault injection per
+    /// `plan` (pass [`FaultPlan::none`] for production), worker isolation,
+    /// retry/backoff, straggler speculation, and graceful degradation per
+    /// `sup` — see the module docs. Shard attempts always run on their own OS
+    /// threads (the unit of isolation); the executor's `threads` knob still
+    /// governs the shuffle and verification phases.
+    #[allow(clippy::too_many_arguments)]
+    pub fn execute_supervised<P: Partitioner + ?Sized>(
+        &self,
+        partitioner: &P,
+        s: &Relation,
+        t: &Relation,
+        band: &BandCondition,
+        shards: usize,
+        plan: &FaultPlan,
+        sup: &SupervisorConfig,
+    ) -> Result<SupervisedExecution, SuperviseError> {
+        let injector = FaultInjector::new(plan.clone());
+        let mut counters = RecoveryCounters::default();
+        let num_partitions = partitioner.num_partitions().max(1);
+        let shard_plan = ShardPlan::contiguous(num_partitions, shards);
+
+        // --- Phase 1: shuffle, retried as a whole (pure + idempotent). ---
+        let shuffled = self.supervised_shuffle(partitioner, s, t, &injector, sup, &mut counters)?;
+        let ShuffledInputs {
+            s_parts,
+            t_parts,
+            wall_seconds: map_shuffle_wall_seconds,
+        } = shuffled;
+
+        // --- Phase 2: shard attempts behind catch_unwind, with retry,
+        // backoff, and deadline speculation. ---
+        let materialize = self.config().verification == VerificationLevel::FullPairs;
+        let phase_start = Instant::now();
+        let mut slots: Vec<ShardSlot> = (0..shard_plan.num_shards())
+            .map(|_| ShardSlot {
+                attempts_launched: 0,
+                in_flight: 0,
+                first_launch: phase_start,
+                speculative_attempt: None,
+                outcome: None,
+                winning_attempt_wall: 0.0,
+                total_attempt_wall: 0.0,
+                last_failure: None,
+            })
+            .collect();
+
+        std::thread::scope(|scope| {
+            let (tx, rx) = mpsc::channel::<AttemptDone>();
+            let injector = &injector;
+            let s_parts = &s_parts;
+            let t_parts = &t_parts;
+            let shard_plan = &shard_plan;
+            // Launch one attempt of one shard on a fresh worker thread. The
+            // backoff is slept by the worker, so the supervisor never blocks.
+            let launch = |shard: usize, attempt: u32, backoff_ms: u64| {
+                let tx = tx.clone();
+                let (lo, hi) = shard_plan.partition_range(shard);
+                scope.spawn(move || {
+                    if backoff_ms > 0 {
+                        std::thread::sleep(Duration::from_millis(backoff_ms));
+                    }
+                    let attempt_start = Instant::now();
+                    let outcome = catch_unwind(AssertUnwindSafe(
+                        || -> Result<(Vec<PartitionJoinOutcome>, f64), ShardFailureKind> {
+                            injector
+                                .trip(InjectionPoint::ShardJoin, shard as u32, attempt)
+                                .map_err(|e| ShardFailureKind::Io(e.to_string()))?;
+                            let join_start = Instant::now();
+                            let outcomes: Vec<PartitionJoinOutcome> = (lo..hi)
+                                .map(|p| {
+                                    self.join_partition(
+                                        s,
+                                        t,
+                                        band,
+                                        s_parts,
+                                        t_parts,
+                                        materialize,
+                                        p,
+                                    )
+                                })
+                                .collect();
+                            Ok((outcomes, join_start.elapsed().as_secs_f64()))
+                        },
+                    ));
+                    let result = match outcome {
+                        Ok(r) => r,
+                        Err(payload) => Err(ShardFailureKind::Panic(describe_panic(&*payload))),
+                    };
+                    // A send failure means the supervisor is gone (it never
+                    // drops the receiver before draining every live attempt);
+                    // there is nobody left to report to, so drop the result.
+                    let _ = tx.send(AttemptDone {
+                        shard,
+                        attempt,
+                        wall_seconds: attempt_start.elapsed().as_secs_f64(),
+                        result,
+                    });
+                });
+            };
+
+            let mut live_attempts = 0u64;
+            for (shard, slot) in slots.iter_mut().enumerate() {
+                slot.attempts_launched = 1;
+                slot.in_flight = 1;
+                slot.first_launch = Instant::now();
+                launch(shard, 1, 0);
+                live_attempts += 1;
+            }
+
+            // Drain until every launched attempt has reported, resolving
+            // shards (and launching retries / speculative duplicates) along
+            // the way. Draining everything — not just until each shard is
+            // resolved — keeps the recovery accounting exact and leaves no
+            // worker running when the scope closes.
+            let deadline = sup.shard_deadline_ms.map(Duration::from_millis);
+            while live_attempts > 0 {
+                let message = match deadline {
+                    // recv: no deadline to poll for, so block (zero overhead
+                    // on the fault-free fast path).
+                    None => rx.recv().map_err(|_| mpsc::RecvTimeoutError::Disconnected),
+                    Some(_) => rx.recv_timeout(Duration::from_millis(1)),
+                };
+                match message {
+                    Ok(done) => {
+                        live_attempts -= 1;
+                        let slot = &mut slots[done.shard];
+                        slot.in_flight -= 1;
+                        slot.total_attempt_wall += done.wall_seconds;
+                        match done.result {
+                            Ok(outcome) => {
+                                // First completed result wins; a later twin
+                                // (speculation loser) only adds recovery wall.
+                                if slot.outcome.is_none() {
+                                    slot.outcome = Some(outcome);
+                                    slot.winning_attempt_wall = done.wall_seconds;
+                                    if slot.speculative_attempt == Some(done.attempt) {
+                                        counters.speculative_wins += 1;
+                                    }
+                                }
+                            }
+                            Err(kind) => {
+                                slot.last_failure = Some(kind);
+                                if slot.outcome.is_none()
+                                    && slot.attempts_launched < sup.max_attempts
+                                {
+                                    counters.shard_retries += 1;
+                                    slot.attempts_launched += 1;
+                                    slot.in_flight += 1;
+                                    live_attempts += 1;
+                                    launch(
+                                        done.shard,
+                                        slot.attempts_launched,
+                                        sup.backoff_ms(slot.attempts_launched),
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        // Deadline sweep: one speculative duplicate per
+                        // straggling shard.
+                        let deadline = deadline.expect("timeout implies a deadline");
+                        for (shard, slot) in slots.iter_mut().enumerate() {
+                            if slot.outcome.is_none()
+                                && slot.in_flight > 0
+                                && slot.speculative_attempt.is_none()
+                                && slot.attempts_launched < sup.max_attempts
+                                && slot.first_launch.elapsed() > deadline
+                            {
+                                counters.speculative_launches += 1;
+                                slot.attempts_launched += 1;
+                                slot.speculative_attempt = Some(slot.attempts_launched);
+                                slot.in_flight += 1;
+                                live_attempts += 1;
+                                launch(shard, slot.attempts_launched, 0);
+                            }
+                        }
+                    }
+                    Err(mpsc::RecvTimeoutError::Disconnected) => {
+                        // Defensive: cannot happen while `tx` lives in this
+                        // scope, but a lost channel must degrade into
+                        // structured per-shard errors, never a hang or panic.
+                        for slot in slots.iter_mut() {
+                            if slot.outcome.is_none() && slot.last_failure.is_none() {
+                                slot.last_failure = Some(ShardFailureKind::WorkerLost);
+                            }
+                            slot.in_flight = 0;
+                        }
+                        break;
+                    }
+                }
+            }
+        });
+        let local_wall_seconds = phase_start.elapsed().as_secs_f64();
+
+        // --- Resolve slots into shard outcomes and structured failures. ---
+        let mut failed = Vec::new();
+        let mut shard_outcomes = Vec::with_capacity(slots.len());
+        for (shard, slot) in slots.into_iter().enumerate() {
+            match slot.outcome {
+                Some((outcomes, join_wall)) => shard_outcomes.push(ShardOutcome {
+                    outcomes: Some(outcomes),
+                    wall_seconds: join_wall,
+                    attempts: slot.attempts_launched,
+                    recovery_wall_seconds: slot.total_attempt_wall - slot.winning_attempt_wall,
+                }),
+                None => {
+                    let (lo, hi) = shard_plan.partition_range(shard);
+                    failed.push(ShardError {
+                        shard,
+                        partition_lo: lo,
+                        partition_hi: hi,
+                        attempts: slot.attempts_launched,
+                        kind: slot.last_failure.unwrap_or(ShardFailureKind::WorkerLost),
+                    });
+                    shard_outcomes.push(ShardOutcome {
+                        outcomes: None,
+                        wall_seconds: 0.0,
+                        attempts: slot.attempts_launched,
+                        recovery_wall_seconds: slot.total_attempt_wall,
+                    });
+                }
+            }
+        }
+        if !failed.is_empty() && !sup.degrade {
+            return Err(SuperviseError::ShardsFailed(failed));
+        }
+        let degraded = !failed.is_empty();
+
+        // --- Phase 3: merge, retried. The merge computation itself is pure
+        // and infallible; its failure mode is the injected crash at the
+        // [`InjectionPoint::Merge`] point, so retry the trip until it clears
+        // (or the budget is gone), then merge once. ---
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let tripped = catch_unwind(AssertUnwindSafe(|| {
+                injector.trip(InjectionPoint::Merge, 0, attempt)
+            }));
+            let failure = match tripped {
+                Ok(Ok(())) => break,
+                Ok(Err(e)) => e.to_string(),
+                Err(payload) => describe_panic(&*payload),
+            };
+            if attempt >= sup.max_attempts {
+                return Err(SuperviseError::Merge {
+                    attempts: attempt,
+                    last_error: failure,
+                });
+            }
+            counters.merge_retries += 1;
+            std::thread::sleep(Duration::from_millis(sup.backoff_ms(attempt + 1)));
+        }
+        let (local, shard_stats) = merge_shard_outcomes(
+            &shard_plan,
+            &s_parts,
+            &t_parts,
+            shard_outcomes,
+            materialize,
+            local_wall_seconds,
+            shard_plan.num_shards(),
+        );
+        let report = self.assemble_report(
+            partitioner,
+            s,
+            t,
+            band,
+            num_partitions,
+            map_shuffle_wall_seconds,
+            local,
+            degraded,
+        );
+        let simulated_sharded_seconds = self.config().machine.sharded_join_seconds(
+            report.stats.total_input,
+            &report.per_worker_work,
+            shard_plan.num_shards(),
+        );
+
+        let fired = injector.fired();
+        counters.injected_panics = fired.panics;
+        counters.injected_io_errors = fired.io_errors;
+        counters.injected_delays = fired.delays;
+
+        Ok(SupervisedExecution {
+            report,
+            shard_stats,
+            simulated_sharded_seconds,
+            failed,
+            recovery: counters,
+        })
+    }
+
+    /// The supervised shuffle phase: the whole (pure, idempotent) shuffle is
+    /// one retryable unit — a panic or injected I/O error on either side
+    /// discards the partial arenas and re-runs from scratch after backoff.
+    fn supervised_shuffle<P: Partitioner + ?Sized>(
+        &self,
+        partitioner: &P,
+        s: &Relation,
+        t: &Relation,
+        injector: &FaultInjector,
+        sup: &SupervisorConfig,
+        counters: &mut RecoveryCounters,
+    ) -> Result<ShuffledInputs, SuperviseError> {
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let ctx = FaultContext { injector, attempt };
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                self.try_map_shuffle_faulted(partitioner, s, t, &ctx)
+            }));
+            let failure = match result {
+                Ok(Ok(shuffled)) => return Ok(shuffled),
+                Ok(Err(e)) => e.to_string(),
+                Err(payload) => describe_panic(&*payload),
+            };
+            if attempt >= sup.max_attempts {
+                return Err(SuperviseError::Shuffle {
+                    attempts: attempt,
+                    last_error: failure,
+                });
+            }
+            counters.shuffle_retries += 1;
+            std::thread::sleep(Duration::from_millis(sup.backoff_ms(attempt + 1)));
+        }
+    }
+}

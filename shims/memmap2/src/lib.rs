@@ -12,7 +12,8 @@
 //! * [`MmapOptions::map_mut`] — writable shared file mapping (the spill-file
 //!   backing of `recpart::storage`);
 //! * [`MmapOptions::map_anon`] — writable anonymous mapping;
-//! * [`MmapMut`] — derefs to `[u8]` / `[u8]` mut, [`MmapMut::flush`] (msync).
+//! * [`MmapMut`] — derefs to `[u8]` / `[u8]` mut, [`MmapMut::flush`] (msync),
+//!   [`MmapMut::advise`] (madvise — sequential/dontneed residency hints).
 //!
 //! On non-Unix targets the shim degrades to a heap buffer that reads the file on
 //! map and writes it back on flush — semantically a private copy, which is enough
@@ -99,6 +100,30 @@ impl MmapMut {
     pub fn flush(&self) -> io::Result<()> {
         self.inner.flush()
     }
+
+    /// Advise the kernel about the expected access pattern of the mapping
+    /// (`madvise(2)` on Unix; a successful no-op elsewhere — the heap fallback
+    /// has no residency to manage). Advice is a hint: callers must treat both
+    /// `Ok` and `Err` as best-effort.
+    pub fn advise(&self, advice: Advice) -> io::Result<()> {
+        self.inner.advise(advice)
+    }
+}
+
+/// Access-pattern advice for [`MmapMut::advise`], mirroring `memmap2::Advice`
+/// (the subset this workspace uses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Advice {
+    /// Expect sequential page references (`MADV_SEQUENTIAL`): the kernel can
+    /// read ahead aggressively and drop pages soon after they are touched —
+    /// the access pattern of the spill-arena writer.
+    Sequential,
+    /// Expect references in random order (`MADV_RANDOM`): read-ahead is wasted.
+    Random,
+    /// The range is not needed soon (`MADV_DONTNEED`): drop this mapping's
+    /// resident pages now. For a shared file mapping the data survives in the
+    /// page cache / backing file and faults back in on the next access.
+    DontNeed,
 }
 
 impl std::ops::Deref for MmapMut {
@@ -156,6 +181,7 @@ mod imp {
         ) -> *mut c_void;
         fn munmap(addr: *mut c_void, len: usize) -> c_int;
         fn msync(addr: *mut c_void, len: usize, flags: c_int) -> c_int;
+        fn madvise(addr: *mut c_void, len: usize, advice: c_int) -> c_int;
     }
 
     const PROT_READ: c_int = 0x1;
@@ -167,6 +193,9 @@ mod imp {
     #[cfg(not(any(target_os = "linux", target_os = "android")))]
     const MAP_ANONYMOUS: c_int = 0x1000; // BSD / macOS MAP_ANON
     const MS_SYNC: c_int = 0x4;
+    const MADV_RANDOM: c_int = 1;
+    const MADV_SEQUENTIAL: c_int = 2;
+    const MADV_DONTNEED: c_int = 4;
 
     /// An owned `mmap(2)` region. `len == 0` maps nothing (dangling, never freed).
     pub(super) struct Map {
@@ -254,6 +283,26 @@ mod imp {
                 Err(io::Error::last_os_error())
             }
         }
+
+        pub(super) fn advise(&self, advice: super::Advice) -> io::Result<()> {
+            if self.len == 0 {
+                return Ok(());
+            }
+            let flag = match advice {
+                super::Advice::Sequential => MADV_SEQUENTIAL,
+                super::Advice::Random => MADV_RANDOM,
+                super::Advice::DontNeed => MADV_DONTNEED,
+            };
+            // SAFETY: advising a live mapping; madvise never invalidates the
+            // mapping itself (DONTNEED on a shared file mapping only drops this
+            // process's resident pages — the backing store keeps the data).
+            let rc = unsafe { madvise(self.ptr as *mut c_void, self.len, flag) };
+            if rc == 0 {
+                Ok(())
+            } else {
+                Err(io::Error::last_os_error())
+            }
+        }
     }
 
     impl Drop for Map {
@@ -323,6 +372,12 @@ mod imp {
             }
             Ok(())
         }
+
+        pub(super) fn advise(&self, _advice: super::Advice) -> io::Result<()> {
+            // The heap-buffer fallback has no kernel residency to manage;
+            // advice is a successful no-op, matching the documented contract.
+            Ok(())
+        }
     }
 }
 
@@ -375,6 +430,23 @@ mod tests {
         map[4095] = 42;
         assert_eq!(map[4095], 42);
         map.flush().unwrap();
+    }
+
+    #[test]
+    fn advise_is_accepted_and_preserves_contents() {
+        let (path, file) = temp_file("advise", &[5u8; 8192]);
+        let map = unsafe { MmapOptions::new().map_mut(&file) }.unwrap();
+        map.advise(Advice::Sequential).unwrap();
+        map.advise(Advice::Random).unwrap();
+        // DONTNEED on a shared file mapping must not lose data: pages fault
+        // back in from the backing file.
+        map.advise(Advice::DontNeed).unwrap();
+        assert!(map.iter().all(|&b| b == 5));
+        drop(map);
+        let _ = std::fs::remove_file(&path);
+        // Advising an empty mapping is a no-op, not an error.
+        let anon = MmapOptions::new().len(0).map_anon().unwrap();
+        anon.advise(Advice::DontNeed).unwrap();
     }
 
     #[test]

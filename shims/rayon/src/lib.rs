@@ -166,9 +166,13 @@ fn par_map_vec<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Ve
                         if c >= num_chunks {
                             break;
                         }
+                        // A sibling worker panicking while it held this lock poisons
+                        // the mutex but cannot corrupt the Option inside (the chunk is
+                        // either still there or already claimed), so recover the guard
+                        // instead of cascading a second panic out of this worker.
                         let chunk = cells[c]
                             .lock()
-                            .expect("rayon shim: chunk mutex poisoned")
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
                             .take()
                             .expect("rayon shim: chunk claimed twice");
                         let results: Vec<R> = chunk.into_iter().map(f).collect();
@@ -178,10 +182,19 @@ fn par_map_vec<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Ve
                 })
             })
             .collect();
-        per_worker = handles
-            .into_iter()
-            .map(|h| h.join().expect("rayon shim: worker thread panicked"))
-            .collect();
+        // Propagate a worker panic with its *original* payload (rayon does the
+        // same), so a `catch_unwind` supervisor above us can identify injected
+        // faults instead of seeing an opaque shim-level `expect` message. Drain
+        // every handle first so no worker outlives the scope body mid-unwind.
+        let joined: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
+        let mut ok = Vec::with_capacity(joined.len());
+        for j in joined {
+            match j {
+                Ok(v) => ok.push(v),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        per_worker = ok;
     });
 
     // Reassemble in chunk order with exact-size preallocation (chunks are contiguous
@@ -461,6 +474,34 @@ mod tests {
                 assert_eq!(out, (0..n).collect::<Vec<_>>());
             }
         });
+    }
+
+    #[test]
+    fn worker_panic_propagates_with_original_payload() {
+        // A panic inside a parallel region must unwind out of the terminal
+        // operation with its original payload (not a shim-level join expect),
+        // so callers running under `catch_unwind` can recognize it.
+        #[derive(Debug)]
+        struct Marker(u32);
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let caught = std::panic::catch_unwind(|| {
+            with_four_threads(|| {
+                let _: Vec<usize> = (0..256usize)
+                    .into_par_iter()
+                    .map(|i| {
+                        if i == 97 {
+                            std::panic::panic_any(Marker(97));
+                        }
+                        i
+                    })
+                    .collect();
+            })
+        });
+        std::panic::set_hook(prev);
+        let payload = caught.expect_err("panic must propagate");
+        let marker = payload.downcast_ref::<Marker>().expect("original payload");
+        assert_eq!(marker.0, 97);
     }
 
     #[test]

@@ -55,13 +55,16 @@ pub mod prelude {
     pub use datagen;
     pub use distsim::{
         exact_join_count, exact_join_count_on, process_peak_rss_bytes, CostModel, ExecutionReport,
-        Executor, ExecutorConfig, LocalJoinAlgorithm, MachineModel, PartitionedIndex, ShardPlan,
-        ShardStats, ShardedExecution, ShuffleConfig, ShuffledInputs, VerificationLevel,
+        Executor, ExecutorConfig, FaultKind, FaultPlan, FaultSpec, InjectionPoint,
+        LocalJoinAlgorithm, MachineModel, PartitionedIndex, RecoveryCounters, ShardError,
+        ShardFailureKind, ShardPlan, ShardStats, ShardedExecution, ShuffleConfig, ShuffledInputs,
+        SuperviseError, SupervisedExecution, SupervisorConfig, VerificationLevel,
     };
     pub use recpart::{
-        AssignmentSink, BandCondition, CompiledRouter, EvalCounters, Evaluator, LoadModel,
-        OptimizationReport, PartitionId, Partitioner, PartitioningStats, PerTupleFallback, RecPart,
-        RecPartConfig, RecPartResult, Relation, RouteKernel, SampleConfig, ScatterPolicy, SpillDir,
-        SplitScorer, SplitSearchCounters, SplitTreePartitioner, StorageMode, Termination,
+        spill_fallback_count, AssignmentSink, BandCondition, CompiledRouter, EvalCounters,
+        Evaluator, LoadModel, OptimizationReport, PartitionId, Partitioner, PartitioningStats,
+        PerTupleFallback, RecPart, RecPartConfig, RecPartResult, Relation, RouteKernel,
+        SampleConfig, ScatterPolicy, SpillDir, SplitScorer, SplitSearchCounters,
+        SplitTreePartitioner, StorageMode, Termination,
     };
 }

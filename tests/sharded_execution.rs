@@ -9,7 +9,15 @@
 //! per-partition loads, same worker mapping, same stats, same materialized
 //! pairs — for every shard count, thread count, and arena backing (heap or
 //! mmap-backed spill, streaming or legacy chunking).
+//!
+//! `Executor::execute_supervised` adds fault injection, retry/backoff,
+//! speculation, and graceful degradation on top, with the matching invariant:
+//! any supervised run that ends with no failed shards must reproduce the
+//! fault-free report bit for bit, and a degraded run's failed shard ranges
+//! must exactly cover the partitions whose loads are missing — the chaos
+//! proptest sweeps random seeded [`FaultPlan`]s to enforce both.
 
+use band_join::distsim::executor::PartitionLoad;
 use band_join::prelude::*;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -81,6 +89,91 @@ fn assert_reports_identical(got: &ExecutionReport, want: &ExecutionReport, label
     assert_eq!(got.exact_output, want.exact_output, "{label}: exact output");
     assert_eq!(got.correct, want.correct, "{label}: correctness");
     assert_eq!(got.pair_check, want.pair_check, "{label}: pair check");
+    assert_eq!(got.degraded, want.degraded, "{label}: degraded flag");
+}
+
+/// A degraded supervised report must be the oracle with *exactly* the failed
+/// shards' partitions blanked out: missing partitions carry default (zero)
+/// loads, surviving partitions are bit-identical to the oracle, and the
+/// per-shard assignment accounting still conserves the globally routed total
+/// (failed shards report their assignments from the arena slices, which the
+/// shuffle wrote before any shard ran).
+fn assert_degraded_coverage(sup: &SupervisedExecution, oracle: &ExecutionReport, label: &str) {
+    assert!(sup.report.degraded, "{label}: degraded flag");
+    assert!(!sup.failed.is_empty(), "{label}: degraded implies failures");
+    assert_eq!(
+        sup.report.partitions, oracle.partitions,
+        "{label}: partitions"
+    );
+
+    let mut missing = vec![false; oracle.partitions];
+    for err in &sup.failed {
+        assert!(
+            err.partition_lo < err.partition_hi && err.partition_hi <= oracle.partitions,
+            "{label}: shard {} range [{}, {}) out of bounds",
+            err.shard,
+            err.partition_lo,
+            err.partition_hi
+        );
+        let stats = &sup.shard_stats[err.shard];
+        assert_eq!(stats.partition_lo, err.partition_lo, "{label}: range lo");
+        assert_eq!(stats.partition_hi, err.partition_hi, "{label}: range hi");
+        assert_eq!(stats.attempts, err.attempts, "{label}: attempts");
+        for m in &mut missing[err.partition_lo..err.partition_hi] {
+            *m = true;
+        }
+    }
+    for (p, &is_missing) in missing.iter().enumerate() {
+        if is_missing {
+            assert_eq!(
+                sup.report.per_partition[p],
+                PartitionLoad::default(),
+                "{label}: failed partition {p} must carry a default load"
+            );
+        } else {
+            assert_eq!(
+                sup.report.per_partition[p], oracle.per_partition[p],
+                "{label}: surviving partition {p} must match the oracle"
+            );
+        }
+    }
+
+    // Degraded reports skip verification rather than flagging missing work
+    // as incorrect.
+    assert_eq!(
+        sup.report.correct, None,
+        "{label}: no verdict when degraded"
+    );
+    assert_eq!(sup.report.pair_check, None, "{label}: no pair check");
+
+    // Assignment conservation: every routed assignment is owned by exactly
+    // one shard, failed or not.
+    let assigned: u64 = sup.shard_stats.iter().map(|st| st.assignments()).sum();
+    assert_eq!(
+        assigned, oracle.stats.total_input,
+        "{label}: shard assignments must conserve the routed total"
+    );
+}
+
+/// Launch accounting: every shard got its mandatory first attempt; everything
+/// beyond that is exactly the supervisor's recorded retries + speculation.
+fn assert_attempt_accounting(sup: &SupervisedExecution, label: &str) {
+    let launched: u64 = sup
+        .shard_stats
+        .iter()
+        .map(|st| u64::from(st.attempts))
+        .sum();
+    assert_eq!(
+        launched,
+        sup.shard_stats.len() as u64
+            + sup.recovery.shard_retries
+            + sup.recovery.speculative_launches,
+        "{label}: attempts launched must equal shards + retries + speculation"
+    );
+    assert!(
+        sup.recovery.speculative_wins <= sup.recovery.speculative_launches,
+        "{label}: cannot win more speculative attempts than were launched"
+    );
 }
 
 proptest! {
@@ -150,6 +243,357 @@ proptest! {
             }
         }
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Chaos sweep: random seeded [`FaultPlan`]s (panics, I/O errors,
+    /// stragglers; recoverable and permanent) × shards {1, 2, 7} × threads
+    /// {1, 0, 4} × {heap, spill} arenas, half the combinations with a
+    /// speculation deadline. Every run must end in either a bit-identical
+    /// report (all faults recovered) or a structurally degraded one whose
+    /// failed shard ranges exactly cover the missing partitions, with
+    /// assignment conservation across all shards — and the supervisor's
+    /// launch accounting must balance in both cases.
+    #[test]
+    fn chaos_supervised_runs_recover_or_degrade_structurally(
+        s_vals in prop::collection::vec(prop::collection::vec(-30.0f64..30.0, 2), 60..120),
+        t_vals in prop::collection::vec(prop::collection::vec(-30.0f64..30.0, 2), 60..120),
+        eps in 0.1f64..4.0,
+        workers in 3usize..10,
+        seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+    ) {
+        let s = relation_from(&s_vals, 2);
+        let t = relation_from(&t_vals, 2);
+        let band = BandCondition::symmetric(&[eps, eps]);
+        let partitioner = recpart_partitioner(&s, &t, &band, workers, seed);
+
+        let oracle = Executor::new(
+            ExecutorConfig::new(workers)
+                .with_verification(VerificationLevel::FullPairs)
+                .sequential(),
+        )
+        .execute(&partitioner, &s, &t, &band);
+        prop_assert_eq!(oracle.correct, Some(true));
+
+        let spill = SpillDir::in_temp("chaos-proptest").expect("creating the spill dir");
+        let configs = [
+            ("heap", ShuffleConfig::streaming(257, StorageMode::Heap)),
+            ("spill", ShuffleConfig::streaming(511, StorageMode::Spill(spill))),
+        ];
+        let mut combo = 0u64;
+        for shards in [1usize, 2, 7] {
+            for threads in [1usize, 0, 4] {
+                for (config_name, config) in &configs {
+                    combo += 1;
+                    // Random plan per combination; shard faults may outlive the
+                    // 3-attempt budget (max_shard_fire = 4), so this sweep hits
+                    // recovery *and* exhaustion/degradation.
+                    let plan = FaultPlan::random(
+                        fault_seed.wrapping_add(combo),
+                        shards,
+                        4,
+                    );
+                    // Tiny backoff keeps the sweep fast; a deadline on every
+                    // other combination exercises the speculation path too.
+                    let mut sup_config = SupervisorConfig::default().with_backoff_ms(1, 4);
+                    if combo.is_multiple_of(2) {
+                        sup_config = sup_config.with_shard_deadline_ms(15);
+                    }
+                    let label = format!(
+                        "shards={shards} threads={threads} {config_name} plan={:?}",
+                        plan.specs()
+                    );
+                    let exec = Executor::new(
+                        ExecutorConfig::new(workers)
+                            .with_verification(VerificationLevel::FullPairs)
+                            .with_threads(threads),
+                    )
+                    .with_shuffle_config(config.clone());
+                    // Random plans keep shuffle/merge faults within the retry
+                    // budget, and shard exhaustion degrades rather than
+                    // failing: the supervised run must always produce a result.
+                    let sup = exec
+                        .execute_supervised(
+                            &partitioner, &s, &t, &band, shards, &plan, &sup_config,
+                        )
+                        .unwrap_or_else(|e| panic!("{label}: supervised run failed: {e}"));
+
+                    assert_attempt_accounting(&sup, &label);
+                    if sup.failed.is_empty() {
+                        assert_reports_identical(&sup.report, &oracle, &label);
+                        let assigned: u64 =
+                            sup.shard_stats.iter().map(|st| st.assignments()).sum();
+                        prop_assert_eq!(assigned, oracle.stats.total_input, "{}", &label);
+                    } else {
+                        assert_degraded_coverage(&sup, &oracle, &label);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A zero-fault supervised run is the production configuration: it must be
+/// bit-identical to both `execute_sharded` and the unsharded oracle, with
+/// every shard succeeding on its first attempt and every recovery counter at
+/// zero.
+#[test]
+fn zero_fault_supervised_run_is_bit_identical_with_clean_accounting() {
+    let (s, t, band, partitioner) = small_workload(11);
+    let exec = supervised_executor(6);
+    let oracle = exec.execute_sharded(&partitioner, &s, &t, &band, 3);
+
+    let sup = exec
+        .execute_supervised(
+            &partitioner,
+            &s,
+            &t,
+            &band,
+            3,
+            &FaultPlan::none(),
+            &SupervisorConfig::default(),
+        )
+        .expect("a fault-free supervised run cannot fail");
+
+    assert_reports_identical(&sup.report, &oracle.report, "zero-fault");
+    assert!(sup.failed.is_empty());
+    assert_eq!(sup.recovery, RecoveryCounters::default());
+    assert_eq!(sup.shard_stats.len(), oracle.shard_stats.len());
+    for (got, want) in sup.shard_stats.iter().zip(&oracle.shard_stats) {
+        assert_eq!(got.attempts, 1, "shard {}: first attempt wins", got.shard);
+        assert_eq!(got.recovery_wall_seconds, 0.0, "shard {}", got.shard);
+        assert_eq!(
+            (got.shard, got.partition_lo, got.partition_hi),
+            (want.shard, want.partition_lo, want.partition_hi)
+        );
+        assert_eq!(got.s_assignments, want.s_assignments, "shard {}", got.shard);
+        assert_eq!(got.t_assignments, want.t_assignments, "shard {}", got.shard);
+        assert_eq!(got.arena_bytes, want.arena_bytes, "shard {}", got.shard);
+    }
+}
+
+/// Transient faults on every pipeline stage — shuffle panic, shard I/O error,
+/// merge I/O error — are retried away and the run converges to the fault-free
+/// result, with each retry showing up in exactly one recovery counter.
+#[test]
+fn transient_faults_on_every_stage_are_retried_to_the_identical_result() {
+    let (s, t, band, partitioner) = small_workload(12);
+    let exec = supervised_executor(6);
+    let oracle = exec.execute_sharded(&partitioner, &s, &t, &band, 3);
+
+    let plan = FaultPlan::new(vec![
+        FaultSpec {
+            point: InjectionPoint::ShufflePass1,
+            unit: 1,
+            fire_attempts: 1,
+            kind: FaultKind::Panic,
+        },
+        FaultSpec {
+            point: InjectionPoint::ShardJoin,
+            unit: 1,
+            fire_attempts: 2,
+            kind: FaultKind::IoError,
+        },
+        FaultSpec {
+            point: InjectionPoint::Merge,
+            unit: 0,
+            fire_attempts: 1,
+            kind: FaultKind::IoError,
+        },
+    ]);
+    let sup = exec
+        .execute_supervised(
+            &partitioner,
+            &s,
+            &t,
+            &band,
+            3,
+            &plan,
+            &SupervisorConfig::default().with_backoff_ms(1, 4),
+        )
+        .expect("all faults are within the 3-attempt budget");
+
+    assert_reports_identical(&sup.report, &oracle.report, "transient faults");
+    assert!(sup.failed.is_empty());
+    assert_eq!(sup.recovery.shuffle_retries, 1);
+    assert_eq!(sup.recovery.shard_retries, 2);
+    assert_eq!(sup.recovery.merge_retries, 1);
+    assert_eq!(sup.recovery.injected_panics, 1);
+    assert_eq!(sup.recovery.injected_io_errors, 3);
+    assert_eq!(sup.shard_stats[1].attempts, 3);
+    assert_eq!(sup.shard_stats[0].attempts, 1);
+    assert_eq!(sup.shard_stats[2].attempts, 1);
+}
+
+/// A shard whose fault outlives the attempt budget degrades gracefully: the
+/// run still returns, the failed shard's exact partition range is reported,
+/// survivors are bit-identical to the oracle, and assignments are conserved.
+#[test]
+fn exhausted_shard_degrades_into_structured_partial_report() {
+    let (s, t, band, partitioner) = small_workload(13);
+    let exec = supervised_executor(6);
+    let oracle = Executor::new(
+        ExecutorConfig::new(6)
+            .with_verification(VerificationLevel::FullPairs)
+            .sequential(),
+    )
+    .execute(&partitioner, &s, &t, &band);
+
+    let plan = FaultPlan::new(vec![FaultSpec {
+        point: InjectionPoint::ShardJoin,
+        unit: 1,
+        fire_attempts: u32::MAX,
+        kind: FaultKind::Panic,
+    }]);
+    let sup_config = SupervisorConfig::default().with_backoff_ms(1, 2);
+    let sup = exec
+        .execute_supervised(&partitioner, &s, &t, &band, 3, &plan, &sup_config)
+        .expect("degradation still yields a result");
+
+    assert_eq!(sup.failed.len(), 1);
+    let err = &sup.failed[0];
+    assert_eq!(err.shard, 1);
+    assert_eq!(err.attempts, sup_config.max_attempts);
+    assert!(
+        matches!(&err.kind, ShardFailureKind::Panic(msg) if msg.contains("injected panic")),
+        "failure kind names the injected panic: {}",
+        err.kind
+    );
+    assert_degraded_coverage(&sup, &oracle, "exhausted shard");
+    assert_eq!(
+        sup.recovery.injected_panics,
+        u64::from(sup_config.max_attempts)
+    );
+
+    // With degradation off the same schedule fails the whole run instead.
+    let err = exec
+        .execute_supervised(
+            &partitioner,
+            &s,
+            &t,
+            &band,
+            3,
+            &plan,
+            &sup_config.fail_fast(),
+        )
+        .expect_err("fail-fast must surface the exhausted shard");
+    match err {
+        SuperviseError::ShardsFailed(failed) => {
+            assert_eq!(failed.len(), 1);
+            assert_eq!(failed[0].shard, 1);
+        }
+        other => panic!("expected ShardsFailed, got: {other}"),
+    }
+}
+
+/// A straggling shard past its deadline gets a speculative duplicate whose
+/// clean result wins while the delayed original is still asleep; the report
+/// stays bit-identical.
+#[test]
+fn straggler_speculation_duplicates_the_slow_shard() {
+    let (s, t, band, partitioner) = small_workload(14);
+    let exec = supervised_executor(6);
+    let oracle = exec.execute_sharded(&partitioner, &s, &t, &band, 2);
+
+    let plan = FaultPlan::new(vec![FaultSpec {
+        point: InjectionPoint::ShardJoin,
+        unit: 0,
+        // Only attempt 1 sleeps: the speculative duplicate runs clean.
+        fire_attempts: 1,
+        kind: FaultKind::Delay(150),
+    }]);
+    let sup = exec
+        .execute_supervised(
+            &partitioner,
+            &s,
+            &t,
+            &band,
+            2,
+            &plan,
+            &SupervisorConfig::default().with_shard_deadline_ms(10),
+        )
+        .expect("a straggler is not a failure");
+
+    assert_reports_identical(&sup.report, &oracle.report, "straggler");
+    assert!(sup.failed.is_empty());
+    assert_eq!(sup.recovery.injected_delays, 1);
+    assert_eq!(sup.recovery.speculative_launches, 1);
+    assert_eq!(sup.shard_stats[0].attempts, 2);
+    assert_eq!(sup.shard_stats[1].attempts, 1);
+    // The clean duplicate beats the 150 ms sleeper; its win is recorded and
+    // the sleeper's wall is accounted as recovery overhead.
+    assert_eq!(sup.recovery.speculative_wins, 1);
+    assert!(sup.shard_stats[0].recovery_wall_seconds > 0.0);
+}
+
+/// An injected I/O error at spill-arena creation must not fail the shuffle:
+/// the arena degrades to counted heap backing and the results are unchanged —
+/// the same contract as a full spill volume.
+#[test]
+fn spill_arena_fault_degrades_to_counted_heap_fallback() {
+    let (s, t, band, partitioner) = small_workload(15);
+    let spill = SpillDir::in_temp("chaos-spill-fault").expect("creating the spill dir");
+    let exec = supervised_executor(6)
+        .with_shuffle_config(ShuffleConfig::streaming(257, StorageMode::Spill(spill)));
+    let oracle = exec.execute_sharded(&partitioner, &s, &t, &band, 2);
+
+    let plan = FaultPlan::new(vec![FaultSpec {
+        point: InjectionPoint::SpillArena,
+        unit: 0,
+        fire_attempts: 1,
+        kind: FaultKind::IoError,
+    }]);
+    let before = spill_fallback_count();
+    let sup = exec
+        .execute_supervised(
+            &partitioner,
+            &s,
+            &t,
+            &band,
+            2,
+            &plan,
+            &SupervisorConfig::default(),
+        )
+        .expect("a spill fallback is not a failure");
+
+    assert_reports_identical(&sup.report, &oracle.report, "spill fallback");
+    assert!(sup.failed.is_empty());
+    assert_eq!(
+        sup.recovery.shuffle_retries, 0,
+        "the shuffle must not retry"
+    );
+    assert_eq!(sup.recovery.injected_io_errors, 1);
+    assert!(
+        spill_fallback_count() > before,
+        "the heap fallback must be counted"
+    );
+}
+
+/// Shared tiny workload for the fixed-schedule supervision tests.
+fn small_workload(seed: u64) -> (Relation, Relation, BandCondition, SplitTreePartitioner) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut s = Relation::new(2);
+    let mut t = Relation::new(2);
+    use rand::Rng;
+    for _ in 0..300 {
+        s.push(&[rng.gen::<f64>() * 40.0, rng.gen::<f64>() * 40.0]);
+        t.push(&[rng.gen::<f64>() * 40.0, rng.gen::<f64>() * 40.0]);
+    }
+    let band = BandCondition::symmetric(&[0.8, 0.8]);
+    let partitioner = recpart_partitioner(&s, &t, &band, 6, seed);
+    (s, t, band, partitioner)
+}
+
+/// The executor configuration the fixed-schedule supervision tests share.
+fn supervised_executor(workers: usize) -> Executor {
+    Executor::new(
+        ExecutorConfig::new(workers)
+            .with_verification(VerificationLevel::FullPairs)
+            .sequential(),
+    )
 }
 
 /// The global spill arena is written through per-shard cursors; the resulting
