@@ -1,10 +1,15 @@
-//! Criterion micro-benchmarks of the per-worker local band-join algorithms.
+//! Criterion micro-benchmarks of the per-worker local band-join algorithms and of
+//! the per-window [`JoinKernel`]s.
+//!
+//! Every vector-kernel benchmark asserts bit-identity with the scalar oracle (pairs,
+//! order, counters) **before** timing, so a kernel can never look fast by being
+//! wrong.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use distsim::LocalJoinAlgorithm;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use recpart::BandCondition;
+use recpart::{BandCondition, JoinKernel};
 
 fn bench_local_join(c: &mut Criterion) {
     let mut group = c.benchmark_group("local_join");
@@ -30,6 +35,41 @@ fn bench_local_join(c: &mut Criterion) {
     group.finish();
 }
 
+/// Kernel sweep on a candidate-heavy workload (wide band → large dimension-0
+/// windows), where the per-window evaluation dominates.
+fn bench_join_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("join_kernels");
+    let mut rng = StdRng::seed_from_u64(3);
+    let n = 4_000usize;
+    let s = datagen::pareto_relation(n, 1, 1.5, &mut rng);
+    let t = datagen::pareto_relation(n, 1, 1.5, &mut rng);
+    let band = BandCondition::symmetric(&[1.5]);
+    let algo = LocalJoinAlgorithm::IndexNestedLoop;
+
+    let mut scalar_pairs = Vec::new();
+    let scalar = algo.join_full_with(JoinKernel::Scalar, &s, &t, &band, Some(&mut scalar_pairs));
+    assert!(scalar.output > 0, "workload must produce output");
+    for kernel in JoinKernel::all_supported() {
+        // Bit-identity before timing: pairs, order, and counters must match scalar.
+        let mut pairs = Vec::new();
+        let res = algo.join_full_with(kernel, &s, &t, &band, Some(&mut pairs));
+        assert_eq!(res, scalar, "kernel {} counters diverge", kernel.name());
+        assert_eq!(
+            pairs,
+            scalar_pairs,
+            "kernel {} pairs diverge",
+            kernel.name()
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new(kernel.name(), n),
+            &(&s, &t),
+            |b, (s, t)| b.iter(|| algo.join_full_with(kernel, s, t, &band, None).output),
+        );
+    }
+    group.finish();
+}
+
 fn bench_local_join_3d(c: &mut Criterion) {
     let mut group = c.benchmark_group("local_join_3d");
     let mut rng = StdRng::seed_from_u64(2);
@@ -47,5 +87,10 @@ fn bench_local_join_3d(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_local_join, bench_local_join_3d);
+criterion_group!(
+    benches,
+    bench_local_join,
+    bench_join_kernels,
+    bench_local_join_3d
+);
 criterion_main!(benches);

@@ -104,6 +104,18 @@ impl BandCondition {
         &self.eps_low
     }
 
+    /// All lower band widths (`ε_i^L`) as a slice, indexed by dimension.
+    #[inline]
+    pub fn eps_low_all(&self) -> &[f64] {
+        &self.eps_low
+    }
+
+    /// All upper band widths (`ε_i^R`) as a slice, indexed by dimension.
+    #[inline]
+    pub fn eps_high_all(&self) -> &[f64] {
+        &self.eps_high
+    }
+
     /// Whether the condition is symmetric in every dimension.
     pub fn is_symmetric(&self) -> bool {
         self.eps_low

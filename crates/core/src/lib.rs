@@ -96,7 +96,7 @@ pub use recpart::{OptimizationReport, RecPart, RecPartResult, SplitTreePartition
 pub use relation::{Key, Relation};
 pub use router::CompiledRouter;
 pub use sample::{InputSample, OutputSample, SampleConfig};
-pub use simd::RouteKernel;
+pub use simd::{band_window_collect, band_window_count, JoinKernel, RouteKernel};
 pub use storage::{spill_fallback_count, MappedVec, SpillDir, Storage, StorageMode};
 
 /// Convenience re-exports for downstream users.
@@ -113,5 +113,5 @@ pub mod prelude {
     pub use crate::relation::{Key, Relation};
     pub use crate::router::CompiledRouter;
     pub use crate::sample::{InputSample, OutputSample, SampleConfig};
-    pub use crate::simd::RouteKernel;
+    pub use crate::simd::{JoinKernel, RouteKernel};
 }

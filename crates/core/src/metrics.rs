@@ -62,6 +62,14 @@ pub struct EvalCounters {
     /// Number of partition cells the LPT worker mapping assigned across all
     /// evaluations (identical for both evaluators — the mapping itself is exact).
     pub lpt_cells: u64,
+    /// Number of times the optimizer recorded a new best partitioning (the winner
+    /// criterion improved). Deterministic for a given input and configuration.
+    pub winner_updates: u64,
+    /// Number of whole-tree clones taken while recording winners. The undo-log
+    /// winner bookkeeping never clones — this stays `0` and is asserted on in
+    /// tests; it exists so a regression back to clone-per-improvement is caught
+    /// by counters rather than profiles.
+    pub winner_tree_clones: u64,
 }
 
 impl EvalCounters {
@@ -70,6 +78,8 @@ impl EvalCounters {
         self.evaluations += other.evaluations;
         self.ledger_leaf_visits += other.ledger_leaf_visits;
         self.lpt_cells += other.lpt_cells;
+        self.winner_updates += other.winner_updates;
+        self.winner_tree_clones += other.winner_tree_clones;
     }
 }
 
@@ -242,11 +252,15 @@ mod tests {
             evaluations: 1,
             ledger_leaf_visits: 2,
             lpt_cells: 3,
+            winner_updates: 4,
+            winner_tree_clones: 0,
         };
         a.merge(EvalCounters {
             evaluations: 10,
             ledger_leaf_visits: 20,
             lpt_cells: 30,
+            winner_updates: 40,
+            winner_tree_clones: 0,
         });
         assert_eq!(
             a,
@@ -254,6 +268,8 @@ mod tests {
                 evaluations: 11,
                 ledger_leaf_visits: 22,
                 lpt_cells: 33,
+                winner_updates: 44,
+                winner_tree_clones: 0,
             }
         );
         assert_eq!(EvalCounters::default().evaluations, 0);

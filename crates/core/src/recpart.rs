@@ -28,7 +28,7 @@ use crate::router::CompiledRouter;
 use crate::sample::{InputSample, OutputSample};
 use crate::scoring::{advance, merge_dedup, partition_load, variance_term, SplitScore};
 use crate::small::BucketGrid;
-use crate::split_tree::{NodeId, SplitKind, SplitTree};
+use crate::split_tree::{LeafNode, NodeId, SplitKind, SplitTree};
 use rand::Rng;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -633,13 +633,27 @@ struct Evaluation {
     predicted_time: f64,
 }
 
-/// A snapshot of the best partitioning found so far.
-#[derive(Debug, Clone)]
+/// The best partitioning found so far — identified by iteration only. The growth
+/// loop keeps an undo log of tree edits, so `finalize` rolls the grown tree back to
+/// this iteration instead of the winner carrying a whole-tree clone (which the old
+/// bookkeeping took on *every* improving iteration).
+#[derive(Debug, Clone, Copy)]
 struct Winner {
-    tree: SplitTree,
     iteration: usize,
     eval: Evaluation,
     criterion: f64,
+}
+
+/// One reversible tree mutation taken by the growth loop, tagged with the iteration
+/// that applied it. Edits after the winning iteration are reverted in LIFO order at
+/// finalize time; [`SplitTree::undo_split`]'s arena-tail assertion guarantees the
+/// rollback really reconstructs the winning tree.
+#[derive(Debug, Clone)]
+enum TreeEdit {
+    /// A plane split of `leaf`; `prior` is the leaf as it was just before.
+    Plane { leaf: NodeId, prior: LeafNode },
+    /// A grid increment on `leaf`; `prior` is the grid just before.
+    Grid { leaf: NodeId, prior: BucketGrid },
 }
 
 /// Summary of an optimization run.
@@ -1018,6 +1032,7 @@ struct GrownState {
     tree: SplitTree,
     works: Vec<Option<LeafWork>>,
     ledger: EvalLedger,
+    undo_log: Vec<(usize, TreeEdit)>,
     winner: Winner,
     iterations: usize,
     termination_reason: String,
@@ -1087,6 +1102,10 @@ impl<'a> OptimizerState<'a> {
         Self::push_entry(&mut heap, &works, tree.root());
 
         let mut winner: Option<Winner> = None;
+        // Reversible record of every tree mutation, in application order; finalize
+        // rolls back the edits past the winning iteration instead of the winner
+        // cloning the tree.
+        let mut undo_log: Vec<(usize, TreeEdit)> = Vec::new();
         let mut best_load_overhead = f64::INFINITY;
         // Predicted join times recorded after iterations that *paid* input duplication.
         // The applied termination rule (Section 4.2) watches a window of `w` such
@@ -1108,7 +1127,7 @@ impl<'a> OptimizerState<'a> {
         evaluation_seconds += e0.elapsed().as_secs_f64();
         best_load_overhead = best_load_overhead.min(eval.load_overhead);
         paid_time_history.push(eval.predicted_time);
-        Self::consider_winner(&mut winner, &tree, 0, eval, cfg);
+        Self::consider_winner(&mut winner, 0, eval, cfg, &mut eval_counters);
 
         while iterations < cfg.max_iterations {
             // Pop until a valid entry (leaf still exists, version matches, splittable).
@@ -1142,6 +1161,13 @@ impl<'a> OptimizerState<'a> {
 
             match best.action {
                 SplitAction::Plane { dim, value, kind } => {
+                    undo_log.push((
+                        iterations,
+                        TreeEdit::Plane {
+                            leaf: leaf_id,
+                            prior: tree.leaf(leaf_id).clone(),
+                        },
+                    ));
                     let (l, r) = self.apply_plane_split(
                         &mut tree, &mut works, leaf_id, dim, value, kind, &domain,
                     );
@@ -1163,6 +1189,13 @@ impl<'a> OptimizerState<'a> {
                     Self::push_entry(&mut heap, &works, r);
                 }
                 SplitAction::Grid { add_row } => {
+                    undo_log.push((
+                        iterations,
+                        TreeEdit::Grid {
+                            leaf: leaf_id,
+                            prior: tree.leaf(leaf_id).grid,
+                        },
+                    ));
                     let work = works[leaf_id as usize].as_mut().expect("validated above");
                     if add_row {
                         work.grid.rows += 1;
@@ -1198,7 +1231,7 @@ impl<'a> OptimizerState<'a> {
             if paid_duplication {
                 paid_time_history.push(eval.predicted_time);
             }
-            Self::consider_winner(&mut winner, &tree, iterations, eval, cfg);
+            Self::consider_winner(&mut winner, iterations, eval, cfg, &mut eval_counters);
 
             match cfg.termination {
                 Termination::Theoretical => {
@@ -1244,6 +1277,7 @@ impl<'a> OptimizerState<'a> {
             tree,
             works,
             ledger,
+            undo_log,
             winner: winner.expect("at least the initial evaluation is recorded"),
             iterations,
             termination_reason,
@@ -2119,12 +2153,17 @@ impl<'a> OptimizerState<'a> {
         }
     }
 
+    /// Record the current iteration as the best partitioning seen iff its criterion
+    /// improves on the incumbent. No tree is touched: the winner is just an
+    /// iteration marker (plus its evaluation), and `finalize` rolls the grown tree
+    /// back to it through the undo log — `counters.winner_tree_clones` stays 0 by
+    /// construction and tests assert it.
     fn consider_winner(
         winner: &mut Option<Winner>,
-        tree: &SplitTree,
         iteration: usize,
         eval: Evaluation,
         cfg: &RecPartConfig,
+        counters: &mut EvalCounters,
     ) {
         let criterion = match cfg.termination {
             Termination::Theoretical => eval.dup_overhead.max(eval.load_overhead),
@@ -2135,8 +2174,8 @@ impl<'a> OptimizerState<'a> {
             .map(|w| criterion < w.criterion)
             .unwrap_or(true);
         if better {
+            counters.winner_updates += 1;
             *winner = Some(Winner {
-                tree: tree.clone(),
                 iteration,
                 eval,
                 criterion,
@@ -2146,6 +2185,8 @@ impl<'a> OptimizerState<'a> {
 
     fn finalize(&self, grown: GrownState, start: Instant) -> RecPartResult {
         let GrownState {
+            tree: mut grown_tree,
+            undo_log,
             winner,
             iterations,
             termination_reason,
@@ -2155,7 +2196,19 @@ impl<'a> OptimizerState<'a> {
             evaluation_seconds,
             ..
         } = grown;
-        let mut tree = winner.tree;
+        // Roll the fully grown tree back to the winning iteration: revert every edit
+        // recorded after it, newest first. `undo_split`'s arena-tail assertion makes
+        // an out-of-order revert a panic rather than a silently wrong tree.
+        for (iteration, edit) in undo_log.into_iter().rev() {
+            if iteration <= winner.iteration {
+                break;
+            }
+            match edit {
+                TreeEdit::Plane { leaf, prior } => grown_tree.undo_split(leaf, prior),
+                TreeEdit::Grid { leaf, prior } => grown_tree.set_leaf_grid(leaf, prior),
+            }
+        }
+        let mut tree = grown_tree;
         tree.assign_partition_ids();
         let router = CompiledRouter::compile(&tree, self.band, self.cfg.seed);
 
@@ -2327,6 +2380,34 @@ mod tests {
         assert!(result.report.iterations > 0);
         assert!(result.report.estimated_dup_overhead >= 0.0);
         assert!(result.report.optimization_seconds >= 0.0);
+    }
+
+    #[test]
+    fn winner_bookkeeping_never_clones_the_tree() {
+        // Skewed data under the cost-model termination keeps optimizing past the
+        // winning iteration, so finalize must roll the tree back through the undo
+        // log — and the rolled-back tree must still be a correct partitioning.
+        let s = pareto_relation(400, 1, 1.5, 70);
+        let t = pareto_relation(400, 1, 1.5, 71);
+        let band = BandCondition::symmetric(&[2.0]);
+        let cfg = RecPartConfig::new(6).with_sample(small_sample_config());
+        let mut rng = StdRng::seed_from_u64(72);
+        let result = RecPart::new(cfg).optimize(&s, &t, &band, &mut rng);
+        let eval = &result.report.evaluation;
+        assert_eq!(
+            eval.winner_tree_clones, 0,
+            "winner bookkeeping must never clone the split tree"
+        );
+        assert!(
+            eval.winner_updates >= 1,
+            "the initial evaluation always records a winner"
+        );
+        assert!(
+            eval.winner_updates <= result.report.iterations as u64 + 1,
+            "at most one winner update per evaluation"
+        );
+        assert!(result.report.winning_iteration <= result.report.iterations);
+        exactly_once_check(&result.partitioner, &s, &t, &band);
     }
 
     #[test]

@@ -48,7 +48,28 @@
 //! `scalar`, `portable`, `avx2`, or `auto` (the default). Forcing a kernel the
 //! CPU does not support panics at first use rather than silently downgrading,
 //! so CI gates measure what they claim to measure.
+//!
+//! # Join kernels
+//!
+//! The same recipe is applied to the *local band-join* hot path: once the
+//! probe side of an index-nested-loop join is narrowed to a dimension-0 window
+//! over the SoA-sorted candidate columns, evaluating the full band condition
+//! against every candidate in the window is a vertical operation too. The
+//! [`JoinKernel`] variants provide it ([`band_window_count`] /
+//! [`band_window_collect`]): scalar oracle, branchless portable, and AVX2
+//! masked compares with AND-accumulated per-dimension accept masks, popcount
+//! for output counting, and the same `pshufb` compress-store for pair
+//! materialization. The override variable is `BAND_JOIN_JOIN_KERNEL`.
+//!
+//! NaN semantics deliberately mirror [`BandCondition::matches`]: a pair is
+//! *rejected* iff `d < -ε_low || d > ε_high` for some dimension (`d = s − t`),
+//! so a NaN difference — which fails both ordered compares — **matches**. The
+//! kernels therefore compute the reject mask with ordered compares
+//! (`_CMP_LT_OQ` / `_CMP_GT_OQ`, both false for NaN) and invert it, rather
+//! than testing acceptance directly.
 
+use crate::band::BandCondition;
+use std::ops::Range;
 use std::sync::OnceLock;
 
 /// Which routing kernel the batch descent uses. See the module docs for what
@@ -128,6 +149,140 @@ impl RouteKernel {
             #[cfg(target_arch = "x86_64")]
             RouteKernel::Avx2 => "avx2",
         }
+    }
+}
+
+/// Which kernel evaluates the band condition over a candidate window of the
+/// local join. Mirrors [`RouteKernel`] (same detection, same forcing contract)
+/// with the `BAND_JOIN_JOIN_KERNEL` environment variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JoinKernel {
+    /// Per-candidate scalar evaluation (the baseline and bit-identity oracle).
+    Scalar,
+    /// Branchless portable window kernels (any target).
+    Portable,
+    /// AVX2 masked-compare + popcount + compress-store window kernels
+    /// (x86-64 only).
+    #[cfg(target_arch = "x86_64")]
+    Avx2,
+}
+
+impl JoinKernel {
+    /// The best kernel the current CPU supports, ignoring the environment.
+    pub fn detect() -> JoinKernel {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2") {
+                return JoinKernel::Avx2;
+            }
+        }
+        JoinKernel::Portable
+    }
+
+    /// The kernel the local join uses, resolved once per process: the
+    /// `BAND_JOIN_JOIN_KERNEL` environment variable if set (`scalar`,
+    /// `portable`, `avx2`, `auto`), otherwise [`JoinKernel::detect`].
+    ///
+    /// # Panics
+    /// Panics if the variable names a kernel this CPU cannot run (or an
+    /// unknown name) — a forced kernel that silently downgraded would make
+    /// benchmark gates meaningless.
+    pub fn active() -> JoinKernel {
+        static ACTIVE: OnceLock<JoinKernel> = OnceLock::new();
+        *ACTIVE.get_or_init(|| match std::env::var("BAND_JOIN_JOIN_KERNEL") {
+            Ok(v) => Self::from_name(&v).unwrap_or_else(|| {
+                panic!("BAND_JOIN_JOIN_KERNEL={v:?} is not available (expected scalar, portable, avx2, or auto)")
+            }),
+            Err(_) => Self::detect(),
+        })
+    }
+
+    /// Parse a kernel name; `None` if unknown or unsupported on this CPU.
+    pub fn from_name(name: &str) -> Option<JoinKernel> {
+        match name.to_ascii_lowercase().as_str() {
+            "scalar" => Some(JoinKernel::Scalar),
+            "portable" => Some(JoinKernel::Portable),
+            "auto" => Some(Self::detect()),
+            #[cfg(target_arch = "x86_64")]
+            "avx2" if std::arch::is_x86_feature_detected!("avx2") => Some(JoinKernel::Avx2),
+            _ => None,
+        }
+    }
+
+    /// Every kernel the current CPU can run (always includes `Scalar` and
+    /// `Portable`). Used by tests and benchmarks to sweep the whole matrix.
+    pub fn all_supported() -> Vec<JoinKernel> {
+        let mut all = vec![JoinKernel::Scalar, JoinKernel::Portable];
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2") {
+                all.push(JoinKernel::Avx2);
+            }
+        }
+        all
+    }
+
+    /// Stable lowercase name (`scalar` / `portable` / `avx2`), accepted back
+    /// by [`JoinKernel::from_name`] and used in benchmark reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JoinKernel::Scalar => "scalar",
+            JoinKernel::Portable => "portable",
+            #[cfg(target_arch = "x86_64")]
+            JoinKernel::Avx2 => "avx2",
+        }
+    }
+}
+
+/// Count the candidates of `window` (positions into the SoA columns `cols`,
+/// one sorted column per join dimension) whose full band condition against the
+/// probe key `sk` holds — exactly [`BandCondition::matches`] per candidate,
+/// including its NaN semantics (a NaN difference matches). Every kernel
+/// returns the same count; `Scalar` runs the literal per-candidate loop and is
+/// the oracle the vector kernels are held to.
+pub fn band_window_count(
+    kernel: JoinKernel,
+    sk: &[f64],
+    cols: &[Vec<f64>],
+    window: Range<usize>,
+    band: &BandCondition,
+) -> u64 {
+    debug_assert_eq!(sk.len(), cols.len());
+    debug_assert_eq!(sk.len(), band.dims());
+    debug_assert!(cols.iter().all(|c| window.end <= c.len()));
+    match kernel {
+        JoinKernel::Scalar | JoinKernel::Portable => {
+            portable::band_window_count(kernel, sk, cols, window, band)
+        }
+        #[cfg(target_arch = "x86_64")]
+        // Safety: `Avx2` is only constructed after `is_x86_feature_detected!("avx2")`.
+        JoinKernel::Avx2 => unsafe { avx2::band_window_count(sk, cols, window, band) },
+    }
+}
+
+/// [`band_window_count`] that additionally **appends** the matching positions
+/// (absolute indices into the columns, as `u32`, in window order) to `out`.
+/// Returns the number of matches appended. Every kernel appends the same
+/// positions in the same order.
+pub fn band_window_collect(
+    kernel: JoinKernel,
+    sk: &[f64],
+    cols: &[Vec<f64>],
+    window: Range<usize>,
+    band: &BandCondition,
+    out: &mut Vec<u32>,
+) -> u64 {
+    debug_assert_eq!(sk.len(), cols.len());
+    debug_assert_eq!(sk.len(), band.dims());
+    debug_assert!(cols.iter().all(|c| window.end <= c.len()));
+    debug_assert!(window.end <= u32::MAX as usize);
+    match kernel {
+        JoinKernel::Scalar | JoinKernel::Portable => {
+            portable::band_window_collect(kernel, sk, cols, window, band, out)
+        }
+        #[cfg(target_arch = "x86_64")]
+        // Safety: `Avx2` is only constructed after `is_x86_feature_detected!("avx2")`.
+        JoinKernel::Avx2 => unsafe { avx2::band_window_collect(sk, cols, window, band, out) },
     }
 }
 
@@ -303,6 +458,102 @@ mod portable {
     pub(super) fn cell_indices(src: &[f64], sub: f64, origin: f64, width: f64, out: &mut [i64]) {
         for (o, &k) in out.iter_mut().zip(src) {
             *o = (((k - sub) - origin) / width).floor() as i64;
+        }
+    }
+
+    use super::JoinKernel;
+    use crate::band::BandCondition;
+    use std::ops::Range;
+
+    /// Does candidate `pos` match the probe key under the band condition? The
+    /// literal [`BandCondition::matches`] reject test (NaN difference matches)
+    /// — this expression is the oracle every join kernel is held to.
+    #[inline(always)]
+    fn scalar_matches(sk: &[f64], cols: &[Vec<f64>], pos: usize, lo: &[f64], hi: &[f64]) -> bool {
+        for d in 0..sk.len() {
+            let diff = sk[d] - cols[d][pos];
+            if diff < -lo[d] || diff > hi[d] {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Branchless reject accumulator: `|=`s every dimension's two ordered
+    /// compares instead of early-exiting, so there is no data-dependent branch.
+    #[inline(always)]
+    fn branchless_reject(
+        sk: &[f64],
+        cols: &[Vec<f64>],
+        pos: usize,
+        lo: &[f64],
+        hi: &[f64],
+    ) -> bool {
+        let mut reject = false;
+        for d in 0..sk.len() {
+            // Safety-free: all indices are checked by the dispatch asserts.
+            let diff = sk[d] - cols[d][pos];
+            reject |= (diff < -lo[d]) | (diff > hi[d]);
+        }
+        reject
+    }
+
+    pub(super) fn band_window_count(
+        kernel: JoinKernel,
+        sk: &[f64],
+        cols: &[Vec<f64>],
+        window: Range<usize>,
+        band: &BandCondition,
+    ) -> u64 {
+        let (lo, hi) = (band.eps_low_all(), band.eps_high_all());
+        let mut n = 0u64;
+        if kernel == JoinKernel::Scalar {
+            for pos in window {
+                n += scalar_matches(sk, cols, pos, lo, hi) as u64;
+            }
+        } else {
+            for pos in window {
+                n += !branchless_reject(sk, cols, pos, lo, hi) as u64;
+            }
+        }
+        n
+    }
+
+    pub(super) fn band_window_collect(
+        kernel: JoinKernel,
+        sk: &[f64],
+        cols: &[Vec<f64>],
+        window: Range<usize>,
+        band: &BandCondition,
+        out: &mut Vec<u32>,
+    ) -> u64 {
+        let (lo, hi) = (band.eps_low_all(), band.eps_high_all());
+        if kernel == JoinKernel::Scalar {
+            let before = out.len();
+            for pos in window {
+                if scalar_matches(sk, cols, pos, lo, hi) {
+                    out.push(pos as u32);
+                }
+            }
+            return (out.len() - before) as u64;
+        }
+        // Branchless append: always write the position, conditionally advance
+        // the cursor. Cursor invariant: after `k` candidates the cursor is at
+        // offset `≤ k` past the old length, so every write lands inside the
+        // `window.len()` slots reserved up front.
+        out.reserve(window.len());
+        let base = out.len();
+        // Safety: the reservation and the cursor invariant above.
+        unsafe {
+            let first = out.as_mut_ptr().add(base);
+            let mut p = first;
+            for pos in window {
+                *p = pos as u32;
+                p = p.add(!branchless_reject(sk, cols, pos, lo, hi) as usize);
+            }
+            let n = p.offset_from(first) as usize;
+            out.set_len(base + n);
+            n as u64
         }
     }
 }
@@ -483,6 +734,124 @@ mod avx2 {
             *out.get_unchecked_mut(j) = (((k - sub) - origin) / width).floor() as i64;
         }
     }
+
+    use crate::band::BandCondition;
+    use std::ops::Range;
+
+    /// Reject mask of four candidates at positions `i..i+4`: for each
+    /// dimension, `d = s − t` fails iff `d < −ε_low` or `d > ε_high` — two
+    /// *ordered* compares, both false for a NaN difference, OR-accumulated
+    /// across dimensions. The caller inverts (`^ 0xF`) to get the accept mask
+    /// — equivalently, the AND-accumulation of the per-dimension accept masks
+    /// — so a NaN difference matches, exactly like the scalar
+    /// [`BandCondition::matches`].
+    ///
+    /// # Safety
+    /// AVX2 must be available; `i + 4 <= cols[d].len()` and
+    /// `sk.len() == cols.len() == lo.len() == hi.len()`.
+    #[inline(always)]
+    unsafe fn band_reject_mask(
+        sk: &[f64],
+        cols: &[Vec<f64>],
+        i: usize,
+        lo: &[f64],
+        hi: &[f64],
+    ) -> usize {
+        let mut rej = _mm256_setzero_pd();
+        for d in 0..sk.len() {
+            let tv = _mm256_loadu_pd(cols.get_unchecked(d).as_ptr().add(i));
+            let dv = _mm256_sub_pd(_mm256_set1_pd(*sk.get_unchecked(d)), tv);
+            let lt = _mm256_cmp_pd::<_CMP_LT_OQ>(dv, _mm256_set1_pd(-*lo.get_unchecked(d)));
+            let gt = _mm256_cmp_pd::<_CMP_GT_OQ>(dv, _mm256_set1_pd(*hi.get_unchecked(d)));
+            rej = _mm256_or_pd(rej, _mm256_or_pd(lt, gt));
+        }
+        _mm256_movemask_pd(rej) as usize
+    }
+
+    /// Scalar per-candidate band test for the vector loops' tails.
+    #[inline(always)]
+    unsafe fn band_matches_one(
+        sk: &[f64],
+        cols: &[Vec<f64>],
+        pos: usize,
+        lo: &[f64],
+        hi: &[f64],
+    ) -> bool {
+        for d in 0..sk.len() {
+            let diff = *sk.get_unchecked(d) - *cols.get_unchecked(d).get_unchecked(pos);
+            if diff < -*lo.get_unchecked(d) || diff > *hi.get_unchecked(d) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// # Safety
+    /// AVX2 must be available; `window.end <= cols[d].len()` for every
+    /// dimension and `sk.len() == cols.len() == band.dims()`.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn band_window_count(
+        sk: &[f64],
+        cols: &[Vec<f64>],
+        window: Range<usize>,
+        band: &BandCondition,
+    ) -> u64 {
+        let (lo, hi) = (band.eps_low_all(), band.eps_high_all());
+        let mut n = 0u64;
+        let mut i = window.start;
+        while i + 4 <= window.end {
+            let acc = band_reject_mask(sk, cols, i, lo, hi) ^ 0xF;
+            n += acc.count_ones() as u64;
+            i += 4;
+        }
+        for pos in i..window.end {
+            n += band_matches_one(sk, cols, pos, lo, hi) as u64;
+        }
+        n
+    }
+
+    /// # Safety
+    /// Same contract as [`band_window_count`].
+    ///
+    /// Store-bounds proof: before the vector iteration starting at `i` the
+    /// cursor is at offset `≤ i − window.start` past the old length, and
+    /// `i + 4 <= window.end`, so the 16-byte compress-store touches offsets
+    /// `< (i − window.start) + 4 <= window.len()` — within the `window.len()`
+    /// slots reserved up front. The scalar tail writes single elements at
+    /// offsets `≤ window.len() − 1`.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn band_window_collect(
+        sk: &[f64],
+        cols: &[Vec<f64>],
+        window: Range<usize>,
+        band: &BandCondition,
+        out: &mut Vec<u32>,
+    ) -> u64 {
+        let (lo, hi) = (band.eps_low_all(), band.eps_high_all());
+        out.reserve(window.len());
+        let base = out.len();
+        let first = out.as_mut_ptr().add(base);
+        let mut p = first;
+        let mut idx = _mm_add_epi32(
+            _mm_set1_epi32(window.start as i32),
+            _mm_set_epi32(3, 2, 1, 0),
+        );
+        let four = _mm_set1_epi32(4);
+        let mut i = window.start;
+        while i + 4 <= window.end {
+            let acc = band_reject_mask(sk, cols, i, lo, hi) ^ 0xF;
+            p = compress_store(p, idx, acc);
+            idx = _mm_add_epi32(idx, four);
+            i += 4;
+        }
+        for pos in i..window.end {
+            *p = pos as u32;
+            p = p.add(band_matches_one(sk, cols, pos, lo, hi) as usize);
+        }
+        let n = p.offset_from(first) as usize;
+        out.set_len(base + n);
+        n as u64
+    }
 }
 
 #[cfg(test)]
@@ -638,5 +1007,95 @@ mod tests {
         assert_eq!(RouteKernel::from_name("auto"), Some(RouteKernel::detect()));
         assert_eq!(RouteKernel::from_name("neon-someday"), None);
         assert!(RouteKernel::all_supported().contains(&RouteKernel::detect()));
+    }
+
+    #[test]
+    fn join_kernel_names_round_trip() {
+        for kernel in JoinKernel::all_supported() {
+            assert_eq!(JoinKernel::from_name(kernel.name()), Some(kernel));
+        }
+        assert_eq!(JoinKernel::from_name("auto"), Some(JoinKernel::detect()));
+        assert_eq!(JoinKernel::from_name("sse-someday"), None);
+        assert!(JoinKernel::all_supported().contains(&JoinKernel::detect()));
+        assert_ne!(JoinKernel::detect(), JoinKernel::Scalar);
+    }
+
+    /// `BandCondition::matches` on gathered keys — the join kernels' oracle.
+    fn reference_window(
+        sk: &[f64],
+        cols: &[Vec<f64>],
+        window: std::ops::Range<usize>,
+        band: &BandCondition,
+    ) -> Vec<u32> {
+        window
+            .filter(|&pos| {
+                let tk: Vec<f64> = cols.iter().map(|c| c[pos]).collect();
+                band.matches(sk, &tk)
+            })
+            .map(|pos| pos as u32)
+            .collect()
+    }
+
+    #[test]
+    fn join_kernels_match_band_condition_on_all_window_lengths() {
+        let dims = 3;
+        let n = 200;
+        let long = test_column(n + dims);
+        let cols: Vec<Vec<f64>> = (0..dims).map(|d| long[d..d + n].to_vec()).collect();
+        let band = BandCondition::try_asymmetric(&[0.4, 0.9, 0.0], &[0.7, 0.0, 1.3]).unwrap();
+        // Probe keys cover finite values, ties, ±inf, and NaN (a NaN difference
+        // *matches* — see the module docs).
+        let probes: [[f64; 3]; 5] = [
+            [0.5, 0.5, 0.5],
+            [-0.25, 1.0, 0.0],
+            [f64::NAN, 0.5, 0.5],
+            [f64::INFINITY, f64::NEG_INFINITY, 0.0],
+            [1.0, f64::NAN, f64::NAN],
+        ];
+        for kernel in JoinKernel::all_supported() {
+            let mut got = Vec::new();
+            for len in 0..=67usize {
+                let start = (len * 3) % (n - 67);
+                let window = start..start + len;
+                for sk in &probes {
+                    let expected = reference_window(sk, &cols, window.clone(), &band);
+                    let count = band_window_count(kernel, sk, &cols, window.clone(), &band);
+                    assert_eq!(
+                        count,
+                        expected.len() as u64,
+                        "kernel {} count len {len} probe {sk:?}",
+                        kernel.name()
+                    );
+                    got.clear();
+                    got.push(7); // collect appends — pre-existing content must survive
+                    let appended =
+                        band_window_collect(kernel, sk, &cols, window.clone(), &band, &mut got);
+                    assert_eq!(appended, expected.len() as u64);
+                    assert_eq!(got[0], 7, "kernel {} clobbered the prefix", kernel.name());
+                    assert_eq!(
+                        &got[1..],
+                        expected.as_slice(),
+                        "kernel {} collect len {len} probe {sk:?}",
+                        kernel.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn join_kernels_match_on_single_dimension_windows() {
+        let col = test_column(150);
+        let cols = vec![col];
+        let band = BandCondition::symmetric(&[0.5]);
+        for kernel in JoinKernel::all_supported() {
+            for sk in [[0.0], [0.5], [f64::NAN], [f64::INFINITY]] {
+                let expected = reference_window(&sk, &cols, 0..150, &band);
+                let mut got = Vec::new();
+                let n = band_window_collect(kernel, &sk, &cols, 0..150, &band, &mut got);
+                assert_eq!(n, expected.len() as u64, "kernel {}", kernel.name());
+                assert_eq!(got, expected, "kernel {}", kernel.name());
+            }
+        }
     }
 }

@@ -236,6 +236,37 @@ impl SplitTree {
         (left_id, right_id)
     }
 
+    /// Revert the **most recent** [`SplitTree::split_leaf`]: restore `leaf_id` to the
+    /// leaf it was before the split (`prior`, as captured by the caller just before
+    /// splitting) and drop its two children from the arena. The arena is append-only
+    /// and `split_leaf` pushes the children at its end, so un-splitting in LIFO order
+    /// is a truncation — this is what lets the optimizer keep an undo log instead of
+    /// cloning the whole tree whenever it records a new best partitioning.
+    ///
+    /// # Panics
+    /// Panics if `leaf_id` is not an inner node whose children are the two most
+    /// recently appended nodes (i.e. if the undo is attempted out of LIFO order).
+    pub fn undo_split(&mut self, leaf_id: NodeId, prior: LeafNode) {
+        let n = self.nodes.len();
+        match &self.nodes[leaf_id as usize] {
+            Node::Inner(inner) => {
+                assert!(
+                    n >= 2 && inner.left as usize == n - 2 && inner.right as usize == n - 1,
+                    "undo_split must revert the most recent split (LIFO order)"
+                );
+                assert!(
+                    matches!(self.nodes[n - 2], Node::Leaf(_))
+                        && matches!(self.nodes[n - 1], Node::Leaf(_)),
+                    "children of the split being undone must still be leaves"
+                );
+            }
+            Node::Leaf(_) => panic!("node {leaf_id} is not a split node"),
+        }
+        self.nodes.truncate(n - 2);
+        self.nodes[leaf_id as usize] = Node::Leaf(prior);
+        self.num_leaves -= 1;
+    }
+
     /// Replace the internal 1-Bucket grid of a (small) leaf.
     pub fn set_leaf_grid(&mut self, leaf_id: NodeId, grid: BucketGrid) {
         assert!(
@@ -392,6 +423,42 @@ mod tests {
         assert!(tree.leaf(l).region.contains(&[4.9]));
         assert!(!tree.leaf(l).region.contains(&[5.0]));
         assert!(tree.leaf(r).region.contains(&[5.0]));
+    }
+
+    #[test]
+    fn undo_split_restores_the_exact_prior_tree() {
+        let mut tree = SplitTree::new(1);
+        let (l, _r) = tree.split_leaf(tree.root(), 0, 5.0, SplitKind::TSplit);
+        tree.set_leaf_grid(l, BucketGrid { rows: 2, cols: 2 });
+        let snapshot = tree.clone();
+
+        // Split, then undo in LIFO order: the tree must be bit-identical again.
+        let prior = tree.leaf(l).clone();
+        tree.split_leaf(l, 0, 2.0, SplitKind::SSplit);
+        assert_eq!(tree.num_leaves(), 3);
+        tree.undo_split(l, prior);
+        assert_eq!(tree, snapshot);
+        assert_eq!(tree.num_leaves(), 2);
+
+        // Two stacked splits revert in reverse order.
+        let prior_l = tree.leaf(l).clone();
+        let (ll, _lr) = tree.split_leaf(l, 0, 1.0, SplitKind::TSplit);
+        let prior_ll = tree.leaf(ll).clone();
+        tree.split_leaf(ll, 0, 0.5, SplitKind::TSplit);
+        tree.undo_split(ll, prior_ll);
+        tree.undo_split(l, prior_l);
+        assert_eq!(tree, snapshot);
+    }
+
+    #[test]
+    #[should_panic(expected = "LIFO order")]
+    fn undo_split_rejects_out_of_order_reverts() {
+        let mut tree = SplitTree::new(1);
+        let prior_root = tree.leaf(tree.root()).clone();
+        let (l, _r) = tree.split_leaf(tree.root(), 0, 5.0, SplitKind::TSplit);
+        let _ = tree.split_leaf(l, 0, 2.0, SplitKind::TSplit);
+        // The root's children are no longer the arena tail.
+        tree.undo_split(tree.root(), prior_root);
     }
 
     #[test]

@@ -67,7 +67,11 @@ pub struct ExecutorConfig {
     pub workers: usize,
     /// Load weights used for `L_m` and the partition→worker mapping.
     pub load_model: LoadModel,
-    /// Local band-join algorithm run by each worker.
+    /// Local band-join algorithm run by each worker. Per-window band evaluation
+    /// dispatches through the process-wide [`recpart::JoinKernel::active`] kernel
+    /// (override with `BAND_JOIN_JOIN_KERNEL`); results are bit-identical — pairs,
+    /// order, and `comparisons` — for every kernel, so [`MachineModel`]-derived
+    /// times do not depend on the kernel either.
     pub local_algorithm: LocalJoinAlgorithm,
     /// Timing model of the simulated cluster.
     pub machine: MachineModel,
@@ -722,7 +726,9 @@ impl Executor {
     /// One partition's local join: the single per-partition computation both the
     /// partition-parallel ([`Executor::run_local_joins`]) and the shard-sequential
     /// ([`Executor::execute_sharded`]) reduce phases invoke — one implementation,
-    /// so the two execution shapes agree bit for bit by construction.
+    /// so the two execution shapes agree bit for bit by construction. The join
+    /// inherits the process-wide active [`recpart::JoinKernel`], so `execute`,
+    /// `execute_sharded`, and `execute_supervised` all vectorize together.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn join_partition(
         &self,

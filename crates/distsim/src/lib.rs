@@ -53,9 +53,12 @@ pub use executor::{
     ExecutionReport, Executor, ExecutorConfig, ShardPlan, ShardedExecution, VerificationLevel,
 };
 pub use faults::{FaultInjector, FaultKind, FaultPlan, FaultSpec, FiredCounts, InjectionPoint};
-pub use local_join::{probe_sorted, LocalJoinAlgorithm, LocalJoinResult, SortedProbeSide};
+pub use local_join::{
+    probe_sorted, probe_sorted_with, LocalJoinAlgorithm, LocalJoinResult, SortedProbeSide,
+};
 pub use machine::MachineModel;
 pub use metrics::{process_peak_rss_bytes, RecoveryCounters, ShardStats};
+pub use recpart::JoinKernel;
 pub use shuffle::{PartitionedIndex, ShuffleConfig, ShuffleError, ShuffledInputs};
 pub use supervise::{
     ShardError, ShardFailureKind, SuperviseError, SupervisedExecution, SupervisorConfig,

@@ -10,8 +10,36 @@
 //!
 //! Every algorithm reports the number of **candidate comparisons** it performed; the
 //! synthetic machine model uses this to derive realistic per-worker compute times.
+//!
+//! # Join kernels
+//!
+//! The candidate side of the index-nested-loop probe (and of the sort-merge sweep) is
+//! columnar: [`SortedProbeSide`] gathers **every** join dimension into per-dimension
+//! arrays in sorted-by-dimension-0 order at build time, so evaluating the band
+//! condition over a candidate window reads contiguous memory instead of gathering one
+//! cache-missing tuple at a time. The per-window evaluation dispatches through
+//! [`JoinKernel`] (`scalar` oracle / branchless `portable` / `avx2` masked compares;
+//! override with `BAND_JOIN_JOIN_KERNEL`, mirroring `BAND_JOIN_ROUTE_KERNEL`) — see
+//! [`recpart::simd`] for the kernel contract and NaN policy.
+//!
+//! Vectorized probes are processed in blocks: each block is sorted on dimension 0
+//! once, swept with the amortized sliding window the scalar [`SortMerge`] path uses,
+//! and its pairs are emitted through a stable inverse permutation — so pair **order**
+//! stays bit-identical to the scalar per-probe binary-search loop, which remains
+//! in-tree verbatim as the measured baseline and proptest oracle.
+//!
+//! # Comparisons accounting
+//!
+//! [`LocalJoinResult::comparisons`] counts *candidate pairs whose full band condition
+//! was evaluated* — the size of every dimension-0 window. Vector kernels evaluate the
+//! same windows (they only batch the evaluation), so the count is **exactly** the
+//! scalar count for every kernel, and [`crate::machine::MachineModel`]-derived compute
+//! times are unchanged by kernel choice.
+//!
+//! [`SortMerge`]: LocalJoinAlgorithm::SortMerge
 
-use recpart::{BandCondition, Relation};
+use recpart::simd::{band_window_collect, band_window_count};
+use recpart::{BandCondition, JoinKernel, Relation};
 use serde::{Deserialize, Serialize};
 
 /// The algorithm a worker uses for its local band-join.
@@ -32,35 +60,120 @@ pub enum LocalJoinAlgorithm {
 pub struct LocalJoinResult {
     /// Number of output pairs produced.
     pub output: u64,
-    /// Number of candidate pairs whose full band condition was evaluated.
+    /// Number of candidate pairs whose full band condition was evaluated. Identical
+    /// for every [`JoinKernel`] (see the module docs).
     pub comparisons: u64,
 }
+
+/// Probes per block of the vectorized probe path: large enough to amortize the
+/// per-block sort, small enough that the block scratch stays cache-resident.
+const PROBE_BLOCK: usize = 1024;
 
 /// The T side of an index-nested-loop band-join, sorted once on dimension 0 so that
 /// several probe passes — e.g. the chunked parallel verification join — can share one
 /// sort instead of re-sorting per pass.
+///
+/// The side is **SoA**: every join dimension is gathered into its own contiguous
+/// array in sorted order at build time (`cols[0]` is the sort key), so the per-window
+/// band evaluation of the vector [`JoinKernel`]s streams contiguous memory.
 #[derive(Debug, Clone)]
 pub struct SortedProbeSide {
+    /// Selected T-tuple indices, sorted by their dimension-0 value (`total_cmp`).
     sorted: Vec<u32>,
-    vals: Vec<f64>,
+    /// Per-dimension value columns in `sorted` order; `cols[0]` is the sort key.
+    cols: Vec<Vec<f64>>,
+    /// Does the sort key start with a negative NaN? `total_cmp` orders negative NaN
+    /// before `-inf`, which makes the window predicates (`v < lo`, `v <= hi`)
+    /// non-partitioned — the sliding-window advance then cannot reproduce
+    /// `partition_point`, so the blocked probe falls back to per-probe binary
+    /// search (the scalar oracle's own window computation).
+    neg_nan_first: bool,
 }
 
 impl SortedProbeSide {
-    /// Sort the selected T-tuples on dimension 0.
+    /// Sort the selected T-tuples on dimension 0 and gather all dimensions.
     pub fn build(t: &Relation, t_idx: &[u32]) -> SortedProbeSide {
-        let mut sorted: Vec<u32> = t_idx.to_vec();
-        sorted.sort_unstable_by(|&a, &b| t.value(a as usize, 0).total_cmp(&t.value(b as usize, 0)));
-        let vals: Vec<f64> = sorted.iter().map(|&i| t.value(i as usize, 0)).collect();
-        SortedProbeSide { sorted, vals }
+        Self::from_ids(t, t_idx.to_vec())
+    }
+
+    /// [`SortedProbeSide::build`] over the entire relation, without materializing an
+    /// identity index vector first (the sort permutation is the only allocation
+    /// besides the gathered columns).
+    pub fn build_full(t: &Relation) -> SortedProbeSide {
+        Self::from_ids(t, (0..t.len() as u32).collect())
+    }
+
+    fn from_ids(t: &Relation, mut sorted: Vec<u32>) -> SortedProbeSide {
+        let key = t.column(0);
+        sorted.sort_unstable_by(|&a, &b| key[a as usize].total_cmp(&key[b as usize]));
+        let cols: Vec<Vec<f64>> = (0..t.dims())
+            .map(|d| {
+                let col = t.column(d);
+                sorted.iter().map(|&i| col[i as usize]).collect()
+            })
+            .collect();
+        let neg_nan_first = cols[0].first().is_some_and(|v| v.is_nan());
+        SortedProbeSide {
+            sorted,
+            cols,
+            neg_nan_first,
+        }
+    }
+
+    /// Number of selected T-tuples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the side holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The sort-key column (dimension-0 values in sorted order).
+    fn key_col(&self) -> &[f64] {
+        &self.cols[0]
     }
 }
 
-/// Probe every S-tuple of `s_idx` (in the given order) against a pre-sorted T side:
-/// binary-search the ε-range on dimension 0, then evaluate the full band condition on
-/// each candidate. This is the inner loop of [`LocalJoinAlgorithm::IndexNestedLoop`];
-/// pairs are emitted in probe order, so chunking `s_idx` and concatenating the chunk
-/// outputs in order reproduces the unchunked result exactly.
+/// Probe every S-tuple of `s_idx` (in the given order) against a pre-sorted T side
+/// with the process-wide [`JoinKernel::active`] kernel: binary-search the ε-range on
+/// dimension 0, then evaluate the full band condition on each candidate. This is the
+/// inner loop of [`LocalJoinAlgorithm::IndexNestedLoop`]; pairs are emitted in probe
+/// order, so chunking `s_idx` and concatenating the chunk outputs in order reproduces
+/// the unchunked result exactly — for every kernel.
 pub fn probe_sorted(
+    s: &Relation,
+    t: &Relation,
+    side: &SortedProbeSide,
+    band: &BandCondition,
+    s_idx: impl IntoIterator<Item = u32>,
+    pairs: Option<&mut Vec<(u32, u32)>>,
+) -> LocalJoinResult {
+    probe_sorted_with(JoinKernel::active(), s, t, side, band, s_idx, pairs)
+}
+
+/// [`probe_sorted`] with an explicit kernel (the process-global kernel is resolved
+/// once, so benchmark gates sweep kernels through this entry point). Every kernel
+/// produces bit-identical pairs, pair order, `output`, and `comparisons`.
+pub fn probe_sorted_with(
+    kernel: JoinKernel,
+    s: &Relation,
+    t: &Relation,
+    side: &SortedProbeSide,
+    band: &BandCondition,
+    s_idx: impl IntoIterator<Item = u32>,
+    pairs: Option<&mut Vec<(u32, u32)>>,
+) -> LocalJoinResult {
+    match kernel {
+        JoinKernel::Scalar => probe_scalar(s, t, side, band, s_idx, pairs),
+        _ => probe_blocked(kernel, s, side, band, s_idx, pairs),
+    }
+}
+
+/// The scalar per-probe loop, kept verbatim as the measured baseline and the
+/// bit-identity oracle for the vectorized blocked path.
+fn probe_scalar(
     s: &Relation,
     t: &Relation,
     side: &SortedProbeSide,
@@ -69,11 +182,12 @@ pub fn probe_sorted(
     mut pairs: Option<&mut Vec<(u32, u32)>>,
 ) -> LocalJoinResult {
     let mut result = LocalJoinResult::default();
+    let vals = side.key_col();
     for si in s_idx {
         let sk = s.key(si as usize);
         let (lo, hi) = band.range_around_s(0, sk[0]);
-        let start = side.vals.partition_point(|&v| v < lo);
-        let end = side.vals.partition_point(|&v| v <= hi);
+        let start = vals.partition_point(|&v| v < lo);
+        let end = vals.partition_point(|&v| v <= hi);
         for &ti in &side.sorted[start..end] {
             result.comparisons += 1;
             if band.matches(&sk, &t.key(ti as usize)) {
@@ -87,6 +201,206 @@ pub fn probe_sorted(
     result
 }
 
+/// The vectorized probe path: process probes in blocks, sort each block on dimension
+/// 0 once (stable order: key `total_cmp`, then arrival position), advance the
+/// dimension-0 window with amortized sliding pointers, evaluate each window with the
+/// vector kernel, and emit pairs through the block's inverse permutation so the
+/// output order matches the scalar probe loop exactly.
+///
+/// Window equivalence with the scalar `partition_point`s: for finite probe keys the
+/// window bounds `lo`/`hi` are non-decreasing in block-sorted order, and — absent a
+/// leading negative NaN in the sort key (see [`SortedProbeSide::neg_nan_first`]) —
+/// the predicates `v < lo` / `v <= hi` are partitioned over the column, so a forward
+/// scan from the previous boundary stops exactly at the `partition_point`. Probes
+/// with non-finite keys (NaN bounds are never monotone) fall back to the literal
+/// binary search without touching the shared pointers.
+fn probe_blocked(
+    kernel: JoinKernel,
+    s: &Relation,
+    side: &SortedProbeSide,
+    band: &BandCondition,
+    s_idx: impl IntoIterator<Item = u32>,
+    mut pairs: Option<&mut Vec<(u32, u32)>>,
+) -> LocalJoinResult {
+    let mut result = LocalJoinResult::default();
+    let vals = side.key_col();
+    let n = vals.len();
+    let s_key = s.column(0);
+    let collect = pairs.is_some();
+
+    // Scratch reused across blocks.
+    let mut block: Vec<u32> = Vec::with_capacity(PROBE_BLOCK);
+    let mut order: Vec<u32> = Vec::with_capacity(PROBE_BLOCK);
+    let mut slots: Vec<(u32, u32)> = Vec::new(); // (offset, len) into `matched`, by block position
+    let mut matched: Vec<u32> = Vec::new();
+
+    let mut iter = s_idx.into_iter();
+    loop {
+        block.clear();
+        block.extend(iter.by_ref().take(PROBE_BLOCK));
+        if block.is_empty() {
+            break;
+        }
+        // Stable sort of the block's positions by probe key: ties keep arrival
+        // order, so equal-key probes emit in the same order as the scalar loop.
+        order.clear();
+        order.extend(0..block.len() as u32);
+        order.sort_unstable_by(|&a, &b| {
+            s_key[block[a as usize] as usize]
+                .total_cmp(&s_key[block[b as usize] as usize])
+                .then(a.cmp(&b))
+        });
+        if collect {
+            matched.clear();
+            slots.clear();
+            slots.resize(block.len(), (0, 0));
+        }
+        let (mut w_start, mut w_end) = (0usize, 0usize);
+        for &bp in &order {
+            let si = block[bp as usize];
+            let sk = s.key(si as usize);
+            let (lo, hi) = band.range_around_s(0, sk[0]);
+            let (start, end) = if side.neg_nan_first || !sk[0].is_finite() {
+                // Non-partitioned predicate or non-monotone bounds: compute the
+                // window exactly as the scalar oracle does.
+                (
+                    vals.partition_point(|&v| v < lo),
+                    vals.partition_point(|&v| v <= hi),
+                )
+            } else {
+                while w_start < n && vals[w_start] < lo {
+                    w_start += 1;
+                }
+                if w_end < w_start {
+                    w_end = w_start;
+                }
+                while w_end < n && vals[w_end] <= hi {
+                    w_end += 1;
+                }
+                (w_start, w_end)
+            };
+            result.comparisons += (end - start) as u64;
+            if collect {
+                let offset = matched.len() as u32;
+                let count =
+                    band_window_collect(kernel, &sk, &side.cols, start..end, band, &mut matched);
+                slots[bp as usize] = (offset, count as u32);
+                result.output += count;
+            } else {
+                result.output += band_window_count(kernel, &sk, &side.cols, start..end, band);
+            }
+        }
+        if let Some(p) = pairs.as_deref_mut() {
+            // Emit in arrival order (the inverse of the block sort); within a
+            // probe, matches are already in window (sorted-position) order.
+            for (bp, &si) in block.iter().enumerate() {
+                let (offset, count) = slots[bp];
+                for &pos in &matched[offset as usize..(offset + count) as usize] {
+                    p.push((si, side.sorted[pos as usize]));
+                }
+            }
+        }
+    }
+    result
+}
+
+/// The sort-merge sweep shared by [`LocalJoinAlgorithm::SortMerge`]'s indexed and
+/// full-relation entry points: advance a sliding window over the sorted T side while
+/// walking sorted S, then evaluate each window with the configured kernel. The
+/// window advance is identical for every kernel (it *is* the scalar algorithm's),
+/// so kernels only change how a window is evaluated — never which windows exist.
+fn sort_merge_sweep(
+    kernel: JoinKernel,
+    s: &Relation,
+    t: &Relation,
+    side: &SortedProbeSide,
+    s_sorted: &[u32],
+    band: &BandCondition,
+    mut pairs: Option<&mut Vec<(u32, u32)>>,
+) -> LocalJoinResult {
+    let mut result = LocalJoinResult::default();
+    let t_vals = side.key_col();
+    let n = t_vals.len();
+    let mut matched: Vec<u32> = Vec::new();
+    let mut window_start = 0usize;
+    for &si in s_sorted {
+        let sk = s.key(si as usize);
+        let (lo, hi) = band.range_around_s(0, sk[0]);
+        while window_start < n && t_vals[window_start] < lo {
+            window_start += 1;
+        }
+        let mut end = window_start;
+        while end < n && t_vals[end] <= hi {
+            end += 1;
+        }
+        result.comparisons += (end - window_start) as u64;
+        match kernel {
+            JoinKernel::Scalar => {
+                // The scalar oracle: gather each candidate and test the condition.
+                for &ti in &side.sorted[window_start..end] {
+                    if band.matches(&sk, &t.key(ti as usize)) {
+                        result.output += 1;
+                        if let Some(p) = pairs.as_deref_mut() {
+                            p.push((si, ti));
+                        }
+                    }
+                }
+            }
+            _ => {
+                if let Some(p) = pairs.as_deref_mut() {
+                    matched.clear();
+                    result.output += band_window_collect(
+                        kernel,
+                        &sk,
+                        &side.cols,
+                        window_start..end,
+                        band,
+                        &mut matched,
+                    );
+                    p.extend(matched.iter().map(|&pos| (si, side.sorted[pos as usize])));
+                } else {
+                    result.output +=
+                        band_window_count(kernel, &sk, &side.cols, window_start..end, band);
+                }
+            }
+        }
+    }
+    result
+}
+
+/// The quadratic reference join over arbitrary index iterators (slices or ranges).
+fn nested_loop(
+    s: &Relation,
+    t: &Relation,
+    s_iter: impl Iterator<Item = u32>,
+    t_iter: impl Iterator<Item = u32> + Clone,
+    band: &BandCondition,
+    mut pairs: Option<&mut Vec<(u32, u32)>>,
+) -> LocalJoinResult {
+    let mut result = LocalJoinResult::default();
+    for si in s_iter {
+        let sk = s.key(si as usize);
+        for ti in t_iter.clone() {
+            result.comparisons += 1;
+            if band.matches(&sk, &t.key(ti as usize)) {
+                result.output += 1;
+                if let Some(p) = pairs.as_deref_mut() {
+                    p.push((si, ti));
+                }
+            }
+        }
+    }
+    result
+}
+
+/// Argsort of the selected S-tuples on dimension 0 (`total_cmp`), shared by the
+/// sort-merge entry points.
+fn sort_on_dim0(s: &Relation, mut ids: Vec<u32>) -> Vec<u32> {
+    let key = s.column(0);
+    ids.sort_unstable_by(|&a, &b| key[a as usize].total_cmp(&key[b as usize]));
+    ids
+}
+
 impl LocalJoinAlgorithm {
     /// Human-readable name.
     pub fn name(&self) -> &'static str {
@@ -97,7 +411,8 @@ impl LocalJoinAlgorithm {
         }
     }
 
-    /// Count the band-join output between the selected tuples of `s` and `t`.
+    /// Count the band-join output between the selected tuples of `s` and `t`, with
+    /// the process-wide [`JoinKernel::active`] kernel.
     ///
     /// `s_idx`/`t_idx` select the tuples (by index) that were shuffled to this worker's
     /// partition. Pass `Some(&mut pairs)` to additionally materialize the matching
@@ -109,79 +424,57 @@ impl LocalJoinAlgorithm {
         s_idx: &[u32],
         t_idx: &[u32],
         band: &BandCondition,
-        mut pairs: Option<&mut Vec<(u32, u32)>>,
+        pairs: Option<&mut Vec<(u32, u32)>>,
+    ) -> LocalJoinResult {
+        self.join_with(JoinKernel::active(), s, t, s_idx, t_idx, band, pairs)
+    }
+
+    /// [`LocalJoinAlgorithm::join`] with an explicit kernel. [`NestedLoop`] is
+    /// kernel-independent (it is the pure scalar oracle); the other algorithms
+    /// produce bit-identical results — pairs, pair order, `output`, `comparisons` —
+    /// for every kernel.
+    ///
+    /// [`NestedLoop`]: LocalJoinAlgorithm::NestedLoop
+    #[allow(clippy::too_many_arguments)]
+    pub fn join_with(
+        &self,
+        kernel: JoinKernel,
+        s: &Relation,
+        t: &Relation,
+        s_idx: &[u32],
+        t_idx: &[u32],
+        band: &BandCondition,
+        pairs: Option<&mut Vec<(u32, u32)>>,
     ) -> LocalJoinResult {
         if s_idx.is_empty() || t_idx.is_empty() {
             return LocalJoinResult::default();
         }
         match self {
-            LocalJoinAlgorithm::NestedLoop => {
-                let mut result = LocalJoinResult::default();
-                for &si in s_idx {
-                    let sk = s.key(si as usize);
-                    for &ti in t_idx {
-                        result.comparisons += 1;
-                        if band.matches(&sk, &t.key(ti as usize)) {
-                            result.output += 1;
-                            if let Some(p) = pairs.as_deref_mut() {
-                                p.push((si, ti));
-                            }
-                        }
-                    }
-                }
-                result
-            }
+            LocalJoinAlgorithm::NestedLoop => nested_loop(
+                s,
+                t,
+                s_idx.iter().copied(),
+                t_idx.iter().copied(),
+                band,
+                pairs,
+            ),
             LocalJoinAlgorithm::IndexNestedLoop => {
                 // Sort the T side of this partition on dimension 0, then probe.
                 let side = SortedProbeSide::build(t, t_idx);
-                probe_sorted(
-                    s,
-                    t,
-                    &side,
-                    band,
-                    s_idx.iter().copied(),
-                    pairs.as_deref_mut(),
-                )
+                probe_sorted_with(kernel, s, t, &side, band, s_idx.iter().copied(), pairs)
             }
             LocalJoinAlgorithm::SortMerge => {
-                let mut s_sorted: Vec<u32> = s_idx.to_vec();
-                s_sorted.sort_unstable_by(|&a, &b| {
-                    s.value(a as usize, 0).total_cmp(&s.value(b as usize, 0))
-                });
-                let mut t_sorted: Vec<u32> = t_idx.to_vec();
-                t_sorted.sort_unstable_by(|&a, &b| {
-                    t.value(a as usize, 0).total_cmp(&t.value(b as usize, 0))
-                });
-                let t_vals: Vec<f64> = t_sorted.iter().map(|&i| t.value(i as usize, 0)).collect();
-                let mut result = LocalJoinResult::default();
-                // Sliding window over T while advancing through sorted S.
-                let mut window_start = 0usize;
-                for &si in &s_sorted {
-                    let sk = s.key(si as usize);
-                    let (lo, hi) = band.range_around_s(0, sk[0]);
-                    while window_start < t_vals.len() && t_vals[window_start] < lo {
-                        window_start += 1;
-                    }
-                    let mut k = window_start;
-                    while k < t_vals.len() && t_vals[k] <= hi {
-                        result.comparisons += 1;
-                        let ti = t_sorted[k];
-                        if band.matches(&sk, &t.key(ti as usize)) {
-                            result.output += 1;
-                            if let Some(p) = pairs.as_deref_mut() {
-                                p.push((si, ti));
-                            }
-                        }
-                        k += 1;
-                    }
-                }
-                result
+                let s_sorted = sort_on_dim0(s, s_idx.to_vec());
+                let side = SortedProbeSide::build(t, t_idx);
+                sort_merge_sweep(kernel, s, t, &side, &s_sorted, band, pairs)
             }
         }
     }
 
-    /// Join the *entire* relations (no index selection). Convenience for exact joins and
-    /// tests.
+    /// Join the *entire* relations with the process-wide kernel. Convenience for
+    /// exact joins and tests; unlike indexed [`LocalJoinAlgorithm::join`], no
+    /// identity index vectors are materialized — the probe side is driven by a
+    /// range and the T side is built with [`SortedProbeSide::build_full`].
     pub fn join_full(
         &self,
         s: &Relation,
@@ -189,9 +482,35 @@ impl LocalJoinAlgorithm {
         band: &BandCondition,
         pairs: Option<&mut Vec<(u32, u32)>>,
     ) -> LocalJoinResult {
-        let s_idx: Vec<u32> = (0..s.len() as u32).collect();
-        let t_idx: Vec<u32> = (0..t.len() as u32).collect();
-        self.join(s, t, &s_idx, &t_idx, band, pairs)
+        self.join_full_with(JoinKernel::active(), s, t, band, pairs)
+    }
+
+    /// [`LocalJoinAlgorithm::join_full`] with an explicit kernel.
+    pub fn join_full_with(
+        &self,
+        kernel: JoinKernel,
+        s: &Relation,
+        t: &Relation,
+        band: &BandCondition,
+        pairs: Option<&mut Vec<(u32, u32)>>,
+    ) -> LocalJoinResult {
+        if s.is_empty() || t.is_empty() {
+            return LocalJoinResult::default();
+        }
+        match self {
+            LocalJoinAlgorithm::NestedLoop => {
+                nested_loop(s, t, 0..s.len() as u32, 0..t.len() as u32, band, pairs)
+            }
+            LocalJoinAlgorithm::IndexNestedLoop => {
+                let side = SortedProbeSide::build_full(t);
+                probe_sorted_with(kernel, s, t, &side, band, 0..s.len() as u32, pairs)
+            }
+            LocalJoinAlgorithm::SortMerge => {
+                let s_sorted = sort_on_dim0(s, (0..s.len() as u32).collect());
+                let side = SortedProbeSide::build_full(t);
+                sort_merge_sweep(kernel, s, t, &side, &s_sorted, band, pairs)
+            }
+        }
     }
 }
 
@@ -343,21 +662,95 @@ mod tests {
         let s = random_relation(500, 1, 20);
         let t = random_relation(400, 1, 21);
         let band = BandCondition::symmetric(&[0.4]);
-        let mut full_pairs = Vec::new();
-        let full =
-            LocalJoinAlgorithm::IndexNestedLoop.join_full(&s, &t, &band, Some(&mut full_pairs));
+        for kernel in JoinKernel::all_supported() {
+            let mut full_pairs = Vec::new();
+            let full = LocalJoinAlgorithm::IndexNestedLoop.join_full_with(
+                kernel,
+                &s,
+                &t,
+                &band,
+                Some(&mut full_pairs),
+            );
 
-        let t_idx: Vec<u32> = (0..t.len() as u32).collect();
-        let side = SortedProbeSide::build(&t, &t_idx);
-        let mut chunked = LocalJoinResult::default();
-        let mut chunked_pairs = Vec::new();
-        for chunk in [0u32..123, 123..124, 124..500] {
-            let r = probe_sorted(&s, &t, &side, &band, chunk, Some(&mut chunked_pairs));
-            chunked.output += r.output;
-            chunked.comparisons += r.comparisons;
+            let side = SortedProbeSide::build_full(&t);
+            let mut chunked = LocalJoinResult::default();
+            let mut chunked_pairs = Vec::new();
+            for chunk in [0u32..123, 123..124, 124..500] {
+                let r = probe_sorted_with(
+                    kernel,
+                    &s,
+                    &t,
+                    &side,
+                    &band,
+                    chunk,
+                    Some(&mut chunked_pairs),
+                );
+                chunked.output += r.output;
+                chunked.comparisons += r.comparisons;
+            }
+            assert_eq!(chunked, full, "kernel {}", kernel.name());
+            assert_eq!(
+                chunked_pairs,
+                full_pairs,
+                "same pairs in the same order (kernel {})",
+                kernel.name()
+            );
         }
-        assert_eq!(chunked, full);
-        assert_eq!(chunked_pairs, full_pairs, "same pairs in the same order");
+    }
+
+    #[test]
+    fn every_kernel_is_bit_identical_to_the_scalar_probe() {
+        // Larger than PROBE_BLOCK so the blocked path crosses block boundaries.
+        let s = random_relation(2_500, 2, 30);
+        let t = random_relation(1_800, 2, 31);
+        let band = BandCondition::symmetric(&[0.8, 5.0]);
+        for algo in [
+            LocalJoinAlgorithm::IndexNestedLoop,
+            LocalJoinAlgorithm::SortMerge,
+        ] {
+            let mut scalar_pairs = Vec::new();
+            let scalar =
+                algo.join_full_with(JoinKernel::Scalar, &s, &t, &band, Some(&mut scalar_pairs));
+            assert!(scalar.output > 0, "test needs non-empty output");
+            for kernel in JoinKernel::all_supported() {
+                let mut pairs = Vec::new();
+                let res = algo.join_full_with(kernel, &s, &t, &band, Some(&mut pairs));
+                assert_eq!(res, scalar, "{} kernel {}", algo.name(), kernel.name());
+                assert_eq!(
+                    pairs,
+                    scalar_pairs,
+                    "{} kernel {}: same pairs in the same order",
+                    algo.name(),
+                    kernel.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_and_full_joins_agree() {
+        let s = random_relation(300, 2, 40);
+        let t = random_relation(200, 2, 41);
+        let band = BandCondition::symmetric(&[0.9, 3.0]);
+        let s_idx: Vec<u32> = (0..s.len() as u32).collect();
+        let t_idx: Vec<u32> = (0..t.len() as u32).collect();
+        for algo in ALGOS {
+            for kernel in JoinKernel::all_supported() {
+                let mut full_pairs = Vec::new();
+                let full = algo.join_full_with(kernel, &s, &t, &band, Some(&mut full_pairs));
+                let mut idx_pairs = Vec::new();
+                let idx =
+                    algo.join_with(kernel, &s, &t, &s_idx, &t_idx, &band, Some(&mut idx_pairs));
+                assert_eq!(full, idx, "{} kernel {}", algo.name(), kernel.name());
+                assert_eq!(
+                    full_pairs,
+                    idx_pairs,
+                    "{} kernel {}",
+                    algo.name(),
+                    kernel.name()
+                );
+            }
+        }
     }
 
     #[test]

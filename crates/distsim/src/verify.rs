@@ -22,6 +22,12 @@ use std::collections::HashSet;
 /// Below this probe-side size the exact join runs sequentially even in parallel mode.
 const MIN_PARALLEL_PROBE: usize = 2_048;
 
+/// Sort-and-gather the full T side once for a parallel exact join; the count and
+/// pair passes (and every probe chunk within them) share this one SoA build.
+fn shared_probe_side(t: &Relation) -> SortedProbeSide {
+    SortedProbeSide::build_full(t)
+}
+
 /// Exact number of band-join results `|S ⋈ T|`, computed with the index-nested-loop
 /// algorithm on the current rayon context (probe side chunked across threads).
 pub fn exact_join_count(s: &Relation, t: &Relation, band: &BandCondition) -> u64 {
@@ -36,9 +42,8 @@ pub fn exact_join_count_on(s: &Relation, t: &Relation, band: &BandCondition, pie
             .join_full(s, t, band, None)
             .output;
     }
-    // Sort the T side once; every probe chunk shares it.
-    let t_idx: Vec<u32> = (0..t.len() as u32).collect();
-    let side = SortedProbeSide::build(t, &t_idx);
+    // Sort the T side once (no identity index vector); every probe chunk shares it.
+    let side = shared_probe_side(t);
     let side = &side;
     chunk_ranges(s.len(), pieces)
         .into_par_iter()
@@ -65,9 +70,8 @@ pub fn exact_join_pairs_on(
         LocalJoinAlgorithm::IndexNestedLoop.join_full(s, t, band, Some(&mut pairs));
         return pairs.into_iter().collect();
     }
-    // Sort the T side once; every probe chunk shares it.
-    let t_idx: Vec<u32> = (0..t.len() as u32).collect();
-    let side = SortedProbeSide::build(t, &t_idx);
+    // Sort the T side once (no identity index vector); every probe chunk shares it.
+    let side = shared_probe_side(t);
     let side = &side;
     let per_chunk: Vec<Vec<(u32, u32)>> = chunk_ranges(s.len(), pieces)
         .into_par_iter()

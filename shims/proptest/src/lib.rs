@@ -126,6 +126,65 @@ impl<T: Clone> Strategy for Just<T> {
     }
 }
 
+#[doc(hidden)]
+pub use rand::rngs::StdRng as __StdRng;
+
+/// Weighted union of same-valued strategies (built by [`prop_oneof!`]). The
+/// heterogeneous strategy types are erased behind boxed sampling closures, which the
+/// real crate's `TupleUnion` avoids — irrelevant for test-input generation.
+pub struct OneOf<T> {
+    choices: Vec<WeightedSampler<T>>,
+    total: u32,
+}
+
+/// One `prop_oneof!` arm: its relative weight and the type-erased sampler.
+pub type WeightedSampler<T> = (u32, Box<dyn Fn(&mut StdRng) -> T>);
+
+impl<T> OneOf<T> {
+    /// A union of `(weight, sampler)` choices; weights are relative frequencies.
+    pub fn new(choices: Vec<WeightedSampler<T>>) -> Self {
+        let total = choices.iter().map(|(w, _)| *w).sum();
+        assert!(total > 0, "prop_oneof! needs a positive total weight");
+        OneOf { choices, total }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        let mut pick = rng.gen_range(0..self.total);
+        for (weight, sampler) in &self.choices {
+            if pick < *weight {
+                return sampler(rng);
+            }
+            pick -= weight;
+        }
+        unreachable!("weights sum to total")
+    }
+}
+
+/// Choose between strategies, optionally weighted (mirrors `proptest::prop_oneof!`):
+/// `prop_oneof![a, b]` picks uniformly, `prop_oneof![3 => a, 1 => b]` picks `a`
+/// three times as often.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![
+            $((
+                $weight as u32,
+                {
+                    let __s = $strategy;
+                    Box::new(move |rng: &mut $crate::__StdRng| $crate::Strategy::sample(&__s, rng))
+                        as Box<dyn Fn(&mut $crate::__StdRng) -> _>
+                },
+            )),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strategy),+]
+    };
+}
+
 /// Collection strategies (mirrors `proptest::collection`).
 pub mod collection {
     use super::{StdRng, Strategy};
@@ -246,8 +305,8 @@ pub mod test_runner {
 /// One-stop imports (mirrors `proptest::prelude`).
 pub mod prelude {
     pub use crate::test_runner::Config as ProptestConfig;
-    pub use crate::{any, Just, Strategy};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{any, Just, OneOf, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
 
     /// Namespaced access used as `prop::collection::vec(..)`.
     pub mod prop {
