@@ -87,7 +87,9 @@ pub use config::{Evaluator, RecPartConfig, SplitScorer, Termination};
 pub use error::RecPartError;
 pub use geometry::Rect;
 pub use load::{LoadModel, LptHeap};
-pub use metrics::{EvalCounters, PartitioningStats, SplitSearchCounters, WorkerLoad};
+pub use metrics::{
+    EvalCounters, PartitioningStats, PlanCacheCounters, SplitSearchCounters, WorkerLoad,
+};
 pub use parallel::Parallelism;
 pub use partition::{
     AssignmentSink, PartitionId, Partitioner, PerTupleFallback, ScatterPolicy, DEFAULT_BLOCK_TUPLES,

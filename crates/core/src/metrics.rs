@@ -83,6 +83,48 @@ impl EvalCounters {
     }
 }
 
+/// Outcome counters of a plan cache serving a query stream: how many queries
+/// were answered from a cached plan (exact key match), how many reused a wider
+/// cached plan through band subsumption, how many had to build a plan cold, and
+/// what the eviction pressure looked like.
+///
+/// The accounting invariant `hits + subsumed_hits + misses == queries served`
+/// holds by construction and is asserted in the serving tests; every counter is
+/// deterministic for a given query stream (no wall-clock input).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlanCacheCounters {
+    /// Queries answered by a cached plan whose signature matched exactly.
+    pub hits: u64,
+    /// Queries answered by a cached plan with a per-dimension wider band
+    /// (ε_query ≤ ε_plan in every dimension): partitioning and arenas reused,
+    /// zero new shuffles.
+    pub subsumed_hits: u64,
+    /// Queries that found no usable plan and built one through the full
+    /// optimize–compile–shuffle pipeline.
+    pub misses: u64,
+    /// Cached plans evicted to make room under the arena-byte capacity.
+    pub evictions: u64,
+    /// Arena bytes (both sides' CSR indexes) currently held by cached plans.
+    pub arena_bytes_cached: u64,
+}
+
+impl PlanCacheCounters {
+    /// Total queries that consulted the cache.
+    pub fn queries(&self) -> u64 {
+        self.hits + self.subsumed_hits + self.misses
+    }
+
+    /// Fraction of queries served without building a plan (1.0 = all warm).
+    pub fn warm_rate(&self) -> f64 {
+        let q = self.queries();
+        if q == 0 {
+            0.0
+        } else {
+            (self.hits + self.subsumed_hits) as f64 / q as f64
+        }
+    }
+}
+
 /// Input and output volume assigned to one worker.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct WorkerLoad {
@@ -273,6 +315,22 @@ mod tests {
             }
         );
         assert_eq!(EvalCounters::default().evaluations, 0);
+    }
+
+    #[test]
+    fn plan_cache_counters_accounting() {
+        let c = PlanCacheCounters::default();
+        assert_eq!(c.queries(), 0);
+        assert_eq!(c.warm_rate(), 0.0);
+        let c = PlanCacheCounters {
+            hits: 3,
+            subsumed_hits: 1,
+            misses: 4,
+            evictions: 2,
+            arena_bytes_cached: 1024,
+        };
+        assert_eq!(c.queries(), 8);
+        assert!((c.warm_rate() - 0.5).abs() < 1e-12);
     }
 
     #[test]

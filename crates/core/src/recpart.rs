@@ -737,6 +737,22 @@ impl SplitTreePartitioner {
         &self.router
     }
 
+    /// A 64-bit digest of everything that determines this partitioner's
+    /// assignment: the compiled router (which bakes the tree shape, the band
+    /// shifts, and the leaf hash seeds), the routing seed, and the band the
+    /// plan was built for (per-dimension ε by IEEE bit pattern). Two
+    /// partitioners with equal signatures route every tuple identically, so a
+    /// plan cache can key shuffled arenas on the signature.
+    pub fn plan_signature(&self) -> u64 {
+        let mut h = crate::router::fnv1a_word(crate::router::FNV_OFFSET, self.seed);
+        h = crate::router::fnv1a_word(h, self.band.dims() as u64);
+        for d in 0..self.band.dims() {
+            h = crate::router::fnv1a_word(h, self.band.eps_low(d).to_bits());
+            h = crate::router::fnv1a_word(h, self.band.eps_high(d).to_bits());
+        }
+        crate::router::fnv1a_word(h, self.router.signature())
+    }
+
     /// Build a partitioner directly from a split tree (primarily for tests and tools).
     pub fn from_tree(
         mut tree: SplitTree,

@@ -40,11 +40,25 @@ use std::ops::Deref;
 /// [`crate::storage`]) so out-of-core inputs never occupy the heap. Either way
 /// [`Relation::column`] hands out the same `&[f64]` view, so no call site can
 /// tell the difference.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Relation {
     len: usize,
+    /// Monotonically increasing mutation counter: bumped on every [`Relation::push`]
+    /// and seeded with the tuple count by the bulk constructors. Plan caches key on
+    /// it so a mutated dataset can never serve a stale cached arena.
+    generation: u64,
     /// One contiguous value buffer per join dimension; all of length `len`.
     columns: Vec<Storage<f64>>,
+}
+
+/// Equality is over the *contents* (dimensionality and column values), not the
+/// mutation history: a relation rebuilt tuple-by-tuple equals one built from a
+/// flat buffer even though their [`Relation::generation`] counters differ.
+/// Generation is an identity-over-time token for plan caching, not data.
+impl PartialEq for Relation {
+    fn eq(&self, other: &Relation) -> bool {
+        self.len == other.len && self.columns == other.columns
+    }
 }
 
 /// An owned join-attribute vector gathered from the columns of a [`Relation`].
@@ -110,6 +124,7 @@ impl Relation {
         assert!(dims > 0, "a relation needs at least one join attribute");
         Relation {
             len: 0,
+            generation: 0,
             columns: vec![Storage::new(); dims],
         }
     }
@@ -128,6 +143,7 @@ impl Relation {
         assert!(dims > 0, "a relation needs at least one join attribute");
         Relation {
             len: 0,
+            generation: 0,
             columns: (0..dims)
                 .map(|_| Storage::with_capacity_in(capacity, mode))
                 .collect(),
@@ -163,7 +179,11 @@ impl Relation {
                     .into()
             })
             .collect();
-        Relation { len, columns }
+        Relation {
+            len,
+            generation: len as u64,
+            columns,
+        }
     }
 
     /// Build a 1-dimensional relation from a slice of values.
@@ -174,6 +194,7 @@ impl Relation {
         );
         Relation {
             len: values.len(),
+            generation: values.len() as u64,
             columns: vec![values.to_vec().into()],
         }
     }
@@ -194,6 +215,16 @@ impl Relation {
     #[inline]
     pub fn is_empty(&self) -> bool {
         self.len == 0
+    }
+
+    /// The mutation generation: a counter bumped on every [`Relation::push`]
+    /// (and seeded with the tuple count by the bulk constructors), so any
+    /// observable change to the data strictly increases it. Derived state
+    /// computed against an earlier generation — a cached partitioning, a
+    /// shuffled arena — is stale exactly when the generations differ.
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Append one tuple.
@@ -218,6 +249,7 @@ impl Relation {
             col.push(v);
         }
         self.len += 1;
+        self.generation += 1;
     }
 
     /// The join-attribute vector of tuple `i`, gathered across the columns.
@@ -309,6 +341,7 @@ impl Relation {
     pub fn project(&self, indices: &[usize]) -> Relation {
         Relation {
             len: indices.len(),
+            generation: indices.len() as u64,
             columns: self
                 .columns
                 .iter()
@@ -406,7 +439,11 @@ impl Deserialize for Relation {
                     .into()
             })
             .collect();
-        Ok(Relation { len, columns })
+        Ok(Relation {
+            len,
+            generation: len as u64,
+            columns,
+        })
     }
 }
 
@@ -589,6 +626,38 @@ mod tests {
         assert!(r.is_empty());
         assert_eq!(r.dims(), 4);
         assert!(!r.is_spilled());
+    }
+
+    /// Every mutation strictly increases the generation, bulk constructors seed
+    /// it with the tuple count, and equality ignores it (a rebuilt relation with
+    /// the same contents compares equal despite a different mutation history).
+    #[test]
+    fn generation_bumps_on_every_mutation_but_not_equality() {
+        let mut r = Relation::new(2);
+        assert_eq!(r.generation(), 0);
+        r.push(&[1.0, 2.0]);
+        r.push(&[3.0, 4.0]);
+        assert_eq!(r.generation(), 2);
+
+        let flat = Relation::from_flat(2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(flat.generation(), 2);
+        assert_eq!(flat, r);
+
+        let mut rebuilt = Relation::from_flat(2, vec![1.0, 2.0]);
+        rebuilt.push(&[3.0, 4.0]);
+        assert_eq!(rebuilt.generation(), 2);
+        assert_eq!(rebuilt, r, "equality is over contents, not history");
+
+        let before = r.generation();
+        r.push(&[5.0, 6.0]);
+        assert!(r.generation() > before, "push must advance the generation");
+        assert_ne!(r, flat);
+
+        // Serde round-trips and clones carry a deterministic generation.
+        let back: Relation = Deserialize::from_value(&r.to_value()).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.generation(), back.len() as u64);
+        assert_eq!(r.clone().generation(), r.generation());
     }
 
     /// A spill-backed relation must be observationally identical to a heap one:

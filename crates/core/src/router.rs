@@ -72,7 +72,55 @@ struct SideTable {
     leaf_seeds: Vec<u64>,
 }
 
+/// FNV-1a offset basis (64-bit).
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Fold one 64-bit word into an FNV-1a digest, byte by byte (little-endian).
+#[inline]
+pub(crate) fn fnv1a_word(mut h: u64, word: u64) -> u64 {
+    for byte in word.to_le_bytes() {
+        h = (h ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
 impl SideTable {
+    /// Fold every array (length-prefixed, floats by IEEE bit pattern) into the
+    /// digest, so two side tables collide only if they are structurally equal.
+    fn fold_signature(&self, mut h: u64) -> u64 {
+        h = fnv1a_word(h, self.flags.len() as u64);
+        for &f in &self.flags {
+            h = fnv1a_word(h, u64::from(f));
+        }
+        for arr in [&self.dims, &self.lefts, &self.rights] {
+            for &v in arr.iter() {
+                h = fnv1a_word(h, u64::from(v));
+            }
+        }
+        for arr in [&self.boundaries, &self.subs, &self.adds] {
+            for &v in arr.iter() {
+                h = fnv1a_word(h, v.to_bits());
+            }
+        }
+        for arr in [
+            &self.leaf_base,
+            &self.leaf_copies,
+            &self.leaf_stride,
+            &self.leaf_choices,
+            &self.leaf_choice_stride,
+        ] {
+            for &v in arr.iter() {
+                h = fnv1a_word(h, u64::from(v));
+            }
+        }
+        for &v in &self.leaf_seeds {
+            h = fnv1a_word(h, v);
+        }
+        h
+    }
+
     fn with_capacity(n: usize) -> Self {
         SideTable {
             flags: vec![0; n],
@@ -493,6 +541,20 @@ impl CompiledRouter {
     /// Number of partitions the compiled tree routes into.
     pub fn num_partitions(&self) -> usize {
         self.num_partitions as usize
+    }
+
+    /// A 64-bit FNV-1a digest over everything that determines this router's
+    /// assignment — both side tables (baked band shifts, leaf grids, salted
+    /// hash seeds included), the root, the depth, and the partition count.
+    /// Two routers with equal content produce equal signatures, so a plan
+    /// cache can key on the signature instead of deep-comparing node tables.
+    pub fn signature(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        h = fnv1a_word(h, u64::from(self.root));
+        h = fnv1a_word(h, u64::from(self.depth));
+        h = fnv1a_word(h, u64::from(self.num_partitions));
+        h = self.s_side.fold_signature(h);
+        self.t_side.fold_signature(h)
     }
 
     /// A descent stack sized for this tree, reusable across tuples and blocks.

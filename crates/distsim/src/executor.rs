@@ -439,6 +439,46 @@ impl Executor {
         )
     }
 
+    /// Execute only the reduce phase — per-partition local joins, worker mapping,
+    /// stats, verification — against **pre-shuffled** arenas: the warm path of a
+    /// plan-cached service ([`crate::serve`]), where optimize/compile/shuffle ran
+    /// once and every subsequent query reuses the arenas.
+    ///
+    /// Every per-partition computation is [`Executor::join_partition`] — the same
+    /// code `execute` runs — and everything downstream is the shared
+    /// [`Executor::assemble_report`], so the result is bit-identical by
+    /// construction to a fresh [`Executor::execute`] with the same partitioner
+    /// (only the wall-clock measurements differ; `map_shuffle_wall_seconds` is
+    /// reported as 0 because no shuffle ran).
+    ///
+    /// `band` may be *narrower* (per-dimension ε ≤) than the band the partitioner
+    /// and arenas were built for: every pair matching the narrower band also
+    /// matched the wider one, so the wider plan's duplication still co-locates it
+    /// exactly once, and the join kernels filter with `band` exactly — this is
+    /// what makes band-subsumption reuse sound.
+    ///
+    /// # Panics
+    /// Panics if the arenas' partition count does not match the partitioner's.
+    pub fn execute_prepared<P: Partitioner + ?Sized>(
+        &self,
+        partitioner: &P,
+        s: &Relation,
+        t: &Relation,
+        band: &BandCondition,
+        s_parts: &PartitionedIndex,
+        t_parts: &PartitionedIndex,
+    ) -> ExecutionReport {
+        let num_partitions = partitioner.num_partitions().max(1);
+        assert_eq!(
+            s_parts.num_partitions(),
+            num_partitions,
+            "pre-shuffled arenas were built for a different partitioning"
+        );
+        let materialize = self.config.verification == VerificationLevel::FullPairs;
+        let local = self.run_local_joins(s, t, band, s_parts, t_parts, materialize);
+        self.assemble_report(partitioner, s, t, band, num_partitions, 0.0, local, false)
+    }
+
     /// Execute the band-join with shared-nothing shard workers: the partition space
     /// is split into `shards` contiguous disjoint ranges ([`ShardPlan`]), each shard
     /// joins its own partitions **sequentially** while shards run concurrently, and
@@ -678,7 +718,7 @@ impl Executor {
     /// partitions with the same per-partition computation and collect results in
     /// partition order, so the produced loads and pairs are identical — only the
     /// wall-clock measurements differ.
-    fn run_local_joins(
+    pub(crate) fn run_local_joins(
         &self,
         s: &Relation,
         t: &Relation,

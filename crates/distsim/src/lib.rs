@@ -32,7 +32,14 @@
 //!   I/O errors, stragglers at every pipeline stage) and the supervision layer
 //!   around sharded execution: `catch_unwind` worker isolation, retry with capped
 //!   exponential backoff, deadline-triggered speculation, and graceful
-//!   degradation into partial reports with structured per-shard errors.
+//!   degradation into partial reports with structured per-shard errors;
+//! * [`plan_cache`] / [`serve`] — the query-serving tier: a long-running
+//!   [`BandJoinService`](serve::BandJoinService) loads the dataset once and
+//!   answers a stream of band-join queries from a [`PlanCache`](plan_cache::PlanCache)
+//!   of compiled partitionings plus their shuffled CSR arenas (LRU by arena
+//!   bytes, keyed on dataset generations + band + worker count, with
+//!   band-subsumption reuse) — warm queries skip optimize/compile/shuffle and
+//!   run only the reduce phase, bit-identical to a one-shot execution.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -44,6 +51,8 @@ pub mod local_join;
 pub mod machine;
 pub mod metrics;
 mod parallel;
+pub mod plan_cache;
+pub mod serve;
 pub mod shuffle;
 pub mod supervise;
 pub mod verify;
@@ -58,7 +67,11 @@ pub use local_join::{
 };
 pub use machine::MachineModel;
 pub use metrics::{process_peak_rss_bytes, RecoveryCounters, ShardStats};
+pub use plan_cache::{CacheOutcome, CachedPlan, PlanCache, PlanKey};
 pub use recpart::JoinKernel;
+pub use serve::{
+    BandJoinQuery, BandJoinService, PlanSource, QueryResponse, ServiceConfig, ServiceHealth,
+};
 pub use shuffle::{PartitionedIndex, ShuffleConfig, ShuffleError, ShuffledInputs};
 pub use supervise::{
     ShardError, ShardFailureKind, SuperviseError, SupervisedExecution, SupervisorConfig,

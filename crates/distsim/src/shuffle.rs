@@ -117,6 +117,21 @@ impl PartitionedIndex {
         }
     }
 
+    /// Build an index directly from per-partition index lists (tests and tools;
+    /// the executor builds arenas through the two-pass shuffle instead).
+    pub fn from_parts(parts: &[Vec<u32>]) -> Self {
+        let mut data = Storage::new();
+        let mut offsets = Vec::with_capacity(parts.len() + 1);
+        offsets.push(0);
+        for part in parts {
+            for &idx in part {
+                data.push(idx);
+            }
+            offsets.push(data.len());
+        }
+        PartitionedIndex { data, offsets }
+    }
+
     /// Number of partitions.
     pub fn num_partitions(&self) -> usize {
         self.offsets.len() - 1

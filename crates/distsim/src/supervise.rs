@@ -35,12 +35,12 @@
 //! `tests/sharded_execution.rs` sweeps random [`FaultPlan`]s to enforce it.
 
 use crate::executor::{
-    merge_shard_outcomes, ExecutionReport, Executor, PartitionJoinOutcome, ShardOutcome, ShardPlan,
-    VerificationLevel,
+    merge_shard_outcomes, ExecutionReport, Executor, LocalJoinPhase, PartitionJoinOutcome,
+    ShardOutcome, ShardPlan, VerificationLevel,
 };
 use crate::faults::{FaultContext, FaultInjector, FaultPlan, InjectedPanic, InjectionPoint};
 use crate::metrics::{RecoveryCounters, ShardStats};
-use crate::shuffle::ShuffledInputs;
+use crate::shuffle::{PartitionedIndex, ShuffledInputs};
 use recpart::{BandCondition, Partitioner, Relation};
 use serde::{Deserialize, Serialize};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -306,9 +306,77 @@ impl Executor {
             wall_seconds: map_shuffle_wall_seconds,
         } = shuffled;
 
-        // --- Phase 2: shard attempts behind catch_unwind, with retry,
-        // backoff, and deadline speculation. ---
+        // --- Phases 2–3: shard attempts + merge, shared with the plan-cached
+        // service (which runs the same reduce over cached arenas). ---
         let materialize = self.config().verification == VerificationLevel::FullPairs;
+        let (local, shard_stats, failed) = self.supervised_reduce(
+            s,
+            t,
+            band,
+            &s_parts,
+            &t_parts,
+            &shard_plan,
+            materialize,
+            &injector,
+            sup,
+            &mut counters,
+        )?;
+        let degraded = !failed.is_empty();
+        let report = self.assemble_report(
+            partitioner,
+            s,
+            t,
+            band,
+            num_partitions,
+            map_shuffle_wall_seconds,
+            local,
+            degraded,
+        );
+        let simulated_sharded_seconds = self.config().machine.sharded_join_seconds(
+            report.stats.total_input,
+            &report.per_worker_work,
+            shard_plan.num_shards(),
+        );
+
+        let fired = injector.fired();
+        counters.injected_panics = fired.panics;
+        counters.injected_io_errors = fired.io_errors;
+        counters.injected_delays = fired.delays;
+
+        Ok(SupervisedExecution {
+            report,
+            shard_stats,
+            simulated_sharded_seconds,
+            failed,
+            recovery: counters,
+        })
+    }
+
+    /// Phases 2–3 of a supervised run — shard attempts behind `catch_unwind`
+    /// (retry, backoff, deadline speculation) and the retried merge — over
+    /// arenas the caller already holds. [`Executor::execute_supervised`] feeds
+    /// it a fresh shuffle; the plan-cached service feeds it cached arenas, so
+    /// both paths share every line of supervision logic.
+    ///
+    /// Returns the merged [`LocalJoinPhase`] (pairs included when
+    /// `materialize`), per-shard accounting, and the structured failures of
+    /// exhausted shards (empty on full success; non-empty means the caller must
+    /// assemble a degraded report). Fails outright only when degradation is
+    /// disabled or the merge budget is exhausted.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn supervised_reduce(
+        &self,
+        s: &Relation,
+        t: &Relation,
+        band: &BandCondition,
+        s_parts: &PartitionedIndex,
+        t_parts: &PartitionedIndex,
+        shard_plan: &ShardPlan,
+        materialize: bool,
+        injector: &FaultInjector,
+        sup: &SupervisorConfig,
+        counters: &mut RecoveryCounters,
+    ) -> Result<(LocalJoinPhase, Vec<ShardStats>, Vec<ShardError>), SuperviseError> {
         let phase_start = Instant::now();
         let mut slots: Vec<ShardSlot> = (0..shard_plan.num_shards())
             .map(|_| ShardSlot {
@@ -325,10 +393,6 @@ impl Executor {
 
         std::thread::scope(|scope| {
             let (tx, rx) = mpsc::channel::<AttemptDone>();
-            let injector = &injector;
-            let s_parts = &s_parts;
-            let t_parts = &t_parts;
-            let shard_plan = &shard_plan;
             // Launch one attempt of one shard on a fresh worker thread. The
             // backoff is slept by the worker, so the supervisor never blocks.
             let launch = |shard: usize, attempt: u32, backoff_ms: u64| {
@@ -504,7 +568,6 @@ impl Executor {
         if !failed.is_empty() && !sup.degrade {
             return Err(SuperviseError::ShardsFailed(failed));
         }
-        let degraded = !failed.is_empty();
 
         // --- Phase 3: merge, retried. The merge computation itself is pure
         // and infallible; its failure mode is the injected crash at the
@@ -531,48 +594,21 @@ impl Executor {
             std::thread::sleep(Duration::from_millis(sup.backoff_ms(attempt + 1)));
         }
         let (local, shard_stats) = merge_shard_outcomes(
-            &shard_plan,
-            &s_parts,
-            &t_parts,
+            shard_plan,
+            s_parts,
+            t_parts,
             shard_outcomes,
             materialize,
             local_wall_seconds,
             shard_plan.num_shards(),
         );
-        let report = self.assemble_report(
-            partitioner,
-            s,
-            t,
-            band,
-            num_partitions,
-            map_shuffle_wall_seconds,
-            local,
-            degraded,
-        );
-        let simulated_sharded_seconds = self.config().machine.sharded_join_seconds(
-            report.stats.total_input,
-            &report.per_worker_work,
-            shard_plan.num_shards(),
-        );
-
-        let fired = injector.fired();
-        counters.injected_panics = fired.panics;
-        counters.injected_io_errors = fired.io_errors;
-        counters.injected_delays = fired.delays;
-
-        Ok(SupervisedExecution {
-            report,
-            shard_stats,
-            simulated_sharded_seconds,
-            failed,
-            recovery: counters,
-        })
+        Ok((local, shard_stats, failed))
     }
 
     /// The supervised shuffle phase: the whole (pure, idempotent) shuffle is
     /// one retryable unit — a panic or injected I/O error on either side
     /// discards the partial arenas and re-runs from scratch after backoff.
-    fn supervised_shuffle<P: Partitioner + ?Sized>(
+    pub(crate) fn supervised_shuffle<P: Partitioner + ?Sized>(
         &self,
         partitioner: &P,
         s: &Relation,

@@ -54,17 +54,19 @@ pub mod prelude {
     };
     pub use datagen;
     pub use distsim::{
-        exact_join_count, exact_join_count_on, process_peak_rss_bytes, CostModel, ExecutionReport,
-        Executor, ExecutorConfig, FaultKind, FaultPlan, FaultSpec, InjectionPoint,
-        LocalJoinAlgorithm, MachineModel, PartitionedIndex, RecoveryCounters, ShardError,
-        ShardFailureKind, ShardPlan, ShardStats, ShardedExecution, ShuffleConfig, ShuffledInputs,
-        SuperviseError, SupervisedExecution, SupervisorConfig, VerificationLevel,
+        exact_join_count, exact_join_count_on, process_peak_rss_bytes, BandJoinQuery,
+        BandJoinService, CostModel, ExecutionReport, Executor, ExecutorConfig, FaultKind,
+        FaultPlan, FaultSpec, InjectionPoint, LocalJoinAlgorithm, MachineModel, PartitionedIndex,
+        PlanCache, PlanKey, PlanSource, QueryResponse, RecoveryCounters, ServiceConfig,
+        ServiceHealth, ShardError, ShardFailureKind, ShardPlan, ShardStats, ShardedExecution,
+        ShuffleConfig, ShuffledInputs, SuperviseError, SupervisedExecution, SupervisorConfig,
+        VerificationLevel,
     };
     pub use recpart::{
         spill_fallback_count, AssignmentSink, BandCondition, CompiledRouter, EvalCounters,
         Evaluator, LoadModel, OptimizationReport, PartitionId, Partitioner, PartitioningStats,
-        PerTupleFallback, RecPart, RecPartConfig, RecPartResult, Relation, RouteKernel,
-        SampleConfig, ScatterPolicy, SpillDir, SplitScorer, SplitSearchCounters,
+        PerTupleFallback, PlanCacheCounters, RecPart, RecPartConfig, RecPartResult, Relation,
+        RouteKernel, SampleConfig, ScatterPolicy, SpillDir, SplitScorer, SplitSearchCounters,
         SplitTreePartitioner, StorageMode, Termination,
     };
 }
